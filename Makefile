@@ -1,0 +1,44 @@
+# Convenience targets; everything is plain `go` underneath.
+
+GO ?= go
+CACHE ?= /tmp/lppa-ds.gob
+
+.PHONY: all build test race cover bench fuzz experiments examples clean
+
+all: build test
+
+build:
+	$(GO) build ./...
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+cover:
+	$(GO) test -cover ./...
+
+bench:
+	$(GO) test -bench=. -benchmem
+
+# Short fuzz pass over every fuzz target (CI smoke; extend -fuzztime locally).
+fuzz:
+	$(GO) test -run=NONE -fuzz=FuzzMemberMatchesComparison -fuzztime=10s ./internal/prefix/
+	$(GO) test -run=NONE -fuzz=FuzzCoverTiles -fuzztime=10s ./internal/prefix/
+	$(GO) test -run=NONE -fuzz=FuzzOpenValueRejectsGarbage -fuzztime=10s ./internal/mask/
+
+# Reproduce the paper's full evaluation (dataset cached at $(CACHE)).
+experiments:
+	$(GO) run ./cmd/lppa-sim -experiment all -cache $(CACHE)
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/attackdemo
+	$(GO) run ./examples/tradeoff
+	$(GO) run ./examples/networked
+	$(GO) run ./examples/multiround
+
+clean:
+	rm -f lppa-sim lppa-attack lppa-net *.test

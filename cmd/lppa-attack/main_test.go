@@ -1,0 +1,31 @@
+package main
+
+import (
+	"path/filepath"
+	"testing"
+)
+
+func TestRunTinyAttack(t *testing.T) {
+	cache := filepath.Join(t.TempDir(), "ds.gob")
+	for _, area := range []string{"1", "4"} {
+		args := []string{"-tiny", "-area", area, "-victims", "4", "-channels", "12", "-cache", cache}
+		if err := run(args); err != nil {
+			t.Fatalf("area %s: %v", area, err)
+		}
+	}
+}
+
+func TestRunRejectsBadArea(t *testing.T) {
+	if err := run([]string{"-tiny", "-area", "0"}); err == nil {
+		t.Fatal("area 0 accepted")
+	}
+	if err := run([]string{"-tiny", "-area", "5"}); err == nil {
+		t.Fatal("area 5 accepted")
+	}
+}
+
+func TestRunRejectsBadFlags(t *testing.T) {
+	if err := run([]string{"-victims"}); err == nil {
+		t.Fatal("dangling flag accepted")
+	}
+}

@@ -1,0 +1,236 @@
+// Command lppa-net runs the LPPA parties over real TCP connections.
+//
+// Demo mode (default) spawns the TTP, the auctioneer, and N bidders inside
+// one process, wired over loopback sockets, and prints the round outcome:
+//
+//	lppa-net -bidders 12 -channels 8
+//
+// Role mode runs a single party, for multi-process or multi-machine
+// deployments:
+//
+//	lppa-net -role ttp        -listen :7001 -channels 8
+//	lppa-net -role auctioneer -listen :7002 -ttp host:7001 -bidders 12 -channels 8
+//	lppa-net -role bidder     -id 3 -ttp host:7001 -auctioneer host:7002 -channels 8 \
+//	         -x 17 -y 40 -bids 10,0,30,5,0,0,80,2
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log/slog"
+	"math/rand"
+	"net"
+	"os"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"lppa"
+	"lppa/internal/transport"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "lppa-net:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("lppa-net", flag.ContinueOnError)
+	var (
+		role     = fs.String("role", "demo", "demo|ttp|auctioneer|bidder")
+		listen   = fs.String("listen", "127.0.0.1:0", "listen address (ttp/auctioneer)")
+		ttpAddr  = fs.String("ttp", "", "TTP address (auctioneer/bidder)")
+		aucAddr  = fs.String("auctioneer", "", "auctioneer address (bidder)")
+		bidders  = fs.Int("bidders", 8, "number of bidders in the round")
+		channels = fs.Int("channels", 8, "auctioned channels k")
+		bmax     = fs.Uint64("bmax", 100, "bid upper bound")
+		lambda   = fs.Uint64("lambda", 2, "interference half-range (cells)")
+		maxXY    = fs.Uint64("domain", 99, "coordinate domain upper bound")
+		id       = fs.Int("id", 0, "bidder id (bidder role)")
+		x        = fs.Uint64("x", 0, "bidder x coordinate")
+		y        = fs.Uint64("y", 0, "bidder y coordinate")
+		bidsCSV  = fs.String("bids", "", "bidder's comma-separated bids, one per channel")
+		p0       = fs.Float64("p0", 0.7, "probability a zero bid stays undisguised")
+		pricing  = fs.String("pricing", "first", "charging rule: first|second")
+		seedStr  = fs.String("secret", "lppa-net-demo-secret", "TTP key-derivation secret")
+		seed     = fs.Int64("seed", 42, "randomness seed")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	params := lppa.Params{Channels: *channels, Lambda: *lambda, MaxX: *maxXY, MaxY: *maxXY, BMax: *bmax}
+	if err := params.Validate(); err != nil {
+		return err
+	}
+	var secondPrice bool
+	switch *pricing {
+	case "first":
+	case "second":
+		secondPrice = true
+	default:
+		return fmt.Errorf("unknown pricing rule %q", *pricing)
+	}
+	log := slog.New(slog.NewTextHandler(os.Stderr, nil))
+
+	switch *role {
+	case "demo":
+		return runDemo(params, *bidders, *seedStr, *p0, *seed, secondPrice, log)
+	case "ttp":
+		ln, err := net.Listen("tcp", *listen)
+		if err != nil {
+			return err
+		}
+		srv, err := transport.NewTTPServer(params, []byte(*seedStr), 5, 8, ln, log)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("TTP listening on %s\n", srv.Addr())
+		select {} // serve until killed
+	case "auctioneer":
+		if *ttpAddr == "" {
+			return fmt.Errorf("auctioneer needs -ttp")
+		}
+		ln, err := net.Listen("tcp", *listen)
+		if err != nil {
+			return err
+		}
+		newSrv := transport.NewAuctioneerServer
+		if secondPrice {
+			newSrv = transport.NewSecondPriceAuctioneerServer
+		}
+		srv, err := newSrv(params, *bidders, *ttpAddr, ln, *seed, log)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("auctioneer listening on %s, waiting for %d bidders\n", srv.Addr(), *bidders)
+		outcome := srv.Wait()
+		if outcome == nil {
+			return fmt.Errorf("round failed")
+		}
+		printOutcome(outcome)
+		return srv.Close()
+	case "bidder":
+		if *ttpAddr == "" || *aucAddr == "" {
+			return fmt.Errorf("bidder needs -ttp and -auctioneer")
+		}
+		bids, err := parseBids(*bidsCSV, *channels)
+		if err != nil {
+			return err
+		}
+		client := &lppa.BidderClient{ID: *id, Params: params, Policy: lppa.DisguisePolicy{P0: *p0, Decay: 0.95}}
+		res, err := client.Participate(*ttpAddr, *aucAddr, lppa.Point{X: *x, Y: *y}, bids,
+			rand.New(rand.NewSource(*seed+int64(*id))))
+		if err != nil {
+			return err
+		}
+		printResult(*res)
+		return nil
+	default:
+		return fmt.Errorf("unknown role %q", *role)
+	}
+}
+
+func runDemo(params lppa.Params, n int, secret string, p0 float64, seed int64, secondPrice bool, log *slog.Logger) error {
+	lnTTP, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	ttpSrv, err := transport.NewTTPServer(params, []byte(secret), 5, 8, lnTTP, log)
+	if err != nil {
+		return err
+	}
+	defer ttpSrv.Close()
+
+	lnAuc, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	newSrv := transport.NewAuctioneerServer
+	if secondPrice {
+		newSrv = transport.NewSecondPriceAuctioneerServer
+	}
+	aucSrv, err := newSrv(params, n, ttpSrv.Addr().String(), lnAuc, seed, log)
+	if err != nil {
+		return err
+	}
+	defer aucSrv.Close()
+	fmt.Printf("TTP on %s, auctioneer on %s, %d bidders joining...\n",
+		ttpSrv.Addr(), aucSrv.Addr(), n)
+
+	rng := rand.New(rand.NewSource(seed))
+	var wg sync.WaitGroup
+	results := make([]*lppa.Result, n)
+	errs := make([]error, n)
+	start := time.Now()
+	for i := 0; i < n; i++ {
+		pt := lppa.Point{X: uint64(rng.Intn(int(params.MaxX + 1))), Y: uint64(rng.Intn(int(params.MaxY + 1)))}
+		bids := make([]uint64, params.Channels)
+		for r := range bids {
+			if rng.Intn(3) > 0 {
+				bids[r] = uint64(rng.Intn(int(params.BMax))) + 1
+			}
+		}
+		wg.Add(1)
+		go func(i int, pt lppa.Point, bids []uint64) {
+			defer wg.Done()
+			client := &lppa.BidderClient{ID: i, Params: params, Policy: lppa.DisguisePolicy{P0: p0, Decay: 0.95}}
+			results[i], errs[i] = client.Participate(ttpSrv.Addr().String(), aucSrv.Addr().String(),
+				pt, bids, rand.New(rand.NewSource(seed+int64(i)+1)))
+		}(i, pt, bids)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return fmt.Errorf("bidder %d: %w", i, err)
+		}
+	}
+	outcome := aucSrv.Wait()
+	if outcome == nil {
+		return fmt.Errorf("round produced no outcome")
+	}
+	fmt.Printf("round completed in %v\n\n", time.Since(start).Round(time.Millisecond))
+	for _, res := range results {
+		printResult(*res)
+	}
+	printOutcome(outcome)
+	return nil
+}
+
+func printResult(r lppa.Result) {
+	switch {
+	case r.Won:
+		fmt.Printf("bidder %2d: WON channel %d, pays %d\n", r.BidderID, r.Channel, r.Price)
+	case r.Voided:
+		fmt.Printf("bidder %2d: award voided (zero bid won)\n", r.BidderID)
+	default:
+		fmt.Printf("bidder %2d: no spectrum this round\n", r.BidderID)
+	}
+}
+
+func printOutcome(o *transport.RoundOutcome) {
+	fmt.Printf("\nauctioneer: %d results, revenue %d, %d voided awards\n",
+		len(o.Results), o.Revenue, o.Voided)
+}
+
+func parseBids(csv string, k int) ([]uint64, error) {
+	if csv == "" {
+		return nil, fmt.Errorf("bidder needs -bids")
+	}
+	parts := strings.Split(csv, ",")
+	if len(parts) != k {
+		return nil, fmt.Errorf("%d bids for %d channels", len(parts), k)
+	}
+	out := make([]uint64, k)
+	for i, p := range parts {
+		v, err := strconv.ParseUint(strings.TrimSpace(p), 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("parse bid %q: %w", p, err)
+		}
+		out[i] = v
+	}
+	return out, nil
+}

@@ -1,0 +1,60 @@
+package main
+
+import "testing"
+
+func TestDemoRound(t *testing.T) {
+	args := []string{"-role", "demo", "-bidders", "5", "-channels", "4", "-domain", "30"}
+	if err := run(args); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUnknownRoleRejected(t *testing.T) {
+	if err := run([]string{"-role", "wizard"}); err == nil {
+		t.Fatal("unknown role accepted")
+	}
+}
+
+func TestRoleFlagValidation(t *testing.T) {
+	if err := run([]string{"-role", "auctioneer", "-channels", "4"}); err == nil {
+		t.Fatal("auctioneer without -ttp accepted")
+	}
+	if err := run([]string{"-role", "bidder", "-channels", "4"}); err == nil {
+		t.Fatal("bidder without addresses accepted")
+	}
+	if err := run([]string{"-role", "demo", "-channels", "0"}); err == nil {
+		t.Fatal("invalid params accepted")
+	}
+}
+
+func TestParseBids(t *testing.T) {
+	got, err := parseBids("1, 0,42", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0] != 1 || got[1] != 0 || got[2] != 42 {
+		t.Errorf("parseBids = %v", got)
+	}
+	if _, err := parseBids("1,2", 3); err == nil {
+		t.Error("wrong length accepted")
+	}
+	if _, err := parseBids("", 1); err == nil {
+		t.Error("empty accepted")
+	}
+	if _, err := parseBids("x", 1); err == nil {
+		t.Error("non-numeric accepted")
+	}
+}
+
+func TestDemoRoundSecondPrice(t *testing.T) {
+	args := []string{"-role", "demo", "-bidders", "5", "-channels", "4", "-domain", "30", "-pricing", "second"}
+	if err := run(args); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUnknownPricingRejected(t *testing.T) {
+	if err := run([]string{"-role", "demo", "-pricing", "third"}); err == nil {
+		t.Fatal("unknown pricing accepted")
+	}
+}

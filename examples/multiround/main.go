@@ -1,0 +1,64 @@
+// Multiround: why bidder IDs must be remixed between auctions
+// (the paper's section V.C.3).
+//
+// A single LPPA round leaks almost nothing: disguised zeros poison the
+// auctioneer's channel observations. But poisoning is random per round
+// while true availability is stable — so an attacker who can *link* a
+// bidder's pseudonym across rounds filters the noise away by majority
+// voting and recovers the location after a handful of auctions. Remixing
+// IDs each round (the paper's countermeasure) confines the attacker to
+// single-round observations forever.
+//
+//	go run ./examples/multiround
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"lppa"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	cfg := lppa.DefaultDatasetConfig()
+	cfg.Grid = lppa.Grid{Rows: 40, Cols: 40, SideMeters: 75_000}
+	cfg.Channels = 48
+	ds, err := lppa.GenerateDataset(cfg, 31)
+	if err != nil {
+		return err
+	}
+	area := ds.Areas[2]
+
+	mrCfg := lppa.DefaultMultiRoundConfig()
+	mrCfg.Bidders = 25
+	mrCfg.Channels = 48
+	mrCfg.Rounds = 8
+
+	fmt.Printf("%d bidders, %d channels, %d consecutive LPPA rounds (1-p0 = %.1f)\n\n",
+		mrCfg.Bidders, mrCfg.Channels, mrCfg.Rounds, mrCfg.ZeroReplace)
+	points, err := lppa.MultiRound(area, mrCfg, 11)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%-7s  %-28s  %-28s\n", "", "LINKED pseudonyms", "MIXED IDs (defence)")
+	fmt.Printf("%-7s  %-12s %-14s  %-12s %-14s\n",
+		"rounds", "attack fail", "incorrect(km)", "attack fail", "incorrect(km)")
+	for _, p := range points {
+		fmt.Printf("%-7d  %-12s %-14.1f  %-12s %-14.1f\n",
+			p.Rounds,
+			fmt.Sprintf("%.0f%%", 100*p.Linked.FailureRate), p.Linked.Incorrectness/1000,
+			fmt.Sprintf("%.0f%%", 100*p.Mixed.FailureRate), p.Mixed.Incorrectness/1000)
+	}
+	first, last := points[0], points[len(points)-1]
+	fmt.Printf("\nlinked attacker: failure %.0f%% → %.0f%% across %d rounds (linkage defeats the disguise)\n",
+		100*first.Linked.FailureRate, 100*last.Linked.FailureRate, last.Rounds)
+	fmt.Printf("mixed IDs:       failure stays at %.0f%% (the paper's countermeasure holds)\n",
+		100*last.Mixed.FailureRate)
+	return nil
+}

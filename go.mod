@@ -1,0 +1,3 @@
+module lppa
+
+go 1.22

@@ -1,0 +1,174 @@
+// Package attack implements the two location-privacy attacks of the paper
+// (section III): Bid-Channels Mining (BCM, Algorithm 1) and Bid-Price
+// Mining (BPM, Algorithm 2), together with the attacker-side logic that
+// extracts channel observations from an LPPA transcript (t-largest
+// ciphertext selection, section VI.C).
+//
+// The attacker is the curious-but-honest auctioneer (or an eavesdropper):
+// it holds the full coverage and quality maps of every channel and tries
+// to geo-locate a bidder from its submission alone.
+package attack
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"lppa/internal/dataset"
+	"lppa/internal/geo"
+)
+
+// BCM runs the Bid-Channels Mining attack: starting from the full region
+// P = A, intersect the availability region C_r of every channel the victim
+// apparently bid on. The victim must lie where all of its bid channels are
+// simultaneously available.
+//
+// channels holds the channel indices the attacker believes the victim can
+// use (in the plaintext auction: channels with positive bids; under LPPA:
+// channels where the victim's masked bid ranked in the selected top set).
+func BCM(area *dataset.Area, channels []int) (*geo.CellSet, error) {
+	p := geo.FullCellSet(area.Grid)
+	for _, r := range channels {
+		if r < 0 || r >= area.NumChannels() {
+			return nil, fmt.Errorf("attack: channel %d out of range [0,%d)", r, area.NumChannels())
+		}
+		p.IntersectWith(area.Coverage[r].Available)
+	}
+	return p, nil
+}
+
+// BCMFromBids derives the observed channel set from a plaintext bid vector
+// (positive entries) and runs BCM — exactly Algorithm 1.
+func BCMFromBids(area *dataset.Area, bids []uint64) (*geo.CellSet, error) {
+	channels := make([]int, 0, len(bids))
+	for r, b := range bids {
+		if b > 0 {
+			channels = append(channels, r)
+		}
+	}
+	return BCM(area, channels)
+}
+
+// ScoredCell couples a candidate cell with its quality-distance dq.
+type ScoredCell struct {
+	Cell geo.Cell
+	DQ   float64
+}
+
+// BPMConfig tunes Algorithm 2's output-set selection.
+type BPMConfig struct {
+	// KeepFraction is the share of BCM's candidate cells retained, ranked
+	// by ascending dq (the paper sweeps 1, 1/2, 1/3, …). 1.0 keeps all.
+	KeepFraction float64
+	// MaxCells caps the retained set (the paper's threshold rule, e.g.
+	// 250 cells for the 80-channel, 50 % setting). 0 disables the cap.
+	MaxCells int
+}
+
+// Validate checks the configuration.
+func (c BPMConfig) Validate() error {
+	if c.KeepFraction <= 0 || c.KeepFraction > 1 {
+		return fmt.Errorf("attack: keep fraction %f out of (0,1]", c.KeepFraction)
+	}
+	if c.MaxCells < 0 {
+		return fmt.Errorf("attack: negative cell cap %d", c.MaxCells)
+	}
+	return nil
+}
+
+// BPMResult is the outcome of a Bid-Price Mining attack.
+type BPMResult struct {
+	// Ranked lists every BCM candidate in ascending dq order.
+	Ranked []ScoredCell
+	// Selected is the final possible-location set after fraction and cap.
+	Selected *geo.CellSet
+	// Best is the single minimum-dq cell (Algorithm 2's point estimate);
+	// only meaningful when Ranked is non-empty.
+	Best geo.Cell
+}
+
+// BPM runs the Bid-Price Mining attack (Algorithm 2): normalize the
+// victim's bids by the maximum bid to estimate per-channel quality, then
+// score every BCM candidate cell by the squared distance between estimated
+// and ground-truth (max-normalized) quality, keeping the best cells.
+//
+// p is the candidate set (normally BCM output; pass the full grid to run
+// BPM standalone, which the paper notes is possible but slower). bids is
+// the plaintext bid vector. Cells where the victim's best channel is not
+// actually available score +Inf (they contradict the observation).
+func BPM(area *dataset.Area, p *geo.CellSet, bids []uint64, cfg BPMConfig) (*BPMResult, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	// Auctions may run over the first k ≤ NumChannels channels; the bid
+	// vector then covers that prefix.
+	if len(bids) > area.NumChannels() {
+		return nil, fmt.Errorf("attack: %d bids for %d channels", len(bids), area.NumChannels())
+	}
+	// Available set and maximum bid (Algorithm 2 lines 4–9).
+	var (
+		as   []int
+		rMax = -1
+		bMax uint64
+	)
+	for r, b := range bids {
+		if b > 0 {
+			as = append(as, r)
+			if b > bMax {
+				bMax, rMax = b, r
+			}
+		}
+	}
+	if rMax < 0 {
+		return nil, fmt.Errorf("attack: victim bid on no channels; BPM needs at least one positive bid")
+	}
+	// Estimated quality parameters q^i_r = b_r / b_max (lines 10–12).
+	qEst := make(map[int]float64, len(as))
+	for _, r := range as {
+		qEst[r] = float64(bids[r]) / float64(bMax)
+	}
+
+	// Score candidates (lines 13–15).
+	ranked := make([]ScoredCell, 0, p.Count())
+	p.ForEach(func(cell geo.Cell) {
+		qMaxStar := area.Coverage[rMax].QualityAt(cell)
+		if qMaxStar <= 0 {
+			ranked = append(ranked, ScoredCell{Cell: cell, DQ: math.Inf(1)})
+			return
+		}
+		var dq float64
+		for _, r := range as {
+			d := qEst[r] - area.Coverage[r].QualityAt(cell)/qMaxStar
+			dq += d * d
+		}
+		ranked = append(ranked, ScoredCell{Cell: cell, DQ: dq})
+	})
+	sort.Slice(ranked, func(i, j int) bool {
+		if ranked[i].DQ != ranked[j].DQ {
+			return ranked[i].DQ < ranked[j].DQ
+		}
+		// Deterministic tie-break keeps runs reproducible.
+		a, b := ranked[i].Cell, ranked[j].Cell
+		if a.Row != b.Row {
+			return a.Row < b.Row
+		}
+		return a.Col < b.Col
+	})
+
+	keep := int(math.Ceil(cfg.KeepFraction * float64(len(ranked))))
+	if keep < 1 && len(ranked) > 0 {
+		keep = 1
+	}
+	if cfg.MaxCells > 0 && keep > cfg.MaxCells {
+		keep = cfg.MaxCells
+	}
+	sel := geo.NewCellSet(area.Grid)
+	for _, sc := range ranked[:keep] {
+		sel.Add(sc.Cell)
+	}
+	res := &BPMResult{Ranked: ranked, Selected: sel}
+	if len(ranked) > 0 {
+		res.Best = ranked[0].Cell
+	}
+	return res, nil
+}

@@ -1,0 +1,360 @@
+package attack
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"lppa/internal/bidder"
+	"lppa/internal/dataset"
+	"lppa/internal/geo"
+)
+
+func testArea(t *testing.T) *dataset.Area {
+	t.Helper()
+	ds, err := dataset.Generate(dataset.Config{
+		Grid:     geo.Grid{Rows: 25, Cols: 25, SideMeters: 75_000},
+		Channels: 16,
+		Profiles: dataset.LAProfiles(),
+	}, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ds.Areas[3] // rural: attacks are most effective here
+}
+
+func TestBCMNoChannelsIsWholeRegion(t *testing.T) {
+	area := testArea(t)
+	p, err := BCM(area, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Count() != area.Grid.NumCells() {
+		t.Errorf("P = %d cells, want full region %d", p.Count(), area.Grid.NumCells())
+	}
+}
+
+func TestBCMContainsTruePosition(t *testing.T) {
+	area := testArea(t)
+	rng := rand.New(rand.NewSource(1))
+	cfg := bidder.DefaultConfig()
+	for _, su := range bidder.Place(area.Grid, 30, cfg, rng) {
+		bids := bidder.BidVector(su, area, cfg, rng)
+		p, err := BCMFromBids(area, bids)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !p.Contains(su.Cell) {
+			t.Fatalf("BCM on honest bids excluded the true cell %v", su.Cell)
+		}
+	}
+}
+
+func TestBCMShrinksWithMoreChannels(t *testing.T) {
+	area := testArea(t)
+	su := bidder.SU{ID: 0, Cell: geo.Cell{Row: 12, Col: 12}, Beta: 1}
+	as := bidder.AvailableSet(su, area)
+	if len(as) < 4 {
+		t.Skip("cell has too few available channels for the monotonicity check")
+	}
+	prev := area.Grid.NumCells() + 1
+	for take := 1; take <= len(as); take++ {
+		p, err := BCM(area, as[:take])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p.Count() > prev {
+			t.Fatalf("BCM grew when adding channels: %d -> %d", prev, p.Count())
+		}
+		prev = p.Count()
+	}
+	if prev >= area.Grid.NumCells() {
+		t.Error("BCM with all channels did not narrow the region at all")
+	}
+}
+
+func TestBCMRejectsBadChannel(t *testing.T) {
+	area := testArea(t)
+	if _, err := BCM(area, []int{-1}); err == nil {
+		t.Error("negative channel accepted")
+	}
+	if _, err := BCM(area, []int{area.NumChannels()}); err == nil {
+		t.Error("overflow channel accepted")
+	}
+}
+
+func TestBPMConfigValidate(t *testing.T) {
+	for _, c := range []BPMConfig{{KeepFraction: 0}, {KeepFraction: 1.5}, {KeepFraction: 0.5, MaxCells: -1}} {
+		if c.Validate() == nil {
+			t.Errorf("config %+v validated", c)
+		}
+	}
+	if (BPMConfig{KeepFraction: 1}).Validate() != nil {
+		t.Error("valid config rejected")
+	}
+}
+
+func TestBPMNarrowsBCMAndRanksTrueCellWell(t *testing.T) {
+	area := testArea(t)
+	rng := rand.New(rand.NewSource(2))
+	cfg := bidder.DefaultConfig()
+	sus := bidder.Place(area.Grid, 20, cfg, rng)
+	better := 0
+	total := 0
+	for _, su := range sus {
+		bids := bidder.BidVector(su, area, cfg, rng)
+		p, err := BCMFromBids(area, bids)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p.Count() < 4 {
+			continue
+		}
+		res, err := BPM(area, p, bids, BPMConfig{KeepFraction: 0.5})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Selected.Count() > p.Count() {
+			t.Fatalf("BPM grew the candidate set: %d > %d", res.Selected.Count(), p.Count())
+		}
+		total++
+		if res.Selected.Contains(su.Cell) {
+			better++
+		}
+	}
+	if total == 0 {
+		t.Skip("no usable victims")
+	}
+	// With 20% valuation noise the true cell should usually survive a
+	// 50% cut (it has near-minimal dq).
+	if float64(better)/float64(total) < 0.5 {
+		t.Errorf("true cell survived 50%% BPM cut only %d/%d times", better, total)
+	}
+}
+
+func TestBPMNoiselessFindsExactCell(t *testing.T) {
+	area := testArea(t)
+	cfg := bidder.Config{BMax: 1000, NoiseFrac: 0, BetaMin: 1, BetaMax: 1}
+	rng := rand.New(rand.NewSource(3))
+	hits, total := 0, 0
+	for _, su := range bidder.Place(area.Grid, 15, cfg, rng) {
+		bids := bidder.BidVector(su, area, cfg, rng)
+		p, err := BCMFromBids(area, bids)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p.Count() < 2 {
+			continue
+		}
+		res, err := BPM(area, p, bids, BPMConfig{KeepFraction: 0.01})
+		if err != nil {
+			continue // victims with no positive bid
+		}
+		total++
+		// The true cell must have (near-)minimal dq without noise; allow
+		// quantization slack by checking the top selection.
+		if res.Selected.Contains(su.Cell) || res.Best == su.Cell {
+			hits++
+		}
+	}
+	if total == 0 {
+		t.Skip("no usable victims")
+	}
+	if float64(hits)/float64(total) < 0.6 {
+		t.Errorf("noiseless BPM located only %d/%d victims", hits, total)
+	}
+}
+
+func TestBPMMaxCellsCap(t *testing.T) {
+	area := testArea(t)
+	rng := rand.New(rand.NewSource(4))
+	cfg := bidder.DefaultConfig()
+	su := bidder.Place(area.Grid, 1, cfg, rng)[0]
+	bids := bidder.BidVector(su, area, cfg, rng)
+	p, err := BCMFromBids(area, bids)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Count() < 6 {
+		t.Skip("candidate set too small to exercise cap")
+	}
+	res, err := BPM(area, p, bids, BPMConfig{KeepFraction: 1, MaxCells: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Selected.Count() != 5 {
+		t.Errorf("capped selection = %d cells, want 5", res.Selected.Count())
+	}
+}
+
+func TestBPMRankedAscending(t *testing.T) {
+	area := testArea(t)
+	rng := rand.New(rand.NewSource(5))
+	cfg := bidder.DefaultConfig()
+	su := bidder.Place(area.Grid, 1, cfg, rng)[0]
+	bids := bidder.BidVector(su, area, cfg, rng)
+	p, err := BCMFromBids(area, bids)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := BPM(area, p, bids, BPMConfig{KeepFraction: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(res.Ranked); i++ {
+		a, b := res.Ranked[i-1].DQ, res.Ranked[i].DQ
+		if a > b && !(math.IsInf(a, 1) && math.IsInf(b, 1)) {
+			t.Fatalf("ranking not ascending at %d: %f > %f", i, a, b)
+		}
+	}
+	if len(res.Ranked) != p.Count() {
+		t.Errorf("ranked %d cells, candidate set %d", len(res.Ranked), p.Count())
+	}
+}
+
+func TestBPMAllZeroBidsRejected(t *testing.T) {
+	area := testArea(t)
+	bids := make([]uint64, area.NumChannels())
+	if _, err := BPM(area, geo.FullCellSet(area.Grid), bids, BPMConfig{KeepFraction: 1}); err == nil {
+		t.Error("all-zero bid vector accepted")
+	}
+}
+
+func TestBPMWrongBidLengthRejected(t *testing.T) {
+	area := testArea(t)
+	over := make([]uint64, area.NumChannels()+1)
+	over[0] = 1
+	if _, err := BPM(area, geo.FullCellSet(area.Grid), over, BPMConfig{KeepFraction: 1}); err == nil {
+		t.Error("over-length bid vector accepted")
+	}
+	// A shorter vector is a prefix auction and must be accepted.
+	if _, err := BPM(area, geo.FullCellSet(area.Grid), []uint64{1}, BPMConfig{KeepFraction: 1}); err != nil {
+		t.Errorf("prefix bid vector rejected: %v", err)
+	}
+}
+
+func TestTopFractionChannels(t *testing.T) {
+	rankings := [][]int{
+		{2, 0, 1}, // channel 0: bidder 2 highest
+		{1, 2, 0}, // channel 1
+	}
+	got, err := TopFractionChannels(rankings, 3, 0.34) // ceil(0.34*3)=2 top bidders
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := [][]int{{0}, {1}, {0, 1}}
+	for u := range want {
+		if len(got[u]) != len(want[u]) {
+			t.Fatalf("user %d channels = %v, want %v", u, got[u], want[u])
+		}
+		for i := range want[u] {
+			if got[u][i] != want[u][i] {
+				t.Fatalf("user %d channels = %v, want %v", u, got[u], want[u])
+			}
+		}
+	}
+}
+
+func TestTopFractionChannelsEdges(t *testing.T) {
+	if _, err := TopFractionChannels(nil, 1, 0); err == nil {
+		t.Error("frac=0 accepted")
+	}
+	if _, err := TopFractionChannels([][]int{{5}}, 2, 0.5); err == nil {
+		t.Error("out-of-range bidder accepted")
+	}
+	got, err := TopFractionChannels([][]int{{}, {0}}, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got[0]) != 1 || got[0][0] != 1 {
+		t.Errorf("got = %v", got)
+	}
+	// At least one bidder per channel even for tiny fractions.
+	got, err = TopFractionChannels([][]int{{0, 1, 2, 3}}, 4, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got[0]) != 1 {
+		t.Errorf("tiny fraction should still pick the top bidder: %v", got)
+	}
+}
+
+func TestBCMRobustMatchesBCMOnHonestObservations(t *testing.T) {
+	area := testArea(t)
+	rng := rand.New(rand.NewSource(6))
+	cfg := bidder.DefaultConfig()
+	for _, su := range bidder.Place(area.Grid, 10, cfg, rng) {
+		as := bidder.AvailableSet(su, area)
+		if len(as) == 0 {
+			continue
+		}
+		plain, err := BCM(area, as)
+		if err != nil {
+			t.Fatal(err)
+		}
+		robust, satisfied, err := BCMRobust(area, as)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if satisfied != len(as) {
+			t.Fatalf("honest observations: satisfied %d of %d", satisfied, len(as))
+		}
+		if !plain.Equal(robust) {
+			t.Fatal("robust BCM differs from BCM on honest observations")
+		}
+	}
+}
+
+func TestBCMRobustSurvivesPoisonedObservations(t *testing.T) {
+	area := testArea(t)
+	su := bidder.SU{ID: 0, Cell: geo.Cell{Row: 12, Col: 12}, Beta: 1}
+	as := bidder.AvailableSet(su, area)
+	if len(as) < 3 {
+		t.Skip("too few available channels")
+	}
+	// Poison: claim a channel NOT available at the true cell.
+	var poison int = -1
+	for r := 0; r < area.NumChannels(); r++ {
+		if !area.Coverage[r].AvailableAt(su.Cell) {
+			poison = r
+			break
+		}
+	}
+	if poison == -1 {
+		t.Skip("every channel available at the cell")
+	}
+	observed := append(append([]int(nil), as...), poison)
+	// Plain BCM must go empty or lose the true cell...
+	plain, err := BCM(area, observed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.Contains(su.Cell) {
+		t.Fatal("plain BCM kept the true cell despite the poisoned observation")
+	}
+	// ...while robust BCM stays nonempty.
+	robust, satisfied, err := BCMRobust(area, observed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if robust.Count() == 0 {
+		t.Fatal("robust BCM returned an empty set")
+	}
+	if satisfied > len(observed) {
+		t.Fatalf("satisfied %d of %d", satisfied, len(observed))
+	}
+}
+
+func TestBCMRobustEdgeCases(t *testing.T) {
+	area := testArea(t)
+	p, satisfied, err := BCMRobust(area, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Count() != area.Grid.NumCells() || satisfied != 0 {
+		t.Error("no observations should yield the full region")
+	}
+	if _, _, err := BCMRobust(area, []int{-1}); err == nil {
+		t.Error("bad channel accepted")
+	}
+}

@@ -1,0 +1,126 @@
+package attack
+
+import (
+	"fmt"
+	"sort"
+
+	"lppa/internal/core"
+	"lppa/internal/dataset"
+	"lppa/internal/prefix"
+)
+
+// Section IV.C.1 of the paper lists three leaks of the *basic* bid
+// submission scheme; the third is structural: "although the number of
+// prefixes in [a] number['s] prefix family is identical, the range prefix
+// has [a] different amount of elements … which could be used to
+// distinguish the price." This file implements that attack: the range
+// cover Q([b, bmax]) has a cardinality that depends only on b, so the
+// auctioneer inverts set sizes back to candidate bid values and runs the
+// BPM attack on the estimate. The advanced scheme defeats it by padding
+// every range set to 2w−2 digests.
+
+// CardinalityTable maps each observable range-set size to the bid values
+// that produce it, for the basic scheme's encoding Q([b, bmax]) at width
+// w = WidthFor(bmax).
+type CardinalityTable struct {
+	BMax       uint64
+	Width      int
+	candidates map[int][]uint64
+}
+
+// NewCardinalityTable precomputes the inversion for a public bmax.
+func NewCardinalityTable(bmax uint64) (*CardinalityTable, error) {
+	if bmax < 1 {
+		return nil, fmt.Errorf("attack: bmax %d must be ≥ 1", bmax)
+	}
+	w := prefix.WidthFor(bmax)
+	t := &CardinalityTable{BMax: bmax, Width: w, candidates: make(map[int][]uint64)}
+	for b := uint64(0); b <= bmax; b++ {
+		size := len(prefix.Cover(b, bmax, w))
+		t.candidates[size] = append(t.candidates[size], b)
+	}
+	return t, nil
+}
+
+// Candidates returns the bid values consistent with an observed range-set
+// size (empty when the size is impossible, which with honest encoders
+// indicates padding — i.e. the advanced scheme).
+func (t *CardinalityTable) Candidates(size int) []uint64 {
+	return append([]uint64(nil), t.candidates[size]...)
+}
+
+// Estimate returns the median candidate for an observed size and whether
+// the size was invertible at all.
+func (t *CardinalityTable) Estimate(size int) (uint64, bool) {
+	c := t.candidates[size]
+	if len(c) == 0 {
+		return 0, false
+	}
+	// Candidates for one size are generated in ascending order.
+	return c[len(c)/2], true
+}
+
+// PositiveCertain reports whether an observed size implies a strictly
+// positive bid (every candidate is positive). Only such channels are safe
+// BCM constraints: a zero bid misclassified as available would poison the
+// intersection.
+func (t *CardinalityTable) PositiveCertain(size int) bool {
+	c := t.candidates[size]
+	if len(c) == 0 {
+		return false
+	}
+	for _, v := range c {
+		if v == 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// EstimateBidsFromBasic reconstructs an approximate plaintext bid vector
+// from a basic-scheme submission using only range-set cardinalities — no
+// keys required. Only channels whose size certainly implies a positive bid
+// get a (median-candidate) estimate; everything else stays zero, keeping
+// the estimate sound for BCM.
+func EstimateBidsFromBasic(sub *core.BidSubmission, table *CardinalityTable) []uint64 {
+	out := make([]uint64, len(sub.Channels))
+	for r := range sub.Channels {
+		size := sub.Channels[r].Range.Len()
+		if !table.PositiveCertain(size) {
+			continue
+		}
+		if est, ok := table.Estimate(size); ok {
+			out[r] = est
+		}
+	}
+	return out
+}
+
+// CardinalityBPM runs the full section IV.C.1 attack pipeline against a
+// basic-scheme submission: invert range-set sizes to estimated bids, take
+// the certainly-positive estimates as the observed available set, and run
+// BCM + BPM on the estimates.
+func CardinalityBPM(area *dataset.Area, sub *core.BidSubmission, table *CardinalityTable, cfg BPMConfig) (*BPMResult, error) {
+	est := EstimateBidsFromBasic(sub, table)
+	p, err := BCMFromBids(area, est)
+	if err != nil {
+		return nil, err
+	}
+	return BPM(area, p, est, cfg)
+}
+
+// SizesDistinct reports how many distinct range-set sizes a submission
+// exhibits — the attacker's signal strength. The advanced scheme pads all
+// sets to one size, collapsing this to 1.
+func SizesDistinct(sub *core.BidSubmission) int {
+	seen := map[int]bool{}
+	for r := range sub.Channels {
+		seen[sub.Channels[r].Range.Len()] = true
+	}
+	sizes := make([]int, 0, len(seen))
+	for s := range seen {
+		sizes = append(sizes, s)
+	}
+	sort.Ints(sizes)
+	return len(sizes)
+}

@@ -1,0 +1,41 @@
+package attack
+
+// Multi-round linkage (section V.C.3): a user whose pseudonym stays fixed
+// across auction rounds hands the attacker repeated observations. Single-
+// round observations under LPPA are heavily poisoned by disguised zeros
+// and ranking noise, but poisoning is random per round while genuine
+// availability is stable — so majority filtering across rounds recovers
+// the true available set and with it the user's location. The paper's
+// countermeasure is remixing bidder IDs every round, which breaks the
+// linkage; these helpers implement the attacker side so the defence can be
+// evaluated.
+
+// AccumulateObservations merges per-round observed channel sets for one
+// linked user into per-channel counts. perRound[t] lists the channels the
+// attacker attributed to the user in round t.
+func AccumulateObservations(perRound [][]int, channels int) []int {
+	counts := make([]int, channels)
+	for _, obs := range perRound {
+		for _, r := range obs {
+			if r >= 0 && r < channels {
+				counts[r]++
+			}
+		}
+	}
+	return counts
+}
+
+// ReliableChannels returns the channels observed in at least minRounds of
+// the rounds — the attacker's denoised availability estimate.
+func ReliableChannels(counts []int, minRounds int) []int {
+	if minRounds < 1 {
+		minRounds = 1
+	}
+	out := make([]int, 0, len(counts))
+	for r, c := range counts {
+		if c >= minRounds {
+			out = append(out, r)
+		}
+	}
+	return out
+}

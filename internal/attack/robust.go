@@ -1,0 +1,53 @@
+package attack
+
+import (
+	"fmt"
+
+	"lppa/internal/dataset"
+	"lppa/internal/geo"
+)
+
+// BCMRobust is the attacker's graceful-degradation variant of BCM for
+// noisy observations (the LPPA transcript case): instead of intersecting
+// availability regions — which turns empty as soon as one observation is
+// false — it scores every cell by how many observed channels are available
+// there and keeps the argmax set. With perfectly honest observations it
+// coincides with BCM (all observed channels available at the true cell);
+// with poisoned observations it returns the least-inconsistent region,
+// which is the best a rational attacker can do.
+//
+// The returned satisfied count reports how many of the observations the
+// selected cells satisfy; len(channels)−satisfied is the attacker's
+// visible evidence of poisoning.
+func BCMRobust(area *dataset.Area, channels []int) (*geo.CellSet, int, error) {
+	if len(channels) == 0 {
+		return geo.FullCellSet(area.Grid), 0, nil
+	}
+	counts := make([]int, area.Grid.NumCells())
+	for _, r := range channels {
+		if r < 0 || r >= area.NumChannels() {
+			return nil, 0, fmt.Errorf("attack: channel %d out of range [0,%d)", r, area.NumChannels())
+		}
+		area.Coverage[r].Available.ForEach(func(c geo.Cell) {
+			counts[area.Grid.Index(c)]++
+		})
+	}
+	best := 0
+	for _, c := range counts {
+		if c > best {
+			best = c
+		}
+	}
+	out := geo.NewCellSet(area.Grid)
+	if best == 0 {
+		// No observed channel is available anywhere: every cell is equally
+		// (in)consistent.
+		return geo.FullCellSet(area.Grid), 0, nil
+	}
+	for idx, c := range counts {
+		if c == best {
+			out.Add(area.Grid.CellAt(idx))
+		}
+	}
+	return out, best, nil
+}

@@ -1,0 +1,48 @@
+package attack
+
+import (
+	"fmt"
+	"math"
+)
+
+// Under LPPA the auctioneer no longer sees bid values, but the
+// order-preserving masking still lets it rank all bids *within* one channel
+// (that ability is what makes the private max-search work, and the paper's
+// section VI.C attacker exploits exactly it). The attacker therefore keeps,
+// per channel, the t largest masked bids and presumes the channel available
+// to those bidders. Disguised zeros land in the top set and poison the BCM
+// intersection — that poisoning is LPPA's defence.
+
+// TopFractionChannels converts per-channel bid rankings into per-user
+// observed channel sets. rankings[r] lists bidder indices in descending
+// bid order for channel r (ties in any stable order). For each channel the
+// attacker takes the ceil(frac·len) top bidders (at least one) and marks
+// the channel observed for them.
+//
+// The returned slice maps bidder index to the channels the attacker
+// believes available to that bidder.
+func TopFractionChannels(rankings [][]int, n int, frac float64) ([][]int, error) {
+	if frac <= 0 || frac > 1 {
+		return nil, fmt.Errorf("attack: fraction %f out of (0,1]", frac)
+	}
+	out := make([][]int, n)
+	for r, ranked := range rankings {
+		if len(ranked) == 0 {
+			continue
+		}
+		t := int(math.Ceil(frac * float64(len(ranked))))
+		if t < 1 {
+			t = 1
+		}
+		if t > len(ranked) {
+			t = len(ranked)
+		}
+		for _, u := range ranked[:t] {
+			if u < 0 || u >= n {
+				return nil, fmt.Errorf("attack: ranking for channel %d names bidder %d (n=%d)", r, u, n)
+			}
+			out[u] = append(out[u], r)
+		}
+	}
+	return out, nil
+}

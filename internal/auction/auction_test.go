@@ -1,0 +1,275 @@
+package auction
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"lppa/internal/conflict"
+	"lppa/internal/geo"
+)
+
+func allTrue(n, k int) [][]bool {
+	p := make([][]bool, n)
+	for i := range p {
+		p[i] = make([]bool, k)
+		for r := range p[i] {
+			p[i][r] = true
+		}
+	}
+	return p
+}
+
+func plainGE(bids [][]uint64) GE {
+	return func(r, i, j int) bool { return bids[i][r] >= bids[j][r] }
+}
+
+func TestAllocateSingleChannelPicksMax(t *testing.T) {
+	bids := [][]uint64{{6}, {10}, {0}, {5}}
+	g := conflict.NewGraph(4)
+	// Fully conflicting population: only one winner possible.
+	for i := 0; i < 4; i++ {
+		for j := i + 1; j < 4; j++ {
+			g.AddEdge(i, j)
+		}
+	}
+	as, err := Allocate(4, 1, allTrue(4, 1), g, plainGE(bids), rand.New(rand.NewSource(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(as) != 1 || as[0].Bidder != 1 || as[0].Channel != 0 {
+		t.Fatalf("assignments = %v, want bidder 1 channel 0", as)
+	}
+}
+
+func TestAllocateSpatialReuse(t *testing.T) {
+	// Two non-conflicting bidders can both win the single channel.
+	bids := [][]uint64{{7}, {9}}
+	g := conflict.NewGraph(2)
+	as, err := Allocate(2, 1, allTrue(2, 1), g, plainGE(bids), rand.New(rand.NewSource(2)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(as) != 2 {
+		t.Fatalf("expected both bidders to win via reuse, got %v", as)
+	}
+}
+
+func TestAllocateOneChannelPerBidder(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	bids := make([][]uint64, 20)
+	for i := range bids {
+		bids[i] = make([]uint64, 5)
+		for r := range bids[i] {
+			bids[i][r] = uint64(rng.Intn(50))
+		}
+	}
+	g := conflict.NewGraph(20)
+	as, err := Allocate(20, 5, allTrue(20, 5), g, plainGE(bids), rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := VerifyOneChannelPerBidder(as); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAllocateInterferenceFree(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	const n, k, lambda = 50, 8, 4
+	points := make([]geo.Point, n)
+	for i := range points {
+		points[i] = geo.Point{X: uint64(rng.Intn(60)), Y: uint64(rng.Intn(60))}
+	}
+	g := conflict.BuildPlain(points, lambda)
+	bids := make([][]uint64, n)
+	for i := range bids {
+		bids[i] = make([]uint64, k)
+		for r := range bids[i] {
+			bids[i][r] = uint64(rng.Intn(100))
+		}
+	}
+	for trial := 0; trial < 20; trial++ {
+		as, err := Allocate(n, k, allTrue(n, k), g, plainGE(bids), rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := VerifyInterferenceFree(as, g); err != nil {
+			t.Fatal(err)
+		}
+		if err := VerifyOneChannelPerBidder(as); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestAllocateEveryRowConsumed(t *testing.T) {
+	// With no conflicts and more channels than bidders, everyone wins.
+	const n, k = 6, 10
+	bids := make([][]uint64, n)
+	for i := range bids {
+		bids[i] = make([]uint64, k)
+		for r := range bids[i] {
+			bids[i][r] = uint64(i + r + 1)
+		}
+	}
+	g := conflict.NewGraph(n)
+	as, err := Allocate(n, k, allTrue(n, k), g, plainGE(bids), rand.New(rand.NewSource(5)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(as) != n {
+		t.Fatalf("winners = %d, want %d", len(as), n)
+	}
+}
+
+func TestAllocateValidation(t *testing.T) {
+	g := conflict.NewGraph(3)
+	if _, err := Allocate(2, 1, allTrue(2, 1), g, plainGE(nil), rand.New(rand.NewSource(1))); err == nil {
+		t.Error("graph size mismatch accepted")
+	}
+	g2 := conflict.NewGraph(2)
+	if _, err := Allocate(2, 1, allTrue(3, 1), g2, plainGE(nil), rand.New(rand.NewSource(1))); err == nil {
+		t.Error("present row mismatch accepted")
+	}
+	bad := allTrue(2, 2)
+	bad[1] = bad[1][:1]
+	if _, err := Allocate(2, 2, bad, g2, plainGE(nil), rand.New(rand.NewSource(1))); err == nil {
+		t.Error("ragged present accepted")
+	}
+}
+
+func TestAllocateTieBreakUniform(t *testing.T) {
+	// Two equal top bids in a full-conflict pair: each should win roughly
+	// half the time.
+	bids := [][]uint64{{5}, {5}}
+	g := conflict.NewGraph(2)
+	g.AddEdge(0, 1)
+	wins := [2]int{}
+	for seed := int64(0); seed < 400; seed++ {
+		as, err := Allocate(2, 1, allTrue(2, 1), g, plainGE(bids), rand.New(rand.NewSource(seed)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(as) != 1 {
+			t.Fatalf("assignments = %v", as)
+		}
+		wins[as[0].Bidder]++
+	}
+	if wins[0] < 120 || wins[1] < 120 {
+		t.Errorf("tie break skewed: %v", wins)
+	}
+}
+
+func TestRunPlainSkipsZeroBids(t *testing.T) {
+	// Bidder 1 bids zero everywhere: must never win.
+	bids := [][]uint64{{4, 2}, {0, 0}, {3, 9}}
+	g := conflict.NewGraph(3)
+	g.AddEdge(0, 1)
+	g.AddEdge(0, 2)
+	g.AddEdge(1, 2)
+	out, err := RunPlain(bids, g, rand.New(rand.NewSource(7)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, a := range out.Assignments {
+		if a.Bidder == 1 {
+			t.Error("zero bidder won a channel")
+		}
+	}
+	if out.Revenue == 0 {
+		t.Error("revenue should be positive")
+	}
+	if out.Satisfaction() <= 0 || out.Satisfaction() > 1 {
+		t.Errorf("satisfaction = %f", out.Satisfaction())
+	}
+}
+
+func TestRunPlainRevenueMatchesCharges(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	const n, k = 30, 6
+	bids := make([][]uint64, n)
+	for i := range bids {
+		bids[i] = make([]uint64, k)
+		for r := range bids[i] {
+			bids[i][r] = uint64(rng.Intn(40))
+		}
+	}
+	g := conflict.NewGraph(n)
+	out, err := RunPlain(bids, g, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum uint64
+	for ai, a := range out.Assignments {
+		if out.Charges[ai] != bids[a.Bidder][a.Channel] {
+			t.Fatalf("charge %d != first price %d", out.Charges[ai], bids[a.Bidder][a.Channel])
+		}
+		sum += out.Charges[ai]
+	}
+	if sum != out.Revenue {
+		t.Errorf("revenue %d != charge sum %d", out.Revenue, sum)
+	}
+	if out.SatisfiedBidders != len(out.Assignments) {
+		t.Errorf("satisfied %d != assignments %d", out.SatisfiedBidders, len(out.Assignments))
+	}
+}
+
+func TestRunPlainValidation(t *testing.T) {
+	if _, err := RunPlain(nil, conflict.NewGraph(0), rand.New(rand.NewSource(1))); err == nil {
+		t.Error("empty population accepted")
+	}
+	ragged := [][]uint64{{1, 2}, {3}}
+	if _, err := RunPlain(ragged, conflict.NewGraph(2), rand.New(rand.NewSource(1))); err == nil {
+		t.Error("ragged bids accepted")
+	}
+}
+
+func TestVerifyHelpersDetectViolations(t *testing.T) {
+	g := conflict.NewGraph(3)
+	g.AddEdge(0, 1)
+	bad := []Assignment{{Bidder: 0, Channel: 2}, {Bidder: 1, Channel: 2}}
+	if VerifyInterferenceFree(bad, g) == nil {
+		t.Error("conflicting co-channel award not detected")
+	}
+	dup := []Assignment{{Bidder: 0, Channel: 1}, {Bidder: 0, Channel: 2}}
+	if VerifyOneChannelPerBidder(dup) == nil {
+		t.Error("double award not detected")
+	}
+}
+
+// Property: allocation never awards a channel to a bidder whose bid entry
+// was not present initially.
+func TestAllocateRespectsPresence(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		const n, k = 12, 4
+		bids := make([][]uint64, n)
+		present := make([][]bool, n)
+		was := make([][]bool, n)
+		for i := range bids {
+			bids[i] = make([]uint64, k)
+			present[i] = make([]bool, k)
+			was[i] = make([]bool, k)
+			for r := range bids[i] {
+				bids[i][r] = uint64(rng.Intn(20))
+				present[i][r] = rng.Intn(3) > 0
+				was[i][r] = present[i][r]
+			}
+		}
+		g := conflict.NewGraph(n)
+		as, err := Allocate(n, k, present, g, plainGE(bids), rng)
+		if err != nil {
+			return false
+		}
+		for _, a := range as {
+			if !was[a.Bidder][a.Channel] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,103 @@
+package auction
+
+import (
+	"fmt"
+	"math/rand"
+
+	"lppa/internal/conflict"
+)
+
+// Outcome summarizes one auction round for the performance metrics of
+// section VI.D.
+type Outcome struct {
+	// Assignments lists every awarded (bidder, channel) pair, including —
+	// in the private auction — awards later voided by the TTP.
+	Assignments []Assignment
+	// Charges maps assignment index to the first-price charge actually
+	// collected; voided awards carry zero.
+	Charges []uint64
+	// Revenue is the sum of winning bids (the paper's "sum of winning
+	// bids" metric).
+	Revenue uint64
+	// SatisfiedBidders counts bidders who ended up possessing spectrum.
+	SatisfiedBidders int
+	// Bidders is the population size N.
+	Bidders int
+}
+
+// Satisfaction returns the fraction of bidders possessing spectrum.
+func (o *Outcome) Satisfaction() float64 {
+	if o.Bidders == 0 {
+		return 0
+	}
+	return float64(o.SatisfiedBidders) / float64(o.Bidders)
+}
+
+// RunPlain executes the baseline (non-private) auction: the auctioneer
+// sees plaintext bids, considers only positive ones (zero means "channel
+// unavailable here"), allocates greedily per Algorithm 3, and charges
+// first-price. This is the reference LPPA's performance is measured
+// against in Fig. 5(e)(f).
+func RunPlain(bids [][]uint64, g *conflict.Graph, rng *rand.Rand) (*Outcome, error) {
+	n := len(bids)
+	if n == 0 {
+		return nil, fmt.Errorf("auction: no bidders")
+	}
+	k := len(bids[0])
+	present := make([][]bool, n)
+	for i := range bids {
+		if len(bids[i]) != k {
+			return nil, fmt.Errorf("auction: bidder %d has %d bids, want %d", i, len(bids[i]), k)
+		}
+		present[i] = make([]bool, k)
+		for r, b := range bids[i] {
+			present[i][r] = b > 0
+		}
+	}
+	ge := func(r, i, j int) bool { return bids[i][r] >= bids[j][r] }
+	assignments, err := Allocate(n, k, present, g, ge, rng)
+	if err != nil {
+		return nil, err
+	}
+	out := &Outcome{Assignments: assignments, Charges: make([]uint64, len(assignments)), Bidders: n}
+	for ai, a := range assignments {
+		price := bids[a.Bidder][a.Channel]
+		out.Charges[ai] = price
+		out.Revenue += price
+		out.SatisfiedBidders++
+	}
+	return out, nil
+}
+
+// VerifyInterferenceFree checks the fundamental allocation invariant: no
+// two conflicting bidders hold the same channel. It returns an error
+// naming the first violation.
+func VerifyInterferenceFree(assignments []Assignment, g *conflict.Graph) error {
+	byChannel := map[int][]int{}
+	for _, a := range assignments {
+		byChannel[a.Channel] = append(byChannel[a.Channel], a.Bidder)
+	}
+	for ch, holders := range byChannel {
+		for i := 0; i < len(holders); i++ {
+			for j := i + 1; j < len(holders); j++ {
+				if g.HasEdge(holders[i], holders[j]) {
+					return fmt.Errorf("auction: channel %d awarded to conflicting bidders %d and %d",
+						ch, holders[i], holders[j])
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// VerifyOneChannelPerBidder checks that no bidder won twice.
+func VerifyOneChannelPerBidder(assignments []Assignment) error {
+	seen := map[int]int{}
+	for _, a := range assignments {
+		if prev, dup := seen[a.Bidder]; dup {
+			return fmt.Errorf("auction: bidder %d awarded channels %d and %d", a.Bidder, prev, a.Channel)
+		}
+		seen[a.Bidder] = a.Channel
+	}
+	return nil
+}

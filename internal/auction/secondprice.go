@@ -1,0 +1,56 @@
+package auction
+
+import (
+	"fmt"
+	"math/rand"
+
+	"lppa/internal/conflict"
+)
+
+// Second-price (clearing-price) charging — the paper's stated future work
+// on truthfulness (section V.C.1: "we leave the truthfulness of the
+// auction to future work"). Each winner pays the award-time runner-up's
+// bid on its channel instead of its own. Within one column pick this is
+// the classic Vickrey price; across the whole greedy allocation it is not
+// fully strategyproof (the channel order randomization couples columns),
+// but it removes the first-order incentive to shade bids — the
+// truthfulness tests quantify the residual manipulability empirically.
+
+// RunSecondPrice executes the baseline auction with second-price charging:
+// plaintext bids, zero bids excluded, winner pays the runner-up's bid
+// (zero when it was alone in the column — individual rationality holds
+// unconditionally: payment ≤ own bid by the order of selection).
+func RunSecondPrice(bids [][]uint64, g *conflict.Graph, rng *rand.Rand) (*Outcome, error) {
+	n := len(bids)
+	if n == 0 {
+		return nil, fmt.Errorf("auction: no bidders")
+	}
+	k := len(bids[0])
+	present := make([][]bool, n)
+	for i := range bids {
+		if len(bids[i]) != k {
+			return nil, fmt.Errorf("auction: bidder %d has %d bids, want %d", i, len(bids[i]), k)
+		}
+		present[i] = make([]bool, k)
+		for r, b := range bids[i] {
+			present[i][r] = b > 0
+		}
+	}
+	ge := func(r, i, j int) bool { return bids[i][r] >= bids[j][r] }
+	awards, _, err := AllocateAwards(n, k, present, g, ge, nil, rng)
+	if err != nil {
+		return nil, err
+	}
+	out := &Outcome{Assignments: make([]Assignment, len(awards)), Charges: make([]uint64, len(awards)), Bidders: n}
+	for ai, a := range awards {
+		out.Assignments[ai] = a.Assignment
+		var price uint64
+		if a.RunnerUp >= 0 {
+			price = bids[a.RunnerUp][a.Channel]
+		}
+		out.Charges[ai] = price
+		out.Revenue += price
+		out.SatisfiedBidders++
+	}
+	return out, nil
+}

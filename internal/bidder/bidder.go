@@ -1,0 +1,189 @@
+// Package bidder models the secondary users (SUs) of the auction: their
+// placement, channel valuations, and truthful bid vectors.
+//
+// Following the paper's experiment setup, an SU in cell c bids on channel j
+//
+//	b_j = q_j·β + η,  |η| ≤ 20%·q_j·β
+//
+// where q_j is the channel quality in c (from the coverage maps), β is the
+// user's transmission-emergency value, and η is valuation noise. Bids on
+// unavailable channels are zero — which is exactly the signal the BCM
+// attack exploits.
+package bidder
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"lppa/internal/dataset"
+	"lppa/internal/geo"
+)
+
+// SU is one secondary user.
+type SU struct {
+	// ID indexes the user within an auction round. The paper notes IDs
+	// must be remixed between rounds; within one round they are stable.
+	ID int
+	// Cell is the user's true location (what the attacker wants).
+	Cell geo.Cell
+	// Beta is the transmission-emergency value β.
+	Beta float64
+}
+
+// Point returns the protocol coordinates of the SU's location.
+func (s SU) Point() geo.Point { return geo.PointOf(s.Cell) }
+
+// Config controls valuation and bid quantization.
+type Config struct {
+	// BMax is the public upper bound bmax on any bid (protocol parameter;
+	// prefix width derives from it).
+	BMax uint64
+	// NoiseFrac bounds |η| as a fraction of q·β (the paper uses 0.20).
+	NoiseFrac float64
+	// SensingNoiseFrac bounds the spectrum-sensing measurement
+	// discrepancy: the SU's *perceived* channel quality deviates from the
+	// database ground truth the attacker holds (section III.B notes this
+	// discrepancy is why BPM keeps multiple candidate cells). Drawn
+	// uniformly in ±SensingNoiseFrac per (SU, channel).
+	SensingNoiseFrac float64
+	// BetaMin and BetaMax bound the emergency value β.
+	BetaMin, BetaMax float64
+}
+
+// DefaultConfig mirrors the paper: 20 % valuation noise, β spread covering
+// casual to urgent traffic, bids quantized into [0, 100].
+func DefaultConfig() Config {
+	return Config{BMax: 100, NoiseFrac: 0.20, SensingNoiseFrac: 0.25, BetaMin: 0.5, BetaMax: 1.0}
+}
+
+// Validate checks configuration sanity.
+func (c Config) Validate() error {
+	if c.BMax < 1 {
+		return fmt.Errorf("bidder: bmax %d must be ≥ 1", c.BMax)
+	}
+	if c.NoiseFrac < 0 || c.NoiseFrac >= 1 {
+		return fmt.Errorf("bidder: noise fraction %f out of [0,1)", c.NoiseFrac)
+	}
+	if c.SensingNoiseFrac < 0 || c.SensingNoiseFrac >= 1 {
+		return fmt.Errorf("bidder: sensing noise fraction %f out of [0,1)", c.SensingNoiseFrac)
+	}
+	if c.BetaMin <= 0 || c.BetaMax < c.BetaMin {
+		return fmt.Errorf("bidder: beta range [%f,%f] invalid", c.BetaMin, c.BetaMax)
+	}
+	return nil
+}
+
+// Place distributes n SUs uniformly at random over the grid (the paper
+// distributes SUs randomly within each area) with β drawn uniformly from
+// the configured range.
+func Place(g geo.Grid, n int, cfg Config, rng *rand.Rand) []SU {
+	sus := make([]SU, n)
+	for i := range sus {
+		sus[i] = SU{
+			ID:   i,
+			Cell: geo.Cell{Row: rng.Intn(g.Rows), Col: rng.Intn(g.Cols)},
+			Beta: cfg.BetaMin + rng.Float64()*(cfg.BetaMax-cfg.BetaMin),
+		}
+	}
+	return sus
+}
+
+// PlaceClustered distributes n SUs around a few hotspots (business
+// districts, campuses): cluster centers land uniformly, members scatter
+// around them with the given standard deviation in cells. Clustered
+// populations have far denser conflict graphs than uniform ones, which
+// stresses the allocator's spectrum-reuse logic — the ablation benchmarks
+// compare both.
+func PlaceClustered(g geo.Grid, n, clusters int, spreadCells float64, cfg Config, rng *rand.Rand) []SU {
+	if clusters < 1 {
+		clusters = 1
+	}
+	type center struct{ row, col float64 }
+	centers := make([]center, clusters)
+	for i := range centers {
+		centers[i] = center{row: float64(rng.Intn(g.Rows)), col: float64(rng.Intn(g.Cols))}
+	}
+	clamp := func(v float64, hi int) int {
+		i := int(v + 0.5)
+		if i < 0 {
+			return 0
+		}
+		if i >= hi {
+			return hi - 1
+		}
+		return i
+	}
+	sus := make([]SU, n)
+	for i := range sus {
+		c := centers[rng.Intn(clusters)]
+		sus[i] = SU{
+			ID: i,
+			Cell: geo.Cell{
+				Row: clamp(c.row+rng.NormFloat64()*spreadCells, g.Rows),
+				Col: clamp(c.col+rng.NormFloat64()*spreadCells, g.Cols),
+			},
+			Beta: cfg.BetaMin + rng.Float64()*(cfg.BetaMax-cfg.BetaMin),
+		}
+	}
+	return sus
+}
+
+// BidVector computes the SU's truthful bid on every channel of the area.
+// Unavailable channels bid zero; available channels bid at least 1 so a
+// zero bid unambiguously means "not available" in the plaintext baseline.
+func BidVector(su SU, area *dataset.Area, cfg Config, rng *rand.Rand) []uint64 {
+	bids := make([]uint64, area.NumChannels())
+	scale := float64(cfg.BMax) / cfg.BetaMax // q∈(0,1], β≤βmax ⇒ b ≤ bmax pre-noise
+	for r, cm := range area.Coverage {
+		q := cm.QualityAt(su.Cell)
+		if q <= 0 {
+			continue
+		}
+		// The SU senses quality imperfectly; the attacker's database holds
+		// the unperturbed q.
+		q *= 1 + (2*rng.Float64()-1)*cfg.SensingNoiseFrac
+		v := q * su.Beta
+		eta := (2*rng.Float64() - 1) * cfg.NoiseFrac * v
+		b := math.Round((v + eta) * scale)
+		if b < 1 {
+			b = 1
+		}
+		if b > float64(cfg.BMax) {
+			b = float64(cfg.BMax)
+		}
+		bids[r] = uint64(b)
+	}
+	return bids
+}
+
+// AvailableSet returns the channel indices the SU can use (the paper's
+// AS(i)); equivalent to the nonzero support of BidVector.
+func AvailableSet(su SU, area *dataset.Area) []int {
+	return area.AvailableSet(su.Cell)
+}
+
+// Population couples SUs with their bid vectors for one auction round.
+type Population struct {
+	SUs  []SU
+	Bids [][]uint64 // Bids[i][r] = bid of SU i on channel r
+}
+
+// NewPopulation places n users and computes their bids in one call.
+func NewPopulation(area *dataset.Area, n int, cfg Config, rng *rand.Rand) (*Population, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if n < 1 {
+		return nil, fmt.Errorf("bidder: population size %d must be ≥ 1", n)
+	}
+	p := &Population{SUs: Place(area.Grid, n, cfg, rng)}
+	p.Bids = make([][]uint64, n)
+	for i, su := range p.SUs {
+		p.Bids[i] = BidVector(su, area, cfg, rng)
+	}
+	return p, nil
+}
+
+// N reports the population size.
+func (p *Population) N() int { return len(p.SUs) }

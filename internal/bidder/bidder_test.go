@@ -1,0 +1,226 @@
+package bidder
+
+import (
+	"math/rand"
+	"testing"
+
+	"lppa/internal/dataset"
+	"lppa/internal/geo"
+)
+
+func testArea(t *testing.T) *dataset.Area {
+	t.Helper()
+	ds, err := dataset.Generate(dataset.Config{
+		Grid:     geo.Grid{Rows: 20, Cols: 20, SideMeters: 75_000},
+		Channels: 10,
+		Profiles: dataset.LAProfiles(),
+	}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ds.Areas[3]
+}
+
+func TestConfigValidate(t *testing.T) {
+	if err := DefaultConfig().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []Config{
+		{BMax: 0, NoiseFrac: 0.1, BetaMin: 1, BetaMax: 2},
+		{BMax: 10, NoiseFrac: -0.1, BetaMin: 1, BetaMax: 2},
+		{BMax: 10, NoiseFrac: 1.0, BetaMin: 1, BetaMax: 2},
+		{BMax: 10, NoiseFrac: 0.1, BetaMin: 0, BetaMax: 2},
+		{BMax: 10, NoiseFrac: 0.1, BetaMin: 3, BetaMax: 2},
+		{BMax: 10, NoiseFrac: 0.1, SensingNoiseFrac: -1, BetaMin: 1, BetaMax: 2},
+	}
+	for i, c := range bad {
+		if c.Validate() == nil {
+			t.Errorf("case %d: bad config validated", i)
+		}
+	}
+}
+
+func TestPlaceWithinGridAndBetaRange(t *testing.T) {
+	g := geo.Grid{Rows: 30, Cols: 40, SideMeters: 1000}
+	cfg := DefaultConfig()
+	sus := Place(g, 200, cfg, rand.New(rand.NewSource(1)))
+	if len(sus) != 200 {
+		t.Fatalf("placed %d SUs", len(sus))
+	}
+	for _, su := range sus {
+		if !g.InBounds(su.Cell) {
+			t.Fatalf("SU %d out of bounds at %v", su.ID, su.Cell)
+		}
+		if su.Beta < cfg.BetaMin || su.Beta > cfg.BetaMax {
+			t.Fatalf("SU %d beta %f out of range", su.ID, su.Beta)
+		}
+	}
+	ids := map[int]bool{}
+	for _, su := range sus {
+		if ids[su.ID] {
+			t.Fatalf("duplicate ID %d", su.ID)
+		}
+		ids[su.ID] = true
+	}
+}
+
+func TestBidVectorZeroIffUnavailable(t *testing.T) {
+	area := testArea(t)
+	rng := rand.New(rand.NewSource(2))
+	cfg := DefaultConfig()
+	sus := Place(area.Grid, 50, cfg, rng)
+	for _, su := range sus {
+		bids := BidVector(su, area, cfg, rng)
+		for r, cm := range area.Coverage {
+			avail := cm.AvailableAt(su.Cell)
+			if avail != (bids[r] > 0) {
+				t.Fatalf("SU %d channel %d: available=%v bid=%d", su.ID, r, avail, bids[r])
+			}
+			if bids[r] > cfg.BMax {
+				t.Fatalf("SU %d channel %d: bid %d exceeds bmax %d", su.ID, r, bids[r], cfg.BMax)
+			}
+		}
+	}
+}
+
+func TestBidVectorTracksQuality(t *testing.T) {
+	// With zero noise and fixed β, bids must be monotone in quality.
+	area := testArea(t)
+	cfg := Config{BMax: 100, NoiseFrac: 0, BetaMin: 1, BetaMax: 1}
+	rng := rand.New(rand.NewSource(3))
+	// Find a cell with at least two available channels of distinct quality.
+	for idx := 0; idx < area.Grid.NumCells(); idx++ {
+		cell := area.Grid.CellAt(idx)
+		su := SU{ID: 0, Cell: cell, Beta: 1}
+		q := area.Quality(cell)
+		bids := BidVector(su, area, cfg, rng)
+		for a := range q {
+			for b := range q {
+				if q[a] > q[b] && bids[a] < bids[b] {
+					t.Fatalf("cell %v: q%d=%f > q%d=%f but bid %d < %d",
+						cell, a, q[a], b, q[b], bids[a], bids[b])
+				}
+			}
+		}
+	}
+}
+
+func TestBidNoiseBounded(t *testing.T) {
+	area := testArea(t)
+	cfg := DefaultConfig()
+	rng := rand.New(rand.NewSource(4))
+	su := Place(area.Grid, 1, cfg, rng)[0]
+	scale := float64(cfg.BMax) / cfg.BetaMax
+	for trial := 0; trial < 100; trial++ {
+		bids := BidVector(su, area, cfg, rng)
+		for r, cm := range area.Coverage {
+			q := cm.QualityAt(su.Cell)
+			if q <= 0 {
+				continue
+			}
+			v := q * su.Beta * scale
+			spread := (1 + cfg.NoiseFrac) * (1 + cfg.SensingNoiseFrac)
+			shrink := (1 - cfg.NoiseFrac) * (1 - cfg.SensingNoiseFrac)
+			lo, hi := v*shrink-1, v*spread+1
+			if lo < 1 {
+				lo = 1
+			}
+			if hi > float64(cfg.BMax) {
+				hi = float64(cfg.BMax)
+			}
+			got := float64(bids[r])
+			if got < lo || got > hi {
+				t.Fatalf("bid %f outside noise envelope [%f,%f] (v=%f)", got, lo, hi, v)
+			}
+		}
+	}
+}
+
+func TestAvailableSetMatchesArea(t *testing.T) {
+	area := testArea(t)
+	su := SU{ID: 0, Cell: geo.Cell{Row: 5, Col: 5}, Beta: 1}
+	got := AvailableSet(su, area)
+	want := area.AvailableSet(su.Cell)
+	if len(got) != len(want) {
+		t.Fatalf("len = %d, want %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Errorf("got[%d]=%d want %d", i, got[i], want[i])
+		}
+	}
+}
+
+func TestNewPopulation(t *testing.T) {
+	area := testArea(t)
+	pop, err := NewPopulation(area, 30, DefaultConfig(), rand.New(rand.NewSource(5)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pop.N() != 30 || len(pop.Bids) != 30 {
+		t.Fatalf("population size %d / %d bids", pop.N(), len(pop.Bids))
+	}
+	for i := range pop.Bids {
+		if len(pop.Bids[i]) != area.NumChannels() {
+			t.Fatalf("SU %d bid vector len %d", i, len(pop.Bids[i]))
+		}
+	}
+	if _, err := NewPopulation(area, 0, DefaultConfig(), rand.New(rand.NewSource(6))); err == nil {
+		t.Error("n=0 accepted")
+	}
+	badCfg := DefaultConfig()
+	badCfg.BMax = 0
+	if _, err := NewPopulation(area, 5, badCfg, rand.New(rand.NewSource(7))); err == nil {
+		t.Error("bad config accepted")
+	}
+}
+
+func TestPointConversion(t *testing.T) {
+	su := SU{ID: 1, Cell: geo.Cell{Row: 9, Col: 4}}
+	p := su.Point()
+	if p.X != 4 || p.Y != 9 {
+		t.Errorf("point = %+v", p)
+	}
+}
+
+func TestPlaceClusteredWithinGrid(t *testing.T) {
+	g := geo.Grid{Rows: 50, Cols: 50, SideMeters: 1000}
+	cfg := DefaultConfig()
+	sus := PlaceClustered(g, 100, 3, 2.5, cfg, rand.New(rand.NewSource(1)))
+	if len(sus) != 100 {
+		t.Fatalf("placed %d", len(sus))
+	}
+	for _, su := range sus {
+		if !g.InBounds(su.Cell) {
+			t.Fatalf("SU %d out of bounds at %v", su.ID, su.Cell)
+		}
+	}
+	// Degenerate cluster count is clamped.
+	sus = PlaceClustered(g, 5, 0, 1, cfg, rand.New(rand.NewSource(2)))
+	if len(sus) != 5 {
+		t.Fatalf("placed %d with clamped clusters", len(sus))
+	}
+}
+
+func TestPlaceClusteredDenserThanUniform(t *testing.T) {
+	g := geo.Grid{Rows: 60, Cols: 60, SideMeters: 1000}
+	cfg := DefaultConfig()
+	rng := rand.New(rand.NewSource(3))
+	const n, lambda = 80, 3
+	pairsWithin := func(sus []SU) int {
+		count := 0
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				if geo.Conflict(sus[i].Point(), sus[j].Point(), lambda) {
+					count++
+				}
+			}
+		}
+		return count
+	}
+	uniform := pairsWithin(Place(g, n, cfg, rng))
+	clustered := pairsWithin(PlaceClustered(g, n, 3, 2.0, cfg, rng))
+	if clustered <= uniform {
+		t.Errorf("clustered conflicts %d not above uniform %d", clustered, uniform)
+	}
+}

@@ -1,0 +1,150 @@
+// Package conflict represents the bidder interference graph the auctioneer
+// needs for spectrum reuse: two users conflict when their interference
+// squares overlap (|Δx| < 2λ ∧ |Δy| < 2λ). The graph can be built from
+// plaintext locations (baseline auction) or from any pairwise predicate —
+// in particular LPPA's masked location submissions (package core), which
+// reveal only the predicate's outcome.
+package conflict
+
+import (
+	"fmt"
+	"math/bits"
+
+	"lppa/internal/geo"
+)
+
+// Graph is an undirected interference graph over n bidders, stored as a
+// dense adjacency bitset (auction populations are hundreds of users, and
+// the allocator scans neighborhoods constantly).
+type Graph struct {
+	n     int
+	words int
+	adj   []uint64 // row-major: node i occupies words [i*words, (i+1)*words)
+}
+
+// NewGraph returns an edgeless graph over n nodes.
+func NewGraph(n int) *Graph {
+	if n < 0 {
+		panic(fmt.Sprintf("conflict: negative node count %d", n))
+	}
+	words := (n + 63) / 64
+	return &Graph{n: n, words: words, adj: make([]uint64, n*words)}
+}
+
+// N reports the number of nodes.
+func (g *Graph) N() int { return g.n }
+
+// AddEdge links i and j (no-op for self loops: a bidder never conflicts
+// itself out of a channel).
+func (g *Graph) AddEdge(i, j int) {
+	g.check(i)
+	g.check(j)
+	if i == j {
+		return
+	}
+	g.adj[i*g.words+j/64] |= 1 << (j % 64)
+	g.adj[j*g.words+i/64] |= 1 << (i % 64)
+}
+
+// HasEdge reports whether i and j conflict.
+func (g *Graph) HasEdge(i, j int) bool {
+	g.check(i)
+	g.check(j)
+	return g.adj[i*g.words+j/64]&(1<<(j%64)) != 0
+}
+
+func (g *Graph) check(i int) {
+	if i < 0 || i >= g.n {
+		panic(fmt.Sprintf("conflict: node %d out of range [0,%d)", i, g.n))
+	}
+}
+
+// Degree returns the number of neighbors of i.
+func (g *Graph) Degree(i int) int {
+	g.check(i)
+	d := 0
+	for _, w := range g.adj[i*g.words : (i+1)*g.words] {
+		d += bits.OnesCount64(w)
+	}
+	return d
+}
+
+// Neighbors returns the sorted neighbor list of i (the paper's N(i)).
+func (g *Graph) Neighbors(i int) []int {
+	g.check(i)
+	out := make([]int, 0, 8)
+	row := g.adj[i*g.words : (i+1)*g.words]
+	for wi, w := range row {
+		for w != 0 {
+			b := bits.TrailingZeros64(w)
+			out = append(out, wi*64+b)
+			w &= w - 1
+		}
+	}
+	return out
+}
+
+// ForEachNeighbor calls fn for each neighbor of i in ascending order.
+func (g *Graph) ForEachNeighbor(i int, fn func(j int)) {
+	g.check(i)
+	row := g.adj[i*g.words : (i+1)*g.words]
+	for wi, w := range row {
+		for w != 0 {
+			b := bits.TrailingZeros64(w)
+			fn(wi*64 + b)
+			w &= w - 1
+		}
+	}
+}
+
+// Edges reports the total edge count.
+func (g *Graph) Edges() int {
+	total := 0
+	for i := 0; i < g.n; i++ {
+		total += g.Degree(i)
+	}
+	return total / 2
+}
+
+// Equal reports whether two graphs have identical node count and edges.
+func (g *Graph) Equal(other *Graph) bool {
+	if g.n != other.n {
+		return false
+	}
+	for i := range g.adj {
+		if g.adj[i] != other.adj[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// BuildPlain constructs the graph from plaintext locations using the
+// interference predicate directly. This is the baseline the private
+// construction is tested for equivalence against.
+func BuildPlain(points []geo.Point, lambda uint64) *Graph {
+	g := NewGraph(len(points))
+	for i := 0; i < len(points); i++ {
+		for j := i + 1; j < len(points); j++ {
+			if geo.Conflict(points[i], points[j], lambda) {
+				g.AddEdge(i, j)
+			}
+		}
+	}
+	return g
+}
+
+// BuildFromPredicate constructs the graph by evaluating an arbitrary
+// symmetric pairwise predicate; LPPA's auctioneer passes the masked
+// prefix-intersection test. pred is only called for i < j.
+func BuildFromPredicate(n int, pred func(i, j int) bool) *Graph {
+	g := NewGraph(n)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if pred(i, j) {
+				g.AddEdge(i, j)
+			}
+		}
+	}
+	return g
+}

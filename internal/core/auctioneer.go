@@ -1,0 +1,195 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"lppa/internal/auction"
+	"lppa/internal/conflict"
+	"lppa/internal/mask"
+)
+
+// Auctioneer is the untrusted party running PSD. It holds only masked
+// submissions; every method corresponds to an operation the protocol
+// legitimately grants it (and which a curious auctioneer may also abuse —
+// the transcript methods are what the attack experiments consume).
+type Auctioneer struct {
+	params Params
+	locs   []*LocationSubmission
+	bids   []*BidSubmission
+	graph  *conflict.Graph
+}
+
+// NewAuctioneer collects one location and one bid submission per bidder.
+func NewAuctioneer(params Params, locs []*LocationSubmission, bids []*BidSubmission) (*Auctioneer, error) {
+	if err := params.Validate(); err != nil {
+		return nil, err
+	}
+	if len(locs) != len(bids) {
+		return nil, fmt.Errorf("core: %d location submissions vs %d bid submissions", len(locs), len(bids))
+	}
+	if len(locs) == 0 {
+		return nil, fmt.Errorf("core: no bidders")
+	}
+	for i, b := range bids {
+		if len(b.Channels) != params.Channels {
+			return nil, fmt.Errorf("core: bidder %d submitted %d channel bids, want %d",
+				i, len(b.Channels), params.Channels)
+		}
+	}
+	return &Auctioneer{params: params, locs: locs, bids: bids}, nil
+}
+
+// N reports the number of bidders.
+func (a *Auctioneer) N() int { return len(a.bids) }
+
+// ConflictGraph lazily builds and returns the masked-submission conflict
+// graph.
+func (a *Auctioneer) ConflictGraph() *conflict.Graph {
+	if a.graph == nil {
+		a.graph = BuildConflictGraph(a.locs)
+	}
+	return a.graph
+}
+
+// GE reports whether bidder i's masked bid on channel r is at least
+// bidder j's.
+func (a *Auctioneer) GE(r, i, j int) bool {
+	return CompareGE(&a.bids[i].Channels[r], &a.bids[j].Channels[r])
+}
+
+// Allocate runs the private spectrum allocation (Algorithm 3 over masked
+// bids). Every bidder participates on every channel — the auctioneer
+// cannot tell zeros apart, which is precisely why disguised zeros can win
+// and later be voided by the TTP.
+func (a *Auctioneer) Allocate(rng *rand.Rand) ([]auction.Assignment, error) {
+	n, k := a.N(), a.params.Channels
+	present := make([][]bool, n)
+	for i := range present {
+		present[i] = make([]bool, k)
+		for r := range present[i] {
+			present[i][r] = true
+		}
+	}
+	return auction.Allocate(n, k, present, a.ConflictGraph(), a.GE, rng)
+}
+
+// SealedBid returns the opaque TTP ciphertext of bidder i's bid on
+// channel r, for relay to the TTP (validity checks and charging).
+func (a *Auctioneer) SealedBid(i, r int) []byte {
+	return a.bids[i].Channels[r].Sealed
+}
+
+// AllocateWithValidity runs the private allocation with an interactive
+// TTP validity oracle: each prospective award is checked before it stands,
+// and void awards (disguised or true zeros) waste the channel in the
+// winner's neighborhood without expelling the bidder.
+func (a *Auctioneer) AllocateWithValidity(valid auction.Validity, rng *rand.Rand) (awarded, voided []auction.Assignment, err error) {
+	n, k := a.N(), a.params.Channels
+	present := make([][]bool, n)
+	for i := range present {
+		present[i] = make([]bool, k)
+		for r := range present[i] {
+			present[i][r] = true
+		}
+	}
+	return auction.AllocateWithValidity(n, k, present, a.ConflictGraph(), a.GE, valid, rng)
+}
+
+// RankChannel returns all bidders ordered by descending masked bid on
+// channel r. This is transcript information a curious auctioneer can
+// always compute (order-preserving masking), and it feeds the Fig. 5
+// t-largest BCM attack.
+func (a *Auctioneer) RankChannel(r int) []int {
+	if r < 0 || r >= a.params.Channels {
+		panic(fmt.Sprintf("core: channel %d out of range [0,%d)", r, a.params.Channels))
+	}
+	order := make([]int, a.N())
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(x, y int) bool {
+		i, j := order[x], order[y]
+		// Strictly greater: GE(i,j) && !GE(j,i). Ties keep index order.
+		return a.GE(r, i, j) && !a.GE(r, j, i)
+	})
+	return order
+}
+
+// Rankings returns RankChannel for every channel.
+func (a *Auctioneer) Rankings() [][]int {
+	out := make([][]int, a.params.Channels)
+	for r := range out {
+		out[r] = a.RankChannel(r)
+	}
+	return out
+}
+
+// ChargeRequest is what the auctioneer forwards to the TTP for one awarded
+// channel: the opaque sealed value plus the winner's masked prefix family,
+// which the TTP uses to verify the bidder did not present one price to the
+// auction and another to the cashier.
+type ChargeRequest struct {
+	Bidder  int
+	Channel int
+	Sealed  []byte
+	Family  []mask.Digest
+	// RunnerUpSealed, when present, switches the charge to second-price:
+	// the TTP unblinds it and charges the winner the runner-up's true bid
+	// (zero when the runner-up was itself a zero). Nil means first-price.
+	RunnerUpSealed []byte
+}
+
+// ChargeRequests assembles the TTP batch for a set of assignments
+// (section V.C.2: batching reduces TTP online time).
+func (a *Auctioneer) ChargeRequests(assignments []auction.Assignment) []ChargeRequest {
+	reqs := make([]ChargeRequest, 0, len(assignments))
+	for _, as := range assignments {
+		cb := &a.bids[as.Bidder].Channels[as.Channel]
+		fam := cb.Family.Digests()
+		reqs = append(reqs, ChargeRequest{
+			Bidder:  as.Bidder,
+			Channel: as.Channel,
+			Sealed:  append([]byte(nil), cb.Sealed...),
+			Family:  fam,
+		})
+	}
+	return reqs
+}
+
+// AllocateAwards is Allocate with award-time runner-ups, for second-price
+// charging.
+func (a *Auctioneer) AllocateAwards(rng *rand.Rand) ([]auction.Award, error) {
+	n, k := a.N(), a.params.Channels
+	present := make([][]bool, n)
+	for i := range present {
+		present[i] = make([]bool, k)
+		for r := range present[i] {
+			present[i][r] = true
+		}
+	}
+	awards, _, err := auction.AllocateAwards(n, k, present, a.ConflictGraph(), a.GE, nil, rng)
+	return awards, err
+}
+
+// ChargeRequestsSecondPrice assembles a second-price TTP batch: each
+// request carries the winner's sealed bid (validity + price/prefix
+// verification) and the runner-up's sealed bid (the clearing price).
+func (a *Auctioneer) ChargeRequestsSecondPrice(awards []auction.Award) []ChargeRequest {
+	reqs := make([]ChargeRequest, 0, len(awards))
+	for _, aw := range awards {
+		cb := &a.bids[aw.Bidder].Channels[aw.Channel]
+		req := ChargeRequest{
+			Bidder:  aw.Bidder,
+			Channel: aw.Channel,
+			Sealed:  append([]byte(nil), cb.Sealed...),
+			Family:  cb.Family.Digests(),
+		}
+		if aw.RunnerUp >= 0 {
+			req.RunnerUpSealed = append([]byte(nil), a.bids[aw.RunnerUp].Channels[aw.Channel].Sealed...)
+		}
+		reqs = append(reqs, req)
+	}
+	return reqs
+}

@@ -1,0 +1,182 @@
+package core
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"lppa/internal/auction"
+	"lppa/internal/conflict"
+	"lppa/internal/geo"
+)
+
+// buildRound creates n bidders with given plaintext bids and positions and
+// returns the assembled auctioneer plus ground truth.
+func buildRound(t *testing.T, p Params, points []geo.Point, bids [][]uint64, seed int64) *Auctioneer {
+	t.Helper()
+	ring := testRing(t, p, 5, 8)
+	rng := rand.New(rand.NewSource(seed))
+	locs := make([]*LocationSubmission, len(points))
+	subs := make([]*BidSubmission, len(points))
+	for i := range points {
+		var err error
+		locs[i], err = NewLocationSubmission(p, ring, points[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		enc, err := NewBidEncoder(p, ring, nil, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		subs[i], err = enc.Encode(bids[i], rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	auc, err := NewAuctioneer(p, locs, subs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return auc
+}
+
+func randomRound(t *testing.T, p Params, n int, seed int64) (*Auctioneer, []geo.Point, [][]uint64) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	points := make([]geo.Point, n)
+	bids := make([][]uint64, n)
+	for i := range points {
+		points[i] = geo.Point{X: uint64(rng.Intn(int(p.MaxX + 1))), Y: uint64(rng.Intn(int(p.MaxY + 1)))}
+		bids[i] = make([]uint64, p.Channels)
+		for r := range bids[i] {
+			if rng.Intn(3) > 0 {
+				bids[i][r] = uint64(rng.Intn(int(p.BMax))) + 1
+			}
+		}
+	}
+	return buildRound(t, p, points, bids, seed+1000), points, bids
+}
+
+func TestNewAuctioneerValidation(t *testing.T) {
+	p := testParams()
+	if _, err := NewAuctioneer(p, nil, nil); err == nil {
+		t.Error("empty round accepted")
+	}
+	if _, err := NewAuctioneer(p, make([]*LocationSubmission, 2), make([]*BidSubmission, 1)); err == nil {
+		t.Error("mismatched submission counts accepted")
+	}
+	badSub := &BidSubmission{Channels: make([]ChannelBid, 1)}
+	if _, err := NewAuctioneer(p, make([]*LocationSubmission, 1), []*BidSubmission{badSub}); err == nil {
+		t.Error("wrong channel count accepted")
+	}
+}
+
+func TestRankChannelMatchesPlaintextOrder(t *testing.T) {
+	p := testParams()
+	auc, _, bids := randomRound(t, p, 25, 1)
+	for r := 0; r < p.Channels; r++ {
+		ranked := auc.RankChannel(r)
+		if len(ranked) != 25 {
+			t.Fatalf("channel %d ranking has %d entries", r, len(ranked))
+		}
+		// Plaintext bids must be non-increasing along the masked ranking.
+		for x := 1; x < len(ranked); x++ {
+			if bids[ranked[x-1]][r] < bids[ranked[x]][r] {
+				t.Fatalf("channel %d: masked ranking out of order: bid[%d]=%d before bid[%d]=%d",
+					r, ranked[x-1], bids[ranked[x-1]][r], ranked[x], bids[ranked[x]][r])
+			}
+		}
+	}
+}
+
+func TestRankingsShape(t *testing.T) {
+	p := testParams()
+	auc, _, _ := randomRound(t, p, 10, 2)
+	ranks := auc.Rankings()
+	if len(ranks) != p.Channels {
+		t.Fatalf("rankings = %d channels", len(ranks))
+	}
+	for r, order := range ranks {
+		seen := make([]int, len(order))
+		copy(seen, order)
+		sort.Ints(seen)
+		for i, v := range seen {
+			if v != i {
+				t.Fatalf("channel %d ranking is not a permutation: %v", r, order)
+			}
+		}
+	}
+}
+
+func TestRankChannelPanicsOutOfRange(t *testing.T) {
+	p := testParams()
+	auc, _, _ := randomRound(t, p, 5, 3)
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	auc.RankChannel(p.Channels)
+}
+
+func TestPrivateAllocationInvariants(t *testing.T) {
+	p := testParams()
+	auc, points, _ := randomRound(t, p, 30, 4)
+	rng := rand.New(rand.NewSource(5))
+	as, err := auc.Allocate(rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plainGraph := conflict.BuildPlain(points, p.Lambda)
+	if err := auction.VerifyInterferenceFree(as, plainGraph); err != nil {
+		t.Error(err)
+	}
+	if err := auction.VerifyOneChannelPerBidder(as); err != nil {
+		t.Error(err)
+	}
+	if len(as) == 0 {
+		t.Error("no assignments at all")
+	}
+}
+
+func TestPrivateAllocationAwardsTopBidderInFullConflict(t *testing.T) {
+	// All bidders stacked in one cell: a single channel goes to the
+	// highest bid.
+	p := Params{Channels: 1, Lambda: 3, MaxX: 99, MaxY: 99, BMax: 100}
+	points := []geo.Point{{X: 5, Y: 5}, {X: 5, Y: 5}, {X: 5, Y: 5}}
+	bids := [][]uint64{{10}, {90}, {40}}
+	auc := buildRound(t, p, points, bids, 6)
+	as, err := auc.Allocate(rand.New(rand.NewSource(7)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(as) != 1 || as[0].Bidder != 1 {
+		t.Fatalf("assignments = %v, want single award to bidder 1", as)
+	}
+}
+
+func TestChargeRequestsShape(t *testing.T) {
+	p := testParams()
+	auc, _, _ := randomRound(t, p, 8, 8)
+	as, err := auc.Allocate(rand.New(rand.NewSource(9)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	reqs := auc.ChargeRequests(as)
+	if len(reqs) != len(as) {
+		t.Fatalf("%d requests for %d assignments", len(reqs), len(as))
+	}
+	ring := testRing(t, p, 5, 8)
+	wantFam := p.BidWidth(ring) + 1
+	for i, req := range reqs {
+		if req.Bidder != as[i].Bidder || req.Channel != as[i].Channel {
+			t.Errorf("request %d misattributed", i)
+		}
+		if len(req.Sealed) == 0 {
+			t.Errorf("request %d has empty ciphertext", i)
+		}
+		if len(req.Family) != wantFam {
+			t.Errorf("request %d family size %d, want %d", i, len(req.Family), wantFam)
+		}
+	}
+}

@@ -1,0 +1,186 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+
+	"lppa/internal/mask"
+	"lppa/internal/prefix"
+)
+
+// ChannelBid is one bidder's masked bid on one channel.
+type ChannelBid struct {
+	// Family is H_gb_r(G(scaled)), the masked prefix family of the
+	// blinded bid value — for a disguised zero, of the disguise value.
+	Family mask.Set
+	// Range is H_gb_r(Q([scaled, scaledMax])), padded to 2w−2 digests.
+	Range mask.Set
+	// Sealed is the gc-encryption of the *true* blinded value (the paper
+	// keeps the TTP ciphertext unaltered when disguising), relayed
+	// opaquely to the TTP at charging time.
+	Sealed []byte
+}
+
+// BidSubmission is a bidder's full masked bid vector.
+type BidSubmission struct {
+	Channels []ChannelBid
+}
+
+// encodeOptions selects between the basic scheme (section IV.B: shared
+// key, no blinding, no disguise, no padding) and the advanced scheme
+// (section IV.C). The basic scheme exists for tests, the ablation
+// benchmarks, and as documentation of why the advanced scheme is needed.
+type encodeOptions struct {
+	advanced bool
+	disguise *DisguiseSampler // nil disables disguising even in advanced mode
+}
+
+// BidEncoder turns plaintext bid vectors into submissions. One encoder
+// serves one bidder for one round.
+type BidEncoder struct {
+	params  Params
+	ring    *mask.KeyRing
+	sealer  *mask.Sealer
+	maskers []*mask.Masker // per channel (advanced) or a single shared entry (basic)
+	opts    encodeOptions
+}
+
+// NewBidEncoder returns an advanced-scheme encoder. disguise may be nil to
+// submit honest zeros (the paper's p0 = 1 corner).
+func NewBidEncoder(params Params, ring *mask.KeyRing, disguise *DisguiseSampler, rng *rand.Rand) (*BidEncoder, error) {
+	return newBidEncoder(params, ring, encodeOptions{advanced: true, disguise: disguise}, rng)
+}
+
+// NewBasicBidEncoder returns a basic-scheme encoder: every channel shares
+// gb_0, bids are neither blinded nor disguised, and range sets are not
+// padded. Its leaks are demonstrated in the package tests and ablation
+// benchmarks.
+func NewBasicBidEncoder(params Params, ring *mask.KeyRing, rng *rand.Rand) (*BidEncoder, error) {
+	return newBidEncoder(params, ring, encodeOptions{}, rng)
+}
+
+func newBidEncoder(params Params, ring *mask.KeyRing, opts encodeOptions, rng *rand.Rand) (*BidEncoder, error) {
+	if err := params.Validate(); err != nil {
+		return nil, err
+	}
+	if ring.Channels() < params.Channels {
+		return nil, fmt.Errorf("core: key ring has %d channel keys, need %d", ring.Channels(), params.Channels)
+	}
+	sealer, err := mask.NewSealer(ring.GC, rng)
+	if err != nil {
+		return nil, fmt.Errorf("core: sealer: %w", err)
+	}
+	enc := &BidEncoder{params: params, ring: ring, sealer: sealer, opts: opts}
+	if opts.advanced {
+		enc.maskers = make([]*mask.Masker, params.Channels)
+		for r := range enc.maskers {
+			m, err := mask.NewMasker(ring.GB[r])
+			if err != nil {
+				return nil, fmt.Errorf("core: masker for channel %d: %w", r, err)
+			}
+			enc.maskers[r] = m
+		}
+	} else {
+		m, err := mask.NewMasker(ring.GB[0])
+		if err != nil {
+			return nil, fmt.Errorf("core: shared masker: %w", err)
+		}
+		enc.maskers = []*mask.Masker{m}
+	}
+	return enc, nil
+}
+
+func (e *BidEncoder) maskerFor(r int) *mask.Masker {
+	if e.opts.advanced {
+		return e.maskers[r]
+	}
+	return e.maskers[0]
+}
+
+// scaledDomainMax returns the top of the encoded-value domain.
+func (e *BidEncoder) scaledDomainMax() uint64 {
+	if e.opts.advanced {
+		return e.params.ScaledMax(e.ring)
+	}
+	return e.params.BMax
+}
+
+// blind maps a displayed value into its blinded slot:
+// cr·v + uniform[0, cr−1].
+func (e *BidEncoder) blind(v uint64, rng *rand.Rand) uint64 {
+	if e.ring.CR == 1 {
+		return v
+	}
+	return e.ring.CR*v + uint64(rng.Int63n(int64(e.ring.CR)))
+}
+
+// Encode converts a plaintext bid vector (one entry per channel, zeros for
+// unavailable channels) into a masked submission.
+func (e *BidEncoder) Encode(bids []uint64, rng *rand.Rand) (*BidSubmission, error) {
+	if len(bids) != e.params.Channels {
+		return nil, fmt.Errorf("core: %d bids for %d channels", len(bids), e.params.Channels)
+	}
+	sub := &BidSubmission{Channels: make([]ChannelBid, len(bids))}
+	for r, b := range bids {
+		if b > e.params.BMax {
+			return nil, fmt.Errorf("core: bid %d on channel %d exceeds bmax %d", b, r, e.params.BMax)
+		}
+		cb, err := e.encodeOne(r, b, rng)
+		if err != nil {
+			return nil, err
+		}
+		sub.Channels[r] = cb
+	}
+	return sub, nil
+}
+
+func (e *BidEncoder) encodeOne(r int, b uint64, rng *rand.Rand) (ChannelBid, error) {
+	w := prefix.WidthFor(e.scaledDomainMax())
+	domainMax := e.scaledDomainMax()
+	masker := e.maskerFor(r)
+
+	if !e.opts.advanced {
+		// Basic scheme: encode the raw value directly.
+		fam := masker.MaskSet(prefix.Numericalized(prefix.Family(b, w)))
+		rng2 := masker.MaskSet(prefix.Numericalized(prefix.Cover(b, domainMax, w)))
+		return ChannelBid{Family: fam, Range: rng2, Sealed: e.sealer.SealValue(b)}, nil
+	}
+
+	// Advanced scheme (section IV.C steps i–iii).
+	rd := e.ring.RD
+	var displayed, trueVal uint64
+	switch {
+	case b > 0:
+		displayed = b + rd
+		trueVal = displayed
+	default:
+		// True value: zero maps uniformly into [0, rd].
+		trueVal = uint64(rng.Int63n(int64(rd + 1)))
+		displayed = trueVal
+		if e.opts.disguise != nil {
+			if t, ok := e.opts.disguise.Sample(rng); ok {
+				displayed = t + rd // rank like a genuine bid of t
+			}
+		}
+	}
+
+	scaledTrue := e.blind(trueVal, rng)
+	scaledShown := scaledTrue
+	if displayed != trueVal {
+		scaledShown = e.blind(displayed, rng)
+	}
+
+	fam := masker.MaskSet(prefix.Numericalized(prefix.Family(scaledShown, w)))
+	rset := masker.MaskSet(prefix.Numericalized(prefix.Cover(scaledShown, domainMax, w)))
+	rset.PadTo(prefix.MaxCoverSize(w), rng)
+	return ChannelBid{Family: fam, Range: rset, Sealed: e.sealer.SealValue(scaledTrue)}, nil
+}
+
+// CompareGE is the auctioneer's only primitive on masked bids: it reports
+// whether bid a is at least bid b on the same channel, via
+// H(G(a)) ∩ H(Q([b, max])) ≠ ∅. Both bids must come from the same channel
+// (and hence the same key); cross-channel comparisons are meaningless by
+// construction and return garbage — that is the point of per-channel keys.
+func CompareGE(a, b *ChannelBid) bool {
+	return a.Family.Intersects(b.Range)
+}

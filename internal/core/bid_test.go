@@ -1,0 +1,368 @@
+package core
+
+import (
+	"math/rand"
+	"sort"
+	"strings"
+	"testing"
+
+	"lppa/internal/prefix"
+)
+
+func newAdvancedEncoder(t *testing.T, p Params, seed int64) (*BidEncoder, *rand.Rand) {
+	t.Helper()
+	ring := testRing(t, p, 5, 8)
+	rng := rand.New(rand.NewSource(seed))
+	enc, err := NewBidEncoder(p, ring, nil, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return enc, rng
+}
+
+func TestAdvancedOrderPreservation(t *testing.T) {
+	// For true bids a > b on the same channel, the masked comparison must
+	// report a ≥ b and not b ≥ a (blinding separates distinct values into
+	// disjoint slots).
+	p := testParams()
+	enc, rng := newAdvancedEncoder(t, p, 1)
+	for trial := 0; trial < 100; trial++ {
+		a := uint64(rng.Intn(int(p.BMax))) + 1
+		b := uint64(rng.Intn(int(a)))
+		if b == 0 {
+			b = 1
+		}
+		if a == b {
+			a++
+		}
+		bidsA := make([]uint64, p.Channels)
+		bidsB := make([]uint64, p.Channels)
+		bidsA[0], bidsB[0] = a, b
+		subA, err := enc.Encode(bidsA, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		subB, err := enc.Encode(bidsB, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !CompareGE(&subA.Channels[0], &subB.Channels[0]) {
+			t.Fatalf("GE(%d,%d) = false", a, b)
+		}
+		if CompareGE(&subB.Channels[0], &subA.Channels[0]) {
+			t.Fatalf("GE(%d,%d) = true (should be strictly less)", b, a)
+		}
+	}
+}
+
+func TestAdvancedSelfComparison(t *testing.T) {
+	// A bid always satisfies GE against itself (its family's head lies in
+	// its own range cover).
+	p := testParams()
+	enc, rng := newAdvancedEncoder(t, p, 2)
+	bids := []uint64{42, 0, 7, 100}
+	sub, err := enc.Encode(bids, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r := range sub.Channels {
+		if !CompareGE(&sub.Channels[r], &sub.Channels[r]) {
+			t.Errorf("channel %d: bid not GE itself", r)
+		}
+	}
+}
+
+func TestAdvancedZeroAlwaysLosesWithoutDisguise(t *testing.T) {
+	// An undisguised zero must rank strictly below every positive bid.
+	p := testParams()
+	enc, rng := newAdvancedEncoder(t, p, 3)
+	for trial := 0; trial < 50; trial++ {
+		pos := uint64(rng.Intn(int(p.BMax))) + 1
+		bidsZ := make([]uint64, p.Channels)
+		bidsP := make([]uint64, p.Channels)
+		bidsP[0] = pos
+		subZ, err := enc.Encode(bidsZ, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		subP, err := enc.Encode(bidsP, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if CompareGE(&subZ.Channels[0], &subP.Channels[0]) {
+			t.Fatalf("undisguised zero ranked ≥ positive bid %d", pos)
+		}
+		if !CompareGE(&subP.Channels[0], &subZ.Channels[0]) {
+			t.Fatalf("positive bid %d not ≥ zero", pos)
+		}
+	}
+}
+
+func TestAdvancedDisguisedZeroCanWin(t *testing.T) {
+	// With P0 = 0 every zero is disguised as t ≥ 1 and must rank at least
+	// even with a bid of 1.
+	p := testParams()
+	ring := testRing(t, p, 5, 8)
+	rng := rand.New(rand.NewSource(4))
+	sampler, err := NewDisguiseSampler(DisguisePolicy{P0: 0, Decay: 1}, p.BMax)
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc, err := NewBidEncoder(p, ring, sampler, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	one := make([]uint64, p.Channels)
+	one[0] = 1
+	subOne, err := enc.Encode(one, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wins := 0
+	for trial := 0; trial < 60; trial++ {
+		subZ, err := enc.Encode(make([]uint64, p.Channels), rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if CompareGE(&subZ.Channels[0], &subOne.Channels[0]) {
+			wins++
+		}
+	}
+	if wins == 0 {
+		t.Error("fully-disguised zeros never outranked a bid of 1")
+	}
+}
+
+func TestAdvancedRangePadding(t *testing.T) {
+	// Every advanced range set must have exactly 2w−2 digests, regardless
+	// of bid value — otherwise set cardinality leaks magnitude.
+	p := testParams()
+	ring := testRing(t, p, 5, 8)
+	enc, rng := newAdvancedEncoder(t, p, 5)
+	want := p.RangePadSize(ring)
+	for _, b := range []uint64{0, 1, 37, p.BMax} {
+		bids := make([]uint64, p.Channels)
+		bids[0] = b
+		sub, err := enc.Encode(bids, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := sub.Channels[0].Range.Len(); got != want {
+			t.Errorf("bid %d: range set size %d, want %d", b, got, want)
+		}
+	}
+}
+
+func TestAdvancedEqualBidsEncodeDifferently(t *testing.T) {
+	// cr-blinding: equal plaintext bids must not produce identical family
+	// sets (otherwise a decrypted winner price transfers to everyone with
+	// the same ciphertext).
+	p := testParams()
+	enc, rng := newAdvancedEncoder(t, p, 6)
+	bids := make([]uint64, p.Channels)
+	bids[0] = 50
+	a, err := enc.Encode(bids, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := enc.Encode(bids, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	aDigests := a.Channels[0].Family.Digests()
+	identical := true
+	for _, d := range aDigests {
+		if !b.Channels[0].Family.Contains(d) {
+			identical = false
+			break
+		}
+	}
+	if identical {
+		t.Error("equal bids produced identical family sets (cr blinding broken)")
+	}
+}
+
+func TestAdvancedCrossChannelIncomparable(t *testing.T) {
+	// Per-channel keys: a channel-0 family must not intersect a channel-1
+	// range, even for identical values.
+	p := testParams()
+	enc, rng := newAdvancedEncoder(t, p, 7)
+	bids := make([]uint64, p.Channels)
+	bids[0], bids[1] = 80, 10
+	sub, err := enc.Encode(bids, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sub.Channels[0].Family.Intersects(sub.Channels[1].Range) {
+		t.Error("cross-channel digest collision: per-channel keys ineffective")
+	}
+}
+
+func TestBasicEncoderExactOrderAndEqualityLeak(t *testing.T) {
+	// The basic scheme is order-preserving AND deterministic: equal bids
+	// yield identical digests — the leak the advanced scheme fixes.
+	p := testParams()
+	ring := testRing(t, p, 1, 1)
+	rng := rand.New(rand.NewSource(8))
+	enc, err := NewBasicBidEncoder(p, ring, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mk := func(b uint64) *BidSubmission {
+		bids := make([]uint64, p.Channels)
+		bids[0] = b
+		s, err := enc.Encode(bids, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s
+	}
+	b6, b10, b0, b5 := mk(6), mk(10), mk(0), mk(5)
+	// The paper's Fig. 3 example: 10 is the max.
+	for _, other := range []*BidSubmission{b6, b0, b5} {
+		if !CompareGE(&b10.Channels[0], &other.Channels[0]) {
+			t.Error("10 not ≥ a smaller bid")
+		}
+		if CompareGE(&other.Channels[0], &b10.Channels[0]) {
+			t.Error("smaller bid ranked ≥ 10")
+		}
+	}
+	if !CompareGE(&b6.Channels[0], &b5.Channels[0]) {
+		t.Error("6 not ≥ 5")
+	}
+	// Equality leak: two encodings of the same value share all digests.
+	b5b := mk(5)
+	for _, d := range b5.Channels[0].Family.Digests() {
+		if !b5b.Channels[0].Family.Contains(d) {
+			t.Fatal("basic scheme should be deterministic per value")
+		}
+	}
+}
+
+func TestEncodeValidation(t *testing.T) {
+	p := testParams()
+	enc, rng := newAdvancedEncoder(t, p, 9)
+	if _, err := enc.Encode([]uint64{1}, rng); err == nil {
+		t.Error("wrong-length bid vector accepted")
+	}
+	over := make([]uint64, p.Channels)
+	over[0] = p.BMax + 1
+	if _, err := enc.Encode(over, rng); err == nil {
+		t.Error("bid above bmax accepted")
+	}
+}
+
+func TestNewBidEncoderValidation(t *testing.T) {
+	p := testParams()
+	shortRing := testRing(t, Params{Channels: 1, Lambda: 1, MaxX: 9, MaxY: 9, BMax: 9}, 1, 1)
+	if _, err := NewBidEncoder(p, shortRing, nil, rand.New(rand.NewSource(1))); err == nil {
+		t.Error("ring with too few channel keys accepted")
+	}
+	bad := p
+	bad.Channels = 0
+	ring := testRing(t, p, 1, 1)
+	if _, err := NewBidEncoder(bad, ring, nil, rand.New(rand.NewSource(1))); err == nil {
+		t.Error("bad params accepted")
+	}
+}
+
+func TestSubmissionBytesMatchesSetSizes(t *testing.T) {
+	p := testParams()
+	ring := testRing(t, p, 5, 8)
+	enc, rng := newAdvancedEncoder(t, p, 10)
+	sub, err := enc.Encode(make([]uint64, p.Channels), rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := p.BidWidth(ring)
+	perChannelDigests := (w + 1) + prefix.MaxCoverSize(w)
+	want := p.Channels * (perChannelDigests*16 + len(sub.Channels[0].Sealed))
+	if got := SubmissionBytes(sub); got != want {
+		t.Errorf("submission bytes = %d, want %d", got, want)
+	}
+}
+
+func TestBasicSchemeZeroFrequencyLeak(t *testing.T) {
+	// Section IV.C.1's second leak: the basic scheme encodes equal values
+	// identically, and zeros dominate the bid table — so the most frequent
+	// ciphertext across users IS the zero. The advanced scheme's rd-offset
+	// plus cr-blinding destroys the frequency signal.
+	p := testParams()
+	ring := testRing(t, p, 5, 8)
+	rng := rand.New(rand.NewSource(77))
+	enc, err := NewBasicBidEncoder(p, ring, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 30 users: 60% bid zero on channel 0, the rest bid random positives.
+	type fingerprint string
+	counts := map[fingerprint]int{}
+	zeroPrint := fingerprint("")
+	for u := 0; u < 30; u++ {
+		bids := make([]uint64, p.Channels)
+		if u%5 >= 2 { // 60% zeros
+			bids[0] = 0
+		} else {
+			bids[0] = uint64(rng.Intn(int(p.BMax))) + 1
+		}
+		sub, err := enc.Encode(bids, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Fingerprint = sorted family digests (what the auctioneer sees).
+		ds := sub.Channels[0].Family.Digests()
+		strs := make([]string, len(ds))
+		for i, d := range ds {
+			strs[i] = d.String()
+		}
+		sort.Strings(strs)
+		fp := fingerprint(strings.Join(strs, "|"))
+		counts[fp]++
+		if bids[0] == 0 {
+			zeroPrint = fp
+		}
+	}
+	// The most frequent fingerprint must be the zero's.
+	var best fingerprint
+	for fp, c := range counts {
+		if c > counts[best] {
+			best = fp
+		}
+	}
+	if best != zeroPrint {
+		t.Fatal("frequency analysis failed to isolate zero under the basic scheme (leak should exist)")
+	}
+	if counts[best] != 18 {
+		t.Fatalf("zero fingerprint seen %d times, want 18", counts[best])
+	}
+
+	// Advanced scheme: every user's zero encodes uniquely.
+	advEnc, err := NewBidEncoder(p, ring, nil, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	advCounts := map[fingerprint]int{}
+	for u := 0; u < 30; u++ {
+		sub, err := advEnc.Encode(make([]uint64, p.Channels), rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ds := sub.Channels[0].Family.Digests()
+		strs := make([]string, len(ds))
+		for i, d := range ds {
+			strs[i] = d.String()
+		}
+		sort.Strings(strs)
+		advCounts[fingerprint(strings.Join(strs, "|"))]++
+	}
+	// A zero's scaled value is drawn from rd·cr ≈ 48 slots, so occasional
+	// birthday collisions among 30 zeros are expected — but no fingerprint
+	// may dominate the histogram the way the basic scheme's zero does.
+	// (Deployments size rd·cr to the expected population for exactly this
+	// reason.)
+	for fp, c := range advCounts {
+		if c > 5 {
+			t.Fatalf("advanced scheme fingerprint repeated %d times (%s...): frequency leak", c, string(fp)[:16])
+		}
+	}
+}

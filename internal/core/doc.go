@@ -1,0 +1,32 @@
+// Package core implements LPPA, the Location Privacy Preserving Dynamic
+// Spectrum Auction of Liu et al. (ICDCS 2013) — the paper's primary
+// contribution. It has two halves:
+//
+// PPBS (Privacy Preserving Bid Submission, section IV):
+//
+//   - Private Location Submission: each bidder masks the prefix family of
+//     its coordinates and the prefix cover of its interference range under
+//     the shared HMAC key g0. The auctioneer intersects masked sets to
+//     learn *only* the pairwise conflict relation, never a coordinate.
+//   - Private Bid Submission: each bid is blinded (offset rd, multiplier
+//     cr), optionally disguised (a zero bid masquerades as value t with
+//     probability p_t), encoded as a masked prefix family plus a masked,
+//     padded range cover under the per-channel key gb_r, and sealed for
+//     the TTP under gc. The auctioneer can compare any two bids on the
+//     same channel (order-preserving) but cannot compare across channels,
+//     recover values, or spot zeros.
+//
+// PSD (Private Spectrum Distribution, section V):
+//
+//   - Allocation: the paper's greedy Algorithm 3 runs unchanged over
+//     masked bids, using prefix intersection as the max-search primitive.
+//   - Charging: winners' sealed bids go to the TTP (package ttp), which
+//     unblinds, rejects disguised zeros (voiding those awards), verifies
+//     prefix consistency, and returns first-price charges.
+//
+// The package is written bidder-side / auctioneer-side: BidderAgent holds
+// secrets and produces submissions; Auctioneer consumes only submissions
+// and exposes exactly the operations the protocol grants it. Everything an
+// attacker could exploit is available through Auctioneer's transcript
+// methods, which the attack package consumes in the Fig. 5 experiments.
+package core

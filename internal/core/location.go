@@ -1,0 +1,65 @@
+package core
+
+import (
+	"fmt"
+
+	"lppa/internal/conflict"
+	"lppa/internal/geo"
+	"lppa/internal/mask"
+	"lppa/internal/prefix"
+)
+
+// LocationSubmission is what a bidder reveals about its position: masked
+// prefix families of its coordinates and masked prefix covers of its
+// interference ranges (section IV.A). The auctioneer can evaluate the
+// pairwise conflict predicate and nothing else.
+type LocationSubmission struct {
+	XFamily, YFamily mask.Set // H_g0(G(loc_x)), H_g0(G(loc_y))
+	XRange, YRange   mask.Set // H_g0(Q([loc_x ± (2λ−1)])), same for y
+}
+
+// NewLocationSubmission builds the masked location submission for a bidder
+// at point pt. The interference predicate is strict (|Δ| < 2λ), so with
+// integer coordinates the submitted range is [loc − (2λ−1), loc + (2λ−1)],
+// clamped to the coordinate domain.
+func NewLocationSubmission(params Params, ring *mask.KeyRing, pt geo.Point) (*LocationSubmission, error) {
+	if err := params.Validate(); err != nil {
+		return nil, err
+	}
+	if pt.X > params.MaxX || pt.Y > params.MaxY {
+		return nil, fmt.Errorf("core: point (%d,%d) outside domain (%d,%d)", pt.X, pt.Y, params.MaxX, params.MaxY)
+	}
+	masker, err := mask.NewMasker(ring.G0)
+	if err != nil {
+		return nil, fmt.Errorf("core: location masker: %w", err)
+	}
+	delta := 2*params.Lambda - 1
+	wx, wy := params.CoordWidthX(), params.CoordWidthY()
+
+	xlo, xhi := geo.ClampRange(pt.X, delta, params.MaxX)
+	ylo, yhi := geo.ClampRange(pt.Y, delta, params.MaxY)
+
+	return &LocationSubmission{
+		XFamily: masker.MaskSet(prefix.Numericalized(prefix.Family(pt.X, wx))),
+		YFamily: masker.MaskSet(prefix.Numericalized(prefix.Family(pt.Y, wy))),
+		XRange:  masker.MaskSet(prefix.Numericalized(prefix.Cover(xlo, xhi, wx))),
+		YRange:  masker.MaskSet(prefix.Numericalized(prefix.Cover(ylo, yhi, wy))),
+	}, nil
+}
+
+// Conflicts evaluates the masked conflict predicate between two
+// submissions: i's coordinate families must intersect j's range covers on
+// both axes (section IV.A step iv). The predicate is symmetric because the
+// underlying intervals share the same half-width.
+func Conflicts(a, b *LocationSubmission) bool {
+	return a.XFamily.Intersects(b.XRange) && a.YFamily.Intersects(b.YRange)
+}
+
+// BuildConflictGraph constructs the interference graph from masked
+// submissions only — the auctioneer-side half of the Private Location
+// Submission protocol.
+func BuildConflictGraph(subs []*LocationSubmission) *conflict.Graph {
+	return conflict.BuildFromPredicate(len(subs), func(i, j int) bool {
+		return Conflicts(subs[i], subs[j])
+	})
+}

@@ -1,0 +1,160 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"lppa/internal/conflict"
+	"lppa/internal/geo"
+)
+
+// TestPrivateConflictMatchesPlaintext is the soundness theorem of the
+// Private Location Submission protocol: the masked predicate must equal
+// the plaintext interference predicate for every pair of positions.
+func TestPrivateConflictMatchesPlaintext(t *testing.T) {
+	p := testParams()
+	ring := testRing(t, p, 2, 4)
+	prop := func(ax, ay, bx, by uint8) bool {
+		a := geo.Point{X: uint64(ax) % (p.MaxX + 1), Y: uint64(ay) % (p.MaxY + 1)}
+		b := geo.Point{X: uint64(bx) % (p.MaxX + 1), Y: uint64(by) % (p.MaxY + 1)}
+		sa, err := NewLocationSubmission(p, ring, a)
+		if err != nil {
+			return false
+		}
+		sb, err := NewLocationSubmission(p, ring, b)
+		if err != nil {
+			return false
+		}
+		want := geo.Conflict(a, b, p.Lambda)
+		return Conflicts(sa, sb) == want && Conflicts(sb, sa) == want
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 400}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestConflictBoundaryExact(t *testing.T) {
+	// |Δx| = 2λ−1 conflicts (strict < 2λ); |Δx| = 2λ does not.
+	p := testParams() // λ=3 → threshold 6
+	ring := testRing(t, p, 2, 4)
+	base := geo.Point{X: 50, Y: 50}
+	sb, err := NewLocationSubmission(p, ring, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		pt   geo.Point
+		want bool
+	}{
+		{geo.Point{X: 55, Y: 50}, true},  // Δx=5 < 6
+		{geo.Point{X: 56, Y: 50}, false}, // Δx=6
+		{geo.Point{X: 50, Y: 44}, false}, // Δy=6
+		{geo.Point{X: 50, Y: 45}, true},  // Δy=5
+		{geo.Point{X: 55, Y: 55}, true},
+		{geo.Point{X: 56, Y: 55}, false},
+	}
+	for _, c := range cases {
+		so, err := NewLocationSubmission(p, ring, c.pt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := Conflicts(sb, so); got != c.want {
+			t.Errorf("Conflicts(%v,%v) = %v, want %v", base, c.pt, got, c.want)
+		}
+	}
+}
+
+func TestLocationSubmissionBorderClamping(t *testing.T) {
+	// Corners must not panic or produce out-of-domain ranges.
+	p := testParams()
+	ring := testRing(t, p, 2, 4)
+	corners := []geo.Point{
+		{X: 0, Y: 0}, {X: p.MaxX, Y: 0}, {X: 0, Y: p.MaxY}, {X: p.MaxX, Y: p.MaxY},
+	}
+	for _, c := range corners {
+		sub, err := NewLocationSubmission(p, ring, c)
+		if err != nil {
+			t.Fatalf("corner %v: %v", c, err)
+		}
+		// A user conflicts with itself (distance 0 < 2λ).
+		if !Conflicts(sub, sub) {
+			t.Errorf("corner %v: self-conflict must hold", c)
+		}
+	}
+}
+
+func TestLocationSubmissionRejectsOutOfDomain(t *testing.T) {
+	p := testParams()
+	ring := testRing(t, p, 2, 4)
+	if _, err := NewLocationSubmission(p, ring, geo.Point{X: p.MaxX + 1, Y: 0}); err == nil {
+		t.Error("x out of domain accepted")
+	}
+	if _, err := NewLocationSubmission(p, ring, geo.Point{X: 0, Y: p.MaxY + 1}); err == nil {
+		t.Error("y out of domain accepted")
+	}
+}
+
+func TestBuildConflictGraphEqualsPlaintextGraph(t *testing.T) {
+	p := testParams()
+	ring := testRing(t, p, 2, 4)
+	rng := rand.New(rand.NewSource(9))
+	const n = 40
+	points := make([]geo.Point, n)
+	subs := make([]*LocationSubmission, n)
+	for i := range points {
+		points[i] = geo.Point{X: uint64(rng.Intn(int(p.MaxX + 1))), Y: uint64(rng.Intn(int(p.MaxY + 1)))}
+		sub, err := NewLocationSubmission(p, ring, points[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		subs[i] = sub
+	}
+	private := BuildConflictGraph(subs)
+	plain := conflict.BuildPlain(points, p.Lambda)
+	if !private.Equal(plain) {
+		t.Fatal("masked conflict graph differs from plaintext graph")
+	}
+}
+
+func TestLocationSubmissionLeaksNothingObvious(t *testing.T) {
+	// Submissions for two different locations under the same key share no
+	// family digests unless coordinates share prefixes — in particular the
+	// full digest sets must differ.
+	p := testParams()
+	ring := testRing(t, p, 2, 4)
+	a, err := NewLocationSubmission(p, ring, geo.Point{X: 10, Y: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewLocationSubmission(p, ring, geo.Point{X: 70, Y: 90})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.XFamily.Len() != p.CoordWidthX()+1 {
+		t.Errorf("x family size = %d, want %d", a.XFamily.Len(), p.CoordWidthX()+1)
+	}
+	sameX := 0
+	for _, d := range a.XFamily.Digests() {
+		if b.XFamily.Contains(d) {
+			sameX++
+		}
+	}
+	// Only the shared trailing wildcard prefixes may coincide; the fully
+	// defined prefix must differ.
+	if sameX == a.XFamily.Len() {
+		t.Error("distinct x coordinates produced identical family sets")
+	}
+}
+
+func TestLocationBytesPositive(t *testing.T) {
+	p := testParams()
+	ring := testRing(t, p, 2, 4)
+	sub, err := NewLocationSubmission(p, ring, geo.Point{X: 5, Y: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if LocationBytes(sub) <= 0 {
+		t.Error("location bytes should be positive")
+	}
+}

@@ -1,0 +1,181 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"lppa/internal/mask"
+)
+
+func testParams() Params {
+	return Params{Channels: 4, Lambda: 3, MaxX: 99, MaxY: 99, BMax: 100}
+}
+
+func testRing(t *testing.T, p Params, rd, cr uint64) *mask.KeyRing {
+	t.Helper()
+	ring, err := mask.DeriveKeyRing([]byte("core-test-seed"), p.Channels, rd, cr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ring
+}
+
+func TestParamsValidate(t *testing.T) {
+	if err := testParams().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []Params{
+		{Channels: 0, Lambda: 1, MaxX: 9, MaxY: 9, BMax: 1},
+		{Channels: 1, Lambda: 0, MaxX: 9, MaxY: 9, BMax: 1},
+		{Channels: 1, Lambda: 1, MaxX: 0, MaxY: 9, BMax: 1},
+		{Channels: 1, Lambda: 1, MaxX: 9, MaxY: 0, BMax: 1},
+		{Channels: 1, Lambda: 1, MaxX: 9, MaxY: 9, BMax: 0},
+	}
+	for i, p := range bad {
+		if p.Validate() == nil {
+			t.Errorf("case %d validated", i)
+		}
+	}
+}
+
+func TestParamsDerivedWidths(t *testing.T) {
+	p := testParams() // MaxX=99 → 7 bits
+	if p.CoordWidthX() != 7 || p.CoordWidthY() != 7 {
+		t.Errorf("coord widths = %d,%d, want 7,7", p.CoordWidthX(), p.CoordWidthY())
+	}
+	ring := testRing(t, p, 5, 8)
+	// ScaledMax = 8·(100+5+1)−1 = 847 → 10 bits.
+	if got := p.ScaledMax(ring); got != 847 {
+		t.Errorf("scaled max = %d, want 847", got)
+	}
+	if got := p.BidWidth(ring); got != 10 {
+		t.Errorf("bid width = %d, want 10", got)
+	}
+	if got := p.RangePadSize(ring); got != 18 {
+		t.Errorf("pad size = %d, want 18", got)
+	}
+}
+
+func TestDisguisePolicyValidate(t *testing.T) {
+	if err := DefaultDisguise().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []DisguisePolicy{
+		{P0: -0.1, Decay: 0.5},
+		{P0: 1.1, Decay: 0.5},
+		{P0: 0.5, Decay: 0},
+		{P0: 0.5, Decay: 1.5},
+	}
+	for i, d := range bad {
+		if d.Validate() == nil {
+			t.Errorf("case %d validated", i)
+		}
+	}
+	// P0=1 tolerates any decay (never used).
+	if (DisguisePolicy{P0: 1, Decay: 0}).Validate() != nil {
+		t.Error("p0=1 with zero decay should validate")
+	}
+}
+
+func TestDisguiseSamplerNeverWithP0One(t *testing.T) {
+	s, err := NewDisguiseSampler(DisguisePolicy{P0: 1, Decay: 0.9}, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 1000; i++ {
+		if _, ok := s.Sample(rng); ok {
+			t.Fatal("p0=1 sampler disguised")
+		}
+	}
+}
+
+func TestDisguiseSamplerAlwaysWithP0Zero(t *testing.T) {
+	s, err := NewDisguiseSampler(DisguisePolicy{P0: 0, Decay: 0.9}, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 1000; i++ {
+		v, ok := s.Sample(rng)
+		if !ok {
+			t.Fatal("p0=0 sampler declined to disguise")
+		}
+		if v < 1 || v > 50 {
+			t.Fatalf("disguise value %d out of [1,50]", v)
+		}
+	}
+}
+
+func TestDisguiseSamplerRate(t *testing.T) {
+	s, err := NewDisguiseSampler(DisguisePolicy{P0: 0.7, Decay: 1}, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(3))
+	disguised := 0
+	const n = 20000
+	for i := 0; i < n; i++ {
+		if _, ok := s.Sample(rng); ok {
+			disguised++
+		}
+	}
+	rate := float64(disguised) / n
+	if rate < 0.27 || rate > 0.33 {
+		t.Errorf("disguise rate = %f, want ≈0.30", rate)
+	}
+}
+
+func TestDisguiseSamplerMonotoneWeights(t *testing.T) {
+	// With geometric decay, p_1 ≥ p_2 ≥ … as the paper requires.
+	s, err := NewDisguiseSampler(DisguisePolicy{P0: 0, Decay: 0.8}, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(4))
+	counts := make([]int, 31)
+	for i := 0; i < 60000; i++ {
+		v, ok := s.Sample(rng)
+		if !ok {
+			t.Fatal("unexpected non-disguise")
+		}
+		counts[v]++
+	}
+	// Empirical counts should trend downward; compare first and later
+	// deciles rather than every adjacent pair (noise).
+	if counts[1] <= counts[10] {
+		t.Errorf("p_1 (%d draws) should exceed p_10 (%d draws)", counts[1], counts[10])
+	}
+	if counts[5] <= counts[25] {
+		t.Errorf("p_5 (%d draws) should exceed p_25 (%d draws)", counts[5], counts[25])
+	}
+}
+
+func TestDisguiseSamplerUniformDecayOne(t *testing.T) {
+	s, err := NewDisguiseSampler(DisguisePolicy{P0: 0, Decay: 1}, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(5))
+	counts := make([]int, 11)
+	const n = 50000
+	for i := 0; i < n; i++ {
+		v, _ := s.Sample(rng)
+		counts[v]++
+	}
+	for v := 1; v <= 10; v++ {
+		frac := float64(counts[v]) / n
+		if frac < 0.08 || frac > 0.12 {
+			t.Errorf("uniform disguise: p_%d = %f, want ≈0.10", v, frac)
+		}
+	}
+}
+
+func TestDisguiseSamplerValidation(t *testing.T) {
+	if _, err := NewDisguiseSampler(DisguisePolicy{P0: 2, Decay: 1}, 10); err == nil {
+		t.Error("bad policy accepted")
+	}
+	if _, err := NewDisguiseSampler(DisguisePolicy{P0: 0.5, Decay: 1}, 0); err == nil {
+		t.Error("bmax=0 accepted")
+	}
+}

@@ -1,0 +1,129 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// TestAdvancedOrderPreservationProperty is the masked-comparison soundness
+// property over the full bid domain, including zeros: for undisguised
+// encodings of a and b on the same channel,
+//
+//	a > b  ⇒  GE(a,b) ∧ ¬GE(b,a)
+//	a = b  ⇒  GE is consistent in at least one direction
+//	a < b  ⇒  GE(b,a) ∧ ¬GE(a,b)
+func TestAdvancedOrderPreservationProperty(t *testing.T) {
+	p := testParams()
+	ring := testRing(t, p, 5, 8)
+	rng := rand.New(rand.NewSource(99))
+	enc, err := NewBidEncoder(p, ring, nil, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	encode := func(b uint64) *ChannelBid {
+		bids := make([]uint64, p.Channels)
+		bids[0] = b
+		sub, err := enc.Encode(bids, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return &sub.Channels[0]
+	}
+	prop := func(av, bv uint8) bool {
+		a := uint64(av) % (p.BMax + 1)
+		b := uint64(bv) % (p.BMax + 1)
+		ca, cb := encode(a), encode(b)
+		switch {
+		case a > b:
+			return CompareGE(ca, cb) && !CompareGE(cb, ca)
+		case a < b:
+			return CompareGE(cb, ca) && !CompareGE(ca, cb)
+		default:
+			// Equal plaintexts land in the same blinding slot; exactly one
+			// strict direction (or a tie at identical scaled values).
+			return CompareGE(ca, cb) || CompareGE(cb, ca)
+		}
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestDisguisedEncodingStillComparableProperty: even disguised encodings
+// must remain internally consistent — for any pair, at least one direction
+// of GE holds (the comparator never "loses" a bid).
+func TestDisguisedEncodingStillComparableProperty(t *testing.T) {
+	p := testParams()
+	ring := testRing(t, p, 5, 8)
+	rng := rand.New(rand.NewSource(100))
+	sampler, err := NewDisguiseSampler(DisguisePolicy{P0: 0.3, Decay: 0.9}, p.BMax)
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc, err := NewBidEncoder(p, ring, sampler, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prop := func(av, bv uint8) bool {
+		bidsA := make([]uint64, p.Channels)
+		bidsB := make([]uint64, p.Channels)
+		bidsA[0] = uint64(av) % (p.BMax + 1)
+		bidsB[0] = uint64(bv) % (p.BMax + 1)
+		sa, err := enc.Encode(bidsA, rng)
+		if err != nil {
+			return false
+		}
+		sb, err := enc.Encode(bidsB, rng)
+		if err != nil {
+			return false
+		}
+		return CompareGE(&sa.Channels[0], &sb.Channels[0]) || CompareGE(&sb.Channels[0], &sa.Channels[0])
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestMaskedMaxMatchesPlaintextMaxProperty: the auctioneer's max-search
+// over a random masked column must return a bidder holding the plaintext
+// maximum.
+func TestMaskedMaxMatchesPlaintextMaxProperty(t *testing.T) {
+	p := testParams()
+	ring := testRing(t, p, 5, 8)
+	rng := rand.New(rand.NewSource(101))
+	prop := func(seed int64) bool {
+		local := rand.New(rand.NewSource(seed))
+		n := 3 + local.Intn(8)
+		bids := make([]uint64, n)
+		encs := make([]*BidSubmission, n)
+		var maxBid uint64
+		for i := 0; i < n; i++ {
+			bids[i] = uint64(local.Intn(int(p.BMax + 1)))
+			if bids[i] > maxBid {
+				maxBid = bids[i]
+			}
+			enc, err := NewBidEncoder(p, ring, nil, rng)
+			if err != nil {
+				return false
+			}
+			vec := make([]uint64, p.Channels)
+			vec[0] = bids[i]
+			encs[i], err = enc.Encode(vec, rng)
+			if err != nil {
+				return false
+			}
+		}
+		// Linear max-scan with the masked comparator, as the allocator does.
+		best := 0
+		for i := 1; i < n; i++ {
+			if CompareGE(&encs[i].Channels[0], &encs[best].Channels[0]) {
+				best = i
+			}
+		}
+		return bids[best] == maxBid
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

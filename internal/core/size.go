@@ -1,0 +1,21 @@
+package core
+
+import "lppa/internal/mask"
+
+// SubmissionBytes measures the wire size of a masked bid submission: every
+// digest plus the sealed ciphertexts. Theorem 4 predicts the digest part as
+// h·k·(3w−1)(w+1) bits per bidder; the benchmark harness compares this
+// measurement against the formula.
+func SubmissionBytes(s *BidSubmission) int {
+	total := 0
+	for i := range s.Channels {
+		cb := &s.Channels[i]
+		total += (cb.Family.Len()+cb.Range.Len())*mask.DigestSize + len(cb.Sealed)
+	}
+	return total
+}
+
+// LocationBytes measures the wire size of a masked location submission.
+func LocationBytes(l *LocationSubmission) int {
+	return (l.XFamily.Len() + l.YFamily.Len() + l.XRange.Len() + l.YRange.Len()) * mask.DigestSize
+}

@@ -1,0 +1,144 @@
+package geo
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// CellSet is a dense bitset over the cells of a grid, used for coverage
+// maps and for the possible-location sets the attacks manipulate. All
+// binary operations require both operands to come from grids with the same
+// cell count. The zero value is unusable; construct with NewCellSet.
+type CellSet struct {
+	grid  Grid
+	words []uint64
+}
+
+// NewCellSet returns an empty set over g.
+func NewCellSet(g Grid) *CellSet {
+	return &CellSet{grid: g, words: make([]uint64, (g.NumCells()+63)/64)}
+}
+
+// FullCellSet returns the set containing every cell of g (the attack's
+// initial hypothesis P = A).
+func FullCellSet(g Grid) *CellSet {
+	s := NewCellSet(g)
+	n := g.NumCells()
+	for i := range s.words {
+		s.words[i] = ^uint64(0)
+	}
+	// Clear the tail bits beyond NumCells.
+	if rem := n % 64; rem != 0 {
+		s.words[len(s.words)-1] = 1<<rem - 1
+	}
+	return s
+}
+
+// Grid returns the grid the set is defined over.
+func (s *CellSet) Grid() Grid { return s.grid }
+
+// Clone returns a deep copy.
+func (s *CellSet) Clone() *CellSet {
+	out := &CellSet{grid: s.grid, words: make([]uint64, len(s.words))}
+	copy(out.words, s.words)
+	return out
+}
+
+// Add inserts cell c.
+func (s *CellSet) Add(c Cell) {
+	i := s.grid.Index(c)
+	s.words[i/64] |= 1 << (i % 64)
+}
+
+// Remove deletes cell c.
+func (s *CellSet) Remove(c Cell) {
+	i := s.grid.Index(c)
+	s.words[i/64] &^= 1 << (i % 64)
+}
+
+// Contains reports membership of c.
+func (s *CellSet) Contains(c Cell) bool {
+	if !s.grid.InBounds(c) {
+		return false
+	}
+	i := s.grid.Index(c)
+	return s.words[i/64]&(1<<(i%64)) != 0
+}
+
+// Count returns the number of cells in the set.
+func (s *CellSet) Count() int {
+	n := 0
+	for _, w := range s.words {
+		n += bits.OnesCount64(w)
+	}
+	return n
+}
+
+// IntersectWith replaces s by s ∩ other.
+func (s *CellSet) IntersectWith(other *CellSet) {
+	s.mustMatch(other)
+	for i := range s.words {
+		s.words[i] &= other.words[i]
+	}
+}
+
+// UnionWith replaces s by s ∪ other.
+func (s *CellSet) UnionWith(other *CellSet) {
+	s.mustMatch(other)
+	for i := range s.words {
+		s.words[i] |= other.words[i]
+	}
+}
+
+// SubtractWith replaces s by s \ other.
+func (s *CellSet) SubtractWith(other *CellSet) {
+	s.mustMatch(other)
+	for i := range s.words {
+		s.words[i] &^= other.words[i]
+	}
+}
+
+// Complement returns the set of grid cells not in s.
+func (s *CellSet) Complement() *CellSet {
+	out := FullCellSet(s.grid)
+	out.SubtractWith(s)
+	return out
+}
+
+func (s *CellSet) mustMatch(other *CellSet) {
+	if s.grid.NumCells() != other.grid.NumCells() {
+		panic(fmt.Sprintf("geo: cell sets over different grids (%d vs %d cells)",
+			s.grid.NumCells(), other.grid.NumCells()))
+	}
+}
+
+// Cells returns the member cells in row-major order.
+func (s *CellSet) Cells() []Cell {
+	out := make([]Cell, 0, s.Count())
+	s.ForEach(func(c Cell) { out = append(out, c) })
+	return out
+}
+
+// ForEach calls fn for every member cell in row-major order.
+func (s *CellSet) ForEach(fn func(Cell)) {
+	for wi, w := range s.words {
+		for w != 0 {
+			b := bits.TrailingZeros64(w)
+			fn(s.grid.CellAt(wi*64 + b))
+			w &= w - 1
+		}
+	}
+}
+
+// Equal reports whether two sets have identical membership.
+func (s *CellSet) Equal(other *CellSet) bool {
+	if s.grid.NumCells() != other.grid.NumCells() {
+		return false
+	}
+	for i := range s.words {
+		if s.words[i] != other.words[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,264 @@
+package geo
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestDefaultGrid(t *testing.T) {
+	g := DefaultGrid()
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if g.NumCells() != 10000 {
+		t.Errorf("NumCells = %d, want 10000", g.NumCells())
+	}
+	if g.CellWidthMeters() != 750 || g.CellHeightMeters() != 750 {
+		t.Errorf("cell size = %.1f x %.1f, want 750 x 750",
+			g.CellWidthMeters(), g.CellHeightMeters())
+	}
+}
+
+func TestGridValidate(t *testing.T) {
+	bad := []Grid{
+		{Rows: 0, Cols: 10, SideMeters: 100},
+		{Rows: 10, Cols: -1, SideMeters: 100},
+		{Rows: 10, Cols: 10, SideMeters: 0},
+	}
+	for _, g := range bad {
+		if g.Validate() == nil {
+			t.Errorf("grid %+v validated", g)
+		}
+	}
+}
+
+func TestIndexCellAtRoundTrip(t *testing.T) {
+	g := Grid{Rows: 7, Cols: 13, SideMeters: 1000}
+	for idx := 0; idx < g.NumCells(); idx++ {
+		c := g.CellAt(idx)
+		if !g.InBounds(c) {
+			t.Fatalf("CellAt(%d) = %v out of bounds", idx, c)
+		}
+		if g.Index(c) != idx {
+			t.Fatalf("Index(CellAt(%d)) = %d", idx, g.Index(c))
+		}
+	}
+	if g.InBounds(Cell{Row: 7, Col: 0}) || g.InBounds(Cell{Row: 0, Col: 13}) ||
+		g.InBounds(Cell{Row: -1, Col: 0}) {
+		t.Error("out-of-bounds cell reported in bounds")
+	}
+}
+
+func TestCenterAndDistance(t *testing.T) {
+	g := Grid{Rows: 10, Cols: 10, SideMeters: 1000}
+	x, y := g.Center(Cell{Row: 0, Col: 0})
+	if x != 50 || y != 50 {
+		t.Errorf("center of (0,0) = (%f,%f), want (50,50)", x, y)
+	}
+	d := g.CellDistanceMeters(Cell{Row: 0, Col: 0}, Cell{Row: 0, Col: 3})
+	if math.Abs(d-300) > 1e-9 {
+		t.Errorf("distance = %f, want 300", d)
+	}
+	d = g.CellDistanceMeters(Cell{Row: 3, Col: 0}, Cell{Row: 0, Col: 4})
+	if math.Abs(d-500) > 1e-9 {
+		t.Errorf("distance = %f, want 500", d)
+	}
+}
+
+func TestPointConversionRoundTrip(t *testing.T) {
+	c := Cell{Row: 42, Col: 17}
+	if got := CellOf(PointOf(c)); got != c {
+		t.Errorf("round trip = %v, want %v", got, c)
+	}
+	p := PointOf(c)
+	if p.X != 17 || p.Y != 42 {
+		t.Errorf("PointOf = %+v, want X=17 Y=42", p)
+	}
+}
+
+func TestConflictPredicate(t *testing.T) {
+	const lambda = 2 // threshold 2λ = 4
+	a := Point{X: 10, Y: 10}
+	cases := []struct {
+		b    Point
+		want bool
+	}{
+		{Point{X: 10, Y: 10}, true},
+		{Point{X: 13, Y: 13}, true},  // both diffs 3 < 4
+		{Point{X: 14, Y: 10}, false}, // x diff 4, not < 4
+		{Point{X: 10, Y: 14}, false},
+		{Point{X: 13, Y: 14}, false}, // y diff too large
+		{Point{X: 7, Y: 7}, true},
+		{Point{X: 6, Y: 10}, false},
+	}
+	for _, c := range cases {
+		if got := Conflict(a, c.b, lambda); got != c.want {
+			t.Errorf("Conflict(%v,%v) = %v, want %v", a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestConflictSymmetric(t *testing.T) {
+	prop := func(ax, ay, bx, by uint16, l uint8) bool {
+		lambda := uint64(l%10) + 1
+		a := Point{X: uint64(ax), Y: uint64(ay)}
+		b := Point{X: uint64(bx), Y: uint64(by)}
+		return Conflict(a, b, lambda) == Conflict(b, a, lambda)
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestClampRange(t *testing.T) {
+	cases := []struct {
+		v, delta, max, lo, hi uint64
+	}{
+		{50, 4, 99, 46, 54},
+		{2, 4, 99, 0, 6},
+		{97, 4, 99, 93, 99},
+		{0, 4, 99, 0, 4},
+		{99, 4, 99, 95, 99},
+	}
+	for _, c := range cases {
+		lo, hi := ClampRange(c.v, c.delta, c.max)
+		if lo != c.lo || hi != c.hi {
+			t.Errorf("ClampRange(%d,%d,%d) = [%d,%d], want [%d,%d]",
+				c.v, c.delta, c.max, lo, hi, c.lo, c.hi)
+		}
+	}
+}
+
+func TestCellSetBasics(t *testing.T) {
+	g := Grid{Rows: 10, Cols: 13, SideMeters: 100}
+	s := NewCellSet(g)
+	if s.Count() != 0 {
+		t.Fatal("new set not empty")
+	}
+	c := Cell{Row: 3, Col: 7}
+	s.Add(c)
+	if !s.Contains(c) || s.Count() != 1 {
+		t.Error("Add/Contains failed")
+	}
+	s.Add(c)
+	if s.Count() != 1 {
+		t.Error("double Add changed count")
+	}
+	s.Remove(c)
+	if s.Contains(c) || s.Count() != 0 {
+		t.Error("Remove failed")
+	}
+	if s.Contains(Cell{Row: -1, Col: 0}) {
+		t.Error("out-of-bounds Contains should be false")
+	}
+}
+
+func TestFullCellSetAndComplement(t *testing.T) {
+	g := Grid{Rows: 9, Cols: 9, SideMeters: 100} // 81 cells: exercises tail masking
+	full := FullCellSet(g)
+	if full.Count() != 81 {
+		t.Fatalf("full count = %d, want 81", full.Count())
+	}
+	empty := full.Complement()
+	if empty.Count() != 0 {
+		t.Errorf("complement of full has %d cells", empty.Count())
+	}
+	s := NewCellSet(g)
+	s.Add(Cell{Row: 0, Col: 0})
+	comp := s.Complement()
+	if comp.Count() != 80 || comp.Contains(Cell{Row: 0, Col: 0}) {
+		t.Errorf("complement wrong: count=%d", comp.Count())
+	}
+}
+
+func TestCellSetOps(t *testing.T) {
+	g := Grid{Rows: 5, Cols: 5, SideMeters: 100}
+	a := NewCellSet(g)
+	b := NewCellSet(g)
+	a.Add(Cell{0, 0})
+	a.Add(Cell{1, 1})
+	b.Add(Cell{1, 1})
+	b.Add(Cell{2, 2})
+
+	inter := a.Clone()
+	inter.IntersectWith(b)
+	if inter.Count() != 1 || !inter.Contains(Cell{1, 1}) {
+		t.Errorf("intersection wrong: %v", inter.Cells())
+	}
+
+	uni := a.Clone()
+	uni.UnionWith(b)
+	if uni.Count() != 3 {
+		t.Errorf("union count = %d, want 3", uni.Count())
+	}
+
+	diff := a.Clone()
+	diff.SubtractWith(b)
+	if diff.Count() != 1 || !diff.Contains(Cell{0, 0}) {
+		t.Errorf("difference wrong: %v", diff.Cells())
+	}
+
+	if !a.Equal(a.Clone()) {
+		t.Error("clone not equal to original")
+	}
+	if a.Equal(b) {
+		t.Error("distinct sets reported equal")
+	}
+}
+
+func TestCellSetIterationOrder(t *testing.T) {
+	g := Grid{Rows: 3, Cols: 3, SideMeters: 100}
+	s := NewCellSet(g)
+	cells := []Cell{{2, 2}, {0, 1}, {1, 0}}
+	for _, c := range cells {
+		s.Add(c)
+	}
+	got := s.Cells()
+	want := []Cell{{0, 1}, {1, 0}, {2, 2}} // row-major
+	if len(got) != len(want) {
+		t.Fatalf("len = %d", len(got))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Errorf("cells[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestCellSetRandomizedAgainstMap(t *testing.T) {
+	g := Grid{Rows: 31, Cols: 17, SideMeters: 100}
+	rng := rand.New(rand.NewSource(5))
+	s := NewCellSet(g)
+	ref := map[Cell]bool{}
+	for i := 0; i < 2000; i++ {
+		c := Cell{Row: rng.Intn(g.Rows), Col: rng.Intn(g.Cols)}
+		if rng.Intn(2) == 0 {
+			s.Add(c)
+			ref[c] = true
+		} else {
+			s.Remove(c)
+			delete(ref, c)
+		}
+	}
+	if s.Count() != len(ref) {
+		t.Fatalf("count = %d, want %d", s.Count(), len(ref))
+	}
+	for c := range ref {
+		if !s.Contains(c) {
+			t.Fatalf("missing %v", c)
+		}
+	}
+}
+
+func TestCellSetMismatchedGridsPanic(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for mismatched grids")
+		}
+	}()
+	a := NewCellSet(Grid{Rows: 2, Cols: 2, SideMeters: 1})
+	b := NewCellSet(Grid{Rows: 3, Cols: 3, SideMeters: 1})
+	a.IntersectWith(b)
+}

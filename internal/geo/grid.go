@@ -1,0 +1,117 @@
+// Package geo provides the spatial substrate of the auction simulation:
+// a rectangular grid of cells over a square region (the paper grids each
+// 75 km × 75 km area into 100 × 100 cells), integer point coordinates for
+// the privacy protocol, distances, and the interference predicate.
+package geo
+
+import (
+	"fmt"
+	"math"
+)
+
+// Grid describes a rows × cols partition of a square region whose side is
+// SideMeters long. Cells are addressed row-major; rows index the y axis.
+type Grid struct {
+	Rows, Cols int
+	SideMeters float64
+}
+
+// DefaultGrid is the paper's experiment geometry: a 75 km square split into
+// 100 × 100 cells (750 m per cell).
+func DefaultGrid() Grid {
+	return Grid{Rows: 100, Cols: 100, SideMeters: 75_000}
+}
+
+// Validate checks that the grid has positive dimensions.
+func (g Grid) Validate() error {
+	if g.Rows <= 0 || g.Cols <= 0 {
+		return fmt.Errorf("geo: grid %dx%d has non-positive dimension", g.Rows, g.Cols)
+	}
+	if g.SideMeters <= 0 {
+		return fmt.Errorf("geo: grid side %.1f m must be positive", g.SideMeters)
+	}
+	return nil
+}
+
+// NumCells reports rows × cols.
+func (g Grid) NumCells() int { return g.Rows * g.Cols }
+
+// CellWidthMeters is the east-west extent of one cell.
+func (g Grid) CellWidthMeters() float64 { return g.SideMeters / float64(g.Cols) }
+
+// CellHeightMeters is the north-south extent of one cell.
+func (g Grid) CellHeightMeters() float64 { return g.SideMeters / float64(g.Rows) }
+
+// Cell identifies one grid cell by row m and column n, following the
+// paper's (m, n) convention.
+type Cell struct {
+	Row, Col int
+}
+
+// String renders the cell as "(m,n)".
+func (c Cell) String() string { return fmt.Sprintf("(%d,%d)", c.Row, c.Col) }
+
+// Index flattens the cell to a row-major index.
+func (g Grid) Index(c Cell) int { return c.Row*g.Cols + c.Col }
+
+// CellAt inverts Index.
+func (g Grid) CellAt(idx int) Cell { return Cell{Row: idx / g.Cols, Col: idx % g.Cols} }
+
+// InBounds reports whether c lies on the grid.
+func (g Grid) InBounds(c Cell) bool {
+	return c.Row >= 0 && c.Row < g.Rows && c.Col >= 0 && c.Col < g.Cols
+}
+
+// Center returns the metric coordinates of the cell's centroid, with the
+// origin at the grid's south-west corner (x east, y north).
+func (g Grid) Center(c Cell) (x, y float64) {
+	return (float64(c.Col) + 0.5) * g.CellWidthMeters(), (float64(c.Row) + 0.5) * g.CellHeightMeters()
+}
+
+// CellDistanceMeters is the Euclidean distance between two cell centroids.
+func (g Grid) CellDistanceMeters(a, b Cell) float64 {
+	ax, ay := g.Center(a)
+	bx, by := g.Center(b)
+	return math.Hypot(ax-bx, ay-by)
+}
+
+// Point is an integer coordinate pair as submitted to the privacy protocol.
+// The paper assumes non-negative integer coordinates; we use cell-indexed
+// coordinates (Col, Row), which bounds the prefix width at
+// WidthFor(max(rows, cols)).
+type Point struct {
+	X, Y uint64
+}
+
+// PointOf converts a cell to protocol coordinates.
+func PointOf(c Cell) Point { return Point{X: uint64(c.Col), Y: uint64(c.Row)} }
+
+// CellOf converts protocol coordinates back to a cell.
+func CellOf(p Point) Cell { return Cell{Row: int(p.Y), Col: int(p.X)} }
+
+// Conflict reports whether two users at points a and b interfere: the paper
+// models each user's interference range as a square of half-side 2λ, so a
+// and b conflict iff |ax-bx| < 2λ AND |ay-by| < 2λ.
+func Conflict(a, b Point, lambda uint64) bool {
+	return absDiff(a.X, b.X) < 2*lambda && absDiff(a.Y, b.Y) < 2*lambda
+}
+
+func absDiff(a, b uint64) uint64 {
+	if a > b {
+		return a - b
+	}
+	return b - a
+}
+
+// ClampRange returns [v-delta, v+delta] clamped into [0, max]; used to form
+// interference-range queries near region borders.
+func ClampRange(v, delta, max uint64) (lo, hi uint64) {
+	if v > delta {
+		lo = v - delta
+	}
+	hi = v + delta
+	if hi > max {
+		hi = max
+	}
+	return lo, hi
+}

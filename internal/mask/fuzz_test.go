@@ -1,0 +1,48 @@
+package mask
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// FuzzOpenValueRejectsGarbage: arbitrary bytes must never open
+// successfully (authenticated encryption) and must never panic.
+func FuzzOpenValueRejectsGarbage(f *testing.F) {
+	f.Add([]byte{})
+	f.Add(make([]byte, SealedValueLen))
+	f.Add(make([]byte, SealedValueLen-1))
+	f.Add(make([]byte, 1024))
+	f.Fuzz(func(t *testing.T, ct []byte) {
+		s, err := NewSealer(make(Key, 16), rand.New(rand.NewSource(1)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v, err := s.OpenValue(ct); err == nil {
+			// A forged ciphertext passing GCM authentication would be a
+			// catastrophic failure (probability ~2^-128 per try).
+			t.Fatalf("garbage ciphertext opened to %d", v)
+		}
+	})
+}
+
+// FuzzSealOpenRoundTrip: every value must survive seal/open, and a
+// one-byte flip must be rejected.
+func FuzzSealOpenRoundTrip(f *testing.F) {
+	f.Add(uint64(0), uint8(0))
+	f.Add(uint64(1<<63), uint8(5))
+	f.Fuzz(func(t *testing.T, v uint64, flip uint8) {
+		s, err := NewSealer(make(Key, 16), rand.New(rand.NewSource(2)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		ct := s.SealValue(v)
+		got, err := s.OpenValue(ct)
+		if err != nil || got != v {
+			t.Fatalf("round trip: %d, %v", got, err)
+		}
+		ct[int(flip)%len(ct)] ^= 0x01
+		if _, err := s.OpenValue(ct); err == nil {
+			t.Fatal("tampered ciphertext accepted")
+		}
+	})
+}

@@ -1,0 +1,173 @@
+// Package mask provides the cryptographic layer of LPPA: keyed masking of
+// numericalized prefixes with HMAC-SHA256, fixed-size digest sets with
+// padding (so set cardinality leaks nothing), and authenticated symmetric
+// sealing (AES-GCM) for the bid ciphertexts that only the TTP can open.
+//
+// The security property the protocol relies on is that HMAC under an
+// unknown key is a pseudorandom function: the auctioneer can test equality
+// of masked prefixes (and therefore evaluate prefix-membership range
+// predicates) but learns nothing about the underlying values beyond the
+// outcomes of those equality tests.
+package mask
+
+import (
+	"crypto/hmac"
+	"crypto/sha256"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math/rand"
+)
+
+// DigestSize is the size of a masked prefix digest in bytes. Digests are
+// truncated HMAC-SHA256 outputs; 16 bytes (128 bits) keeps collision
+// probability negligible at auction scale while halving transcript size.
+const DigestSize = 16
+
+// Digest is a masked (keyed-hashed) numericalized prefix. Digest is
+// comparable and therefore usable as a map key, which the auctioneer's set
+// intersections depend on.
+type Digest [DigestSize]byte
+
+// String renders the digest in hex for logs and debugging.
+func (d Digest) String() string { return fmt.Sprintf("%x", d[:]) }
+
+// Key is an HMAC key. Keys are distributed by the TTP to bidders and are
+// never revealed to the auctioneer.
+type Key []byte
+
+// ErrShortKey is returned when a key is too short to be credible.
+var ErrShortKey = errors.New("mask: key shorter than 16 bytes")
+
+// MinKeyLen is the minimum accepted HMAC key length in bytes.
+const MinKeyLen = 16
+
+// Validate checks the key length.
+func (k Key) Validate() error {
+	if len(k) < MinKeyLen {
+		return fmt.Errorf("%w (got %d bytes)", ErrShortKey, len(k))
+	}
+	return nil
+}
+
+// Masker computes digests of numericalized prefixes under a fixed key.
+// A Masker is cheap to construct; it is not safe for concurrent use because
+// it reuses an internal buffer.
+type Masker struct {
+	key Key
+}
+
+// NewMasker returns a Masker for the given key.
+func NewMasker(key Key) (*Masker, error) {
+	if err := key.Validate(); err != nil {
+		return nil, err
+	}
+	return &Masker{key: key}, nil
+}
+
+// Mask returns H_g(v) = HMAC_g(O(v)): the digest of a numericalized prefix
+// v. The message is the fixed-width big-endian encoding of v, so all masked
+// prefixes have identical message length (the paper requires random padding
+// digests to be indistinguishable by length).
+func (m *Masker) Mask(numericalized uint64) Digest {
+	mac := hmac.New(sha256.New, m.key)
+	var buf [8]byte
+	binary.BigEndian.PutUint64(buf[:], numericalized)
+	mac.Write(buf[:])
+	var d Digest
+	copy(d[:], mac.Sum(nil))
+	return d
+}
+
+// MaskAll masks every numericalized prefix in vs.
+func (m *Masker) MaskAll(vs []uint64) []Digest {
+	out := make([]Digest, len(vs))
+	for i, v := range vs {
+		out[i] = m.Mask(v)
+	}
+	return out
+}
+
+// Set is an unordered collection of digests supporting O(1) membership.
+// The zero value is an empty set ready to use.
+type Set struct {
+	members map[Digest]struct{}
+}
+
+// NewSet builds a Set from digests, dropping duplicates.
+func NewSet(ds []Digest) Set {
+	s := Set{members: make(map[Digest]struct{}, len(ds))}
+	for _, d := range ds {
+		s.members[d] = struct{}{}
+	}
+	return s
+}
+
+// Len reports the number of distinct digests in the set.
+func (s Set) Len() int { return len(s.members) }
+
+// Contains reports whether d is in the set.
+func (s Set) Contains(d Digest) bool {
+	_, ok := s.members[d]
+	return ok
+}
+
+// Add inserts d into the set.
+func (s *Set) Add(d Digest) {
+	if s.members == nil {
+		s.members = make(map[Digest]struct{})
+	}
+	s.members[d] = struct{}{}
+}
+
+// Digests returns the members in unspecified order.
+func (s Set) Digests() []Digest {
+	out := make([]Digest, 0, len(s.members))
+	for d := range s.members {
+		out = append(out, d)
+	}
+	return out
+}
+
+// Intersects reports whether s and other share at least one digest. This is
+// the only operation the auctioneer performs on masked location and bid
+// data: prefix membership verification reduces range queries to exactly
+// this check.
+func (s Set) Intersects(other Set) bool {
+	small, large := s, other
+	if small.Len() > large.Len() {
+		small, large = large, small
+	}
+	for d := range small.members {
+		if large.Contains(d) {
+			return true
+		}
+	}
+	return false
+}
+
+// PadTo grows the set to exactly target members by inserting random digests
+// drawn from rng. Padding hides the true cardinality of range-prefix sets,
+// which would otherwise leak bid magnitude (section IV.C of the paper: all
+// range covers are padded to 2w-2 elements). Random digests collide with
+// genuine HMAC outputs only with probability 2^-128 per draw, so padding
+// does not perturb intersection results. PadTo is a no-op if the set
+// already has at least target members.
+func (s *Set) PadTo(target int, rng *rand.Rand) {
+	if s.members == nil {
+		s.members = make(map[Digest]struct{}, target)
+	}
+	for len(s.members) < target {
+		var d Digest
+		for i := range d {
+			d[i] = byte(rng.Intn(256))
+		}
+		s.members[d] = struct{}{}
+	}
+}
+
+// MaskSet masks all numericalized prefixes in vs and collects them into a
+// Set.
+func (m *Masker) MaskSet(vs []uint64) Set {
+	return NewSet(m.MaskAll(vs))
+}

@@ -1,0 +1,157 @@
+// Package paillier implements the additively homomorphic Paillier
+// cryptosystem, the primitive behind the secure-auction baseline the paper
+// compares against (Pan, Sun, Fang — "Purging the back-room dealing:
+// secure spectrum auction leveraging Paillier cryptosystem", IEEE JSAC
+// 2011, the paper's reference [7]).
+//
+// The paper's argument for prefix-based masking over Paillier is cost:
+// each Paillier operation is a modular exponentiation over a ≥2048-bit
+// modulus and ciphertexts are kilobyte-sized, whereas an HMAC digest costs
+// a microsecond and 16 bytes. This package exists so the benchmark harness
+// can measure that comparison concretely (BenchmarkBaselinePaillier*)
+// rather than citing it; it is a correct, test-covered implementation, but
+// it is not hardened against side channels.
+package paillier
+
+import (
+	"crypto/rand"
+	"errors"
+	"fmt"
+	"io"
+	"math/big"
+)
+
+// PublicKey is a Paillier public key (n, g) with g = n+1, the standard
+// efficient choice.
+type PublicKey struct {
+	N  *big.Int // modulus n = p·q
+	N2 *big.Int // n²
+}
+
+// PrivateKey holds the decryption exponents λ = lcm(p−1, q−1) and the
+// precomputed μ = L(g^λ mod n²)^−1 mod n.
+type PrivateKey struct {
+	PublicKey
+	lambda *big.Int
+	mu     *big.Int
+}
+
+// Errors.
+var (
+	ErrMessageRange = errors.New("paillier: message outside [0, n)")
+	ErrCiphertext   = errors.New("paillier: ciphertext outside [0, n²)")
+)
+
+// GenerateKey creates a key pair with a modulus of the given bit size
+// (≥ 512; use ≥ 2048 for real security, smaller sizes only in benchmarks
+// and tests).
+func GenerateKey(random io.Reader, bits int) (*PrivateKey, error) {
+	if bits < 512 {
+		return nil, fmt.Errorf("paillier: modulus size %d below 512 bits", bits)
+	}
+	one := big.NewInt(1)
+	for {
+		p, err := rand.Prime(random, bits/2)
+		if err != nil {
+			return nil, fmt.Errorf("paillier: generate p: %w", err)
+		}
+		q, err := rand.Prime(random, bits-bits/2)
+		if err != nil {
+			return nil, fmt.Errorf("paillier: generate q: %w", err)
+		}
+		if p.Cmp(q) == 0 {
+			continue
+		}
+		n := new(big.Int).Mul(p, q)
+		if n.BitLen() != bits {
+			continue
+		}
+		pm1 := new(big.Int).Sub(p, one)
+		qm1 := new(big.Int).Sub(q, one)
+		gcd := new(big.Int).GCD(nil, nil, pm1, qm1)
+		lambda := new(big.Int).Mul(pm1, qm1)
+		lambda.Div(lambda, gcd)
+
+		n2 := new(big.Int).Mul(n, n)
+		key := &PrivateKey{
+			PublicKey: PublicKey{N: n, N2: n2},
+			lambda:    lambda,
+		}
+		// μ = L(g^λ mod n²)^{-1} mod n with g = n+1:
+		// g^λ = (1+n)^λ ≡ 1 + λ·n (mod n²), so L(g^λ) = λ mod n.
+		lmod := new(big.Int).Mod(lambda, n)
+		mu := new(big.Int).ModInverse(lmod, n)
+		if mu == nil {
+			continue // gcd(λ, n) ≠ 1; re-draw primes
+		}
+		key.mu = mu
+		return key, nil
+	}
+}
+
+// Encrypt returns E(m) = g^m · r^n mod n² for a fresh random r.
+func (pk *PublicKey) Encrypt(random io.Reader, m *big.Int) (*big.Int, error) {
+	if m.Sign() < 0 || m.Cmp(pk.N) >= 0 {
+		return nil, ErrMessageRange
+	}
+	// g = n+1 ⇒ g^m mod n² = 1 + m·n (binomial theorem), saving an exp.
+	gm := new(big.Int).Mul(m, pk.N)
+	gm.Add(gm, big.NewInt(1))
+	gm.Mod(gm, pk.N2)
+
+	r, err := pk.randomUnit(random)
+	if err != nil {
+		return nil, err
+	}
+	rn := new(big.Int).Exp(r, pk.N, pk.N2)
+	c := gm.Mul(gm, rn)
+	return c.Mod(c, pk.N2), nil
+}
+
+// randomUnit draws r ∈ [1, n) with gcd(r, n) = 1.
+func (pk *PublicKey) randomUnit(random io.Reader) (*big.Int, error) {
+	one := big.NewInt(1)
+	for {
+		r, err := rand.Int(random, pk.N)
+		if err != nil {
+			return nil, fmt.Errorf("paillier: draw r: %w", err)
+		}
+		if r.Sign() == 0 {
+			continue
+		}
+		if new(big.Int).GCD(nil, nil, r, pk.N).Cmp(one) == 0 {
+			return r, nil
+		}
+	}
+}
+
+// Decrypt recovers m = L(c^λ mod n²) · μ mod n.
+func (sk *PrivateKey) Decrypt(c *big.Int) (*big.Int, error) {
+	if c.Sign() < 0 || c.Cmp(sk.N2) >= 0 {
+		return nil, ErrCiphertext
+	}
+	u := new(big.Int).Exp(c, sk.lambda, sk.N2)
+	l := sk.l(u)
+	m := l.Mul(l, sk.mu)
+	return m.Mod(m, sk.N), nil
+}
+
+// l computes L(u) = (u − 1) / n.
+func (sk *PrivateKey) l(u *big.Int) *big.Int {
+	out := new(big.Int).Sub(u, big.NewInt(1))
+	return out.Div(out, sk.N)
+}
+
+// Add returns E(m1 + m2) = c1 · c2 mod n² — the additive homomorphism.
+func (pk *PublicKey) Add(c1, c2 *big.Int) *big.Int {
+	out := new(big.Int).Mul(c1, c2)
+	return out.Mod(out, pk.N2)
+}
+
+// MulConst returns E(k·m) = c^k mod n².
+func (pk *PublicKey) MulConst(c *big.Int, k *big.Int) *big.Int {
+	return new(big.Int).Exp(c, k, pk.N2)
+}
+
+// CiphertextBytes is the wire size of one ciphertext for this key.
+func (pk *PublicKey) CiphertextBytes() int { return (pk.N2.BitLen() + 7) / 8 }

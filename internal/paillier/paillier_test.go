@@ -1,0 +1,162 @@
+package paillier
+
+import (
+	"crypto/rand"
+	"math/big"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+// testKey is generated once: keygen dominates test time.
+var (
+	keyOnce sync.Once
+	key     *PrivateKey
+)
+
+func testKeyPair(t *testing.T) *PrivateKey {
+	t.Helper()
+	keyOnce.Do(func() {
+		k, err := GenerateKey(rand.Reader, 512)
+		if err != nil {
+			panic(err)
+		}
+		key = k
+	})
+	return key
+}
+
+func TestGenerateKeyRejectsTinyModulus(t *testing.T) {
+	if _, err := GenerateKey(rand.Reader, 128); err == nil {
+		t.Fatal("128-bit modulus accepted")
+	}
+}
+
+func TestEncryptDecryptRoundTrip(t *testing.T) {
+	sk := testKeyPair(t)
+	for _, m := range []int64{0, 1, 42, 1 << 40} {
+		c, err := sk.Encrypt(rand.Reader, big.NewInt(m))
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := sk.Decrypt(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Int64() != m {
+			t.Errorf("round trip %d -> %d", m, got.Int64())
+		}
+	}
+}
+
+func TestEncryptionIsProbabilistic(t *testing.T) {
+	sk := testKeyPair(t)
+	m := big.NewInt(7)
+	a, err := sk.Encrypt(rand.Reader, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := sk.Encrypt(rand.Reader, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Cmp(b) == 0 {
+		t.Error("two encryptions of the same message are identical")
+	}
+}
+
+func TestAdditiveHomomorphism(t *testing.T) {
+	sk := testKeyPair(t)
+	prop := func(av, bv uint32) bool {
+		a, b := big.NewInt(int64(av)), big.NewInt(int64(bv))
+		ca, err := sk.Encrypt(rand.Reader, a)
+		if err != nil {
+			return false
+		}
+		cb, err := sk.Encrypt(rand.Reader, b)
+		if err != nil {
+			return false
+		}
+		sum, err := sk.Decrypt(sk.Add(ca, cb))
+		if err != nil {
+			return false
+		}
+		return sum.Int64() == int64(av)+int64(bv)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMulConst(t *testing.T) {
+	sk := testKeyPair(t)
+	c, err := sk.Encrypt(rand.Reader, big.NewInt(11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := sk.Decrypt(sk.MulConst(c, big.NewInt(9)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Int64() != 99 {
+		t.Errorf("E(11)^9 decrypts to %d, want 99", got.Int64())
+	}
+}
+
+func TestRangeValidation(t *testing.T) {
+	sk := testKeyPair(t)
+	if _, err := sk.Encrypt(rand.Reader, new(big.Int).Neg(big.NewInt(1))); err == nil {
+		t.Error("negative message accepted")
+	}
+	if _, err := sk.Encrypt(rand.Reader, new(big.Int).Set(sk.N)); err == nil {
+		t.Error("message = n accepted")
+	}
+	if _, err := sk.Decrypt(new(big.Int).Set(sk.N2)); err == nil {
+		t.Error("ciphertext = n² accepted")
+	}
+}
+
+func TestBaselineBidVector(t *testing.T) {
+	sk := testKeyPair(t)
+	bids := []uint64{0, 7, 100, 55}
+	sub, err := EncryptBids(&sk.PublicKey, rand.Reader, bids)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := sub.Bytes(&sk.PublicKey); got < len(bids)*sk.N.BitLen()/8 {
+		t.Errorf("submission bytes = %d implausibly small", got)
+	}
+	dec, err := DecryptBids(sk, sub)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range bids {
+		if dec[i] != bids[i] {
+			t.Errorf("bid %d: %d != %d", i, dec[i], bids[i])
+		}
+	}
+}
+
+func TestSumBids(t *testing.T) {
+	sk := testKeyPair(t)
+	bids := []uint64{3, 4, 5}
+	sub, err := EncryptBids(&sk.PublicKey, rand.Reader, bids)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total, err := sk.Decrypt(SumBids(&sk.PublicKey, sub.Ciphertexts))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if total.Int64() != 12 {
+		t.Errorf("homomorphic sum = %d, want 12", total.Int64())
+	}
+	// Empty aggregation is the identity.
+	zero, err := sk.Decrypt(SumBids(&sk.PublicKey, nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if zero.Sign() != 0 {
+		t.Errorf("empty sum = %v, want 0", zero)
+	}
+}

@@ -1,0 +1,79 @@
+package prefix
+
+import "testing"
+
+// FuzzMemberMatchesComparison fuzzes the central equivalence of the
+// scheme: prefix membership must decide interval membership exactly.
+func FuzzMemberMatchesComparison(f *testing.F) {
+	f.Add(uint16(7), uint16(6), uint16(14))
+	f.Add(uint16(0), uint16(0), uint16(0))
+	f.Add(uint16(65535), uint16(0), uint16(65535))
+	f.Add(uint16(1), uint16(2), uint16(1)) // inverted bounds
+	f.Fuzz(func(t *testing.T, xv, av, bv uint16) {
+		const w = 16
+		x, lo, hi := uint64(xv), uint64(av), uint64(bv)
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		got := Member(x, lo, hi, w)
+		want := lo <= x && x <= hi
+		if got != want {
+			t.Fatalf("Member(%d,[%d,%d]) = %v, want %v", x, lo, hi, got, want)
+		}
+	})
+}
+
+// FuzzCoverTiles fuzzes the range-cover invariants: disjoint, ordered,
+// exactly tiling, within the 2w−2 bound.
+func FuzzCoverTiles(f *testing.F) {
+	f.Add(uint16(6), uint16(14))
+	f.Add(uint16(0), uint16(65535))
+	f.Add(uint16(1), uint16(65534)) // worst case 2w−2
+	f.Fuzz(func(t *testing.T, av, bv uint16) {
+		const w = 16
+		lo, hi := uint64(av), uint64(bv)
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		cover := Cover(lo, hi, w)
+		if len(cover) > MaxCoverSize(w) {
+			t.Fatalf("cover size %d exceeds %d", len(cover), MaxCoverSize(w))
+		}
+		next := lo
+		for _, p := range cover {
+			if p.Lo() != next {
+				t.Fatalf("gap/overlap at %d", next)
+			}
+			next = p.Hi() + 1
+		}
+		if next != hi+1 {
+			t.Fatalf("cover stops at %d, want %d", next-1, hi)
+		}
+	})
+}
+
+// FuzzFamilyNumericalization fuzzes that every family member contains the
+// value and numericalizations are unique within the family.
+func FuzzFamilyNumericalization(f *testing.F) {
+	f.Add(uint32(7))
+	f.Add(uint32(0))
+	f.Fuzz(func(t *testing.T, xv uint32) {
+		const w = 32
+		x := uint64(xv)
+		fam := Family(x, w)
+		if len(fam) != w+1 {
+			t.Fatalf("family size %d", len(fam))
+		}
+		seen := map[uint64]bool{}
+		for _, p := range fam {
+			if !p.Contains(x) {
+				t.Fatalf("family member %v excludes %d", p, x)
+			}
+			n := p.Numericalize()
+			if seen[n] {
+				t.Fatalf("duplicate numericalization %b", n)
+			}
+			seen[n] = true
+		}
+	})
+}

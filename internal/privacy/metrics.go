@@ -1,0 +1,90 @@
+// Package privacy quantifies location-privacy leakage with the four
+// metrics of the paper's section VI.A: uncertainty, incorrectness, failure
+// rate, and the number of possible location cells. Larger values of every
+// metric mean better-preserved privacy.
+package privacy
+
+import (
+	"fmt"
+	"math"
+
+	"lppa/internal/geo"
+)
+
+// Report holds the per-victim metrics for one attack outcome.
+type Report struct {
+	// PossibleCells is |P|, the cardinality of the attacker's final
+	// possible-location set.
+	PossibleCells int
+	// Uncertainty is the entropy −Σ Pr_x·log2 Pr_x of the attacker's
+	// posterior. With the uniform posterior over P the paper uses, this
+	// is log2|P| bits; an empty P scores zero.
+	Uncertainty float64
+	// Incorrectness is Σ Pr_x·‖l_x − l0‖: the expected distance (in
+	// meters) between the attacker's hypothesis and the true location.
+	Incorrectness float64
+	// Failed reports attack failure: the true cell is outside P.
+	Failed bool
+}
+
+// Evaluate computes the metrics for an attack that output the possible set
+// p against a victim truly located at truth. The posterior is uniform over
+// p, following the paper.
+func Evaluate(p *geo.CellSet, truth geo.Cell) Report {
+	n := p.Count()
+	rep := Report{PossibleCells: n, Failed: !p.Contains(truth)}
+	if n == 0 {
+		return rep
+	}
+	rep.Uncertainty = math.Log2(float64(n))
+	g := p.Grid()
+	var sum float64
+	p.ForEach(func(c geo.Cell) {
+		sum += g.CellDistanceMeters(c, truth)
+	})
+	rep.Incorrectness = sum / float64(n)
+	return rep
+}
+
+// Aggregate averages reports across victims; failure becomes a rate.
+type Aggregate struct {
+	Victims       int
+	PossibleCells float64
+	Uncertainty   float64
+	Incorrectness float64
+	FailureRate   float64
+	// SuccessRate is the complement of FailureRate (Fig. 4(b) reports
+	// success).
+	SuccessRate float64
+}
+
+// Summarize aggregates per-victim reports. It returns a zero Aggregate for
+// an empty input.
+func Summarize(reports []Report) Aggregate {
+	agg := Aggregate{Victims: len(reports)}
+	if len(reports) == 0 {
+		return agg
+	}
+	failures := 0
+	for _, r := range reports {
+		agg.PossibleCells += float64(r.PossibleCells)
+		agg.Uncertainty += r.Uncertainty
+		agg.Incorrectness += r.Incorrectness
+		if r.Failed {
+			failures++
+		}
+	}
+	n := float64(len(reports))
+	agg.PossibleCells /= n
+	agg.Uncertainty /= n
+	agg.Incorrectness /= n
+	agg.FailureRate = float64(failures) / n
+	agg.SuccessRate = 1 - agg.FailureRate
+	return agg
+}
+
+// String renders the aggregate as one report row.
+func (a Aggregate) String() string {
+	return fmt.Sprintf("victims=%d cells=%.1f uncertainty=%.2fbits incorrectness=%.0fm failure=%.1f%%",
+		a.Victims, a.PossibleCells, a.Uncertainty, a.Incorrectness, 100*a.FailureRate)
+}

@@ -1,0 +1,105 @@
+package privacy
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"lppa/internal/geo"
+)
+
+func grid() geo.Grid { return geo.Grid{Rows: 10, Cols: 10, SideMeters: 10_000} }
+
+func TestEvaluateSingletonHit(t *testing.T) {
+	g := grid()
+	p := geo.NewCellSet(g)
+	truth := geo.Cell{Row: 3, Col: 3}
+	p.Add(truth)
+	rep := Evaluate(p, truth)
+	if rep.PossibleCells != 1 || rep.Failed {
+		t.Fatalf("rep = %+v", rep)
+	}
+	if rep.Uncertainty != 0 {
+		t.Errorf("uncertainty = %f, want 0 (singleton)", rep.Uncertainty)
+	}
+	if rep.Incorrectness != 0 {
+		t.Errorf("incorrectness = %f, want 0", rep.Incorrectness)
+	}
+}
+
+func TestEvaluateMiss(t *testing.T) {
+	g := grid()
+	p := geo.NewCellSet(g)
+	p.Add(geo.Cell{Row: 0, Col: 0})
+	rep := Evaluate(p, geo.Cell{Row: 9, Col: 9})
+	if !rep.Failed {
+		t.Error("miss not flagged as failure")
+	}
+	if rep.Incorrectness <= 0 {
+		t.Error("incorrectness should be positive for a miss")
+	}
+}
+
+func TestEvaluateEmptySet(t *testing.T) {
+	rep := Evaluate(geo.NewCellSet(grid()), geo.Cell{Row: 1, Col: 1})
+	if !rep.Failed || rep.PossibleCells != 0 || rep.Uncertainty != 0 || rep.Incorrectness != 0 {
+		t.Errorf("empty-set report = %+v", rep)
+	}
+}
+
+func TestEvaluateUniformEntropy(t *testing.T) {
+	g := grid()
+	p := geo.NewCellSet(g)
+	for i := 0; i < 8; i++ {
+		p.Add(g.CellAt(i))
+	}
+	rep := Evaluate(p, g.CellAt(0))
+	if math.Abs(rep.Uncertainty-3) > 1e-12 {
+		t.Errorf("uncertainty = %f, want 3 bits for 8 cells", rep.Uncertainty)
+	}
+}
+
+func TestEvaluateIncorrectnessMeanDistance(t *testing.T) {
+	g := grid() // 1000 m cells
+	p := geo.NewCellSet(g)
+	truth := geo.Cell{Row: 0, Col: 0}
+	p.Add(truth)                    // distance 0
+	p.Add(geo.Cell{Row: 0, Col: 4}) // 4000 m
+	rep := Evaluate(p, truth)
+	if math.Abs(rep.Incorrectness-2000) > 1e-9 {
+		t.Errorf("incorrectness = %f, want 2000", rep.Incorrectness)
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	reports := []Report{
+		{PossibleCells: 10, Uncertainty: 2, Incorrectness: 100, Failed: false},
+		{PossibleCells: 20, Uncertainty: 4, Incorrectness: 300, Failed: true},
+	}
+	agg := Summarize(reports)
+	if agg.Victims != 2 {
+		t.Fatalf("victims = %d", agg.Victims)
+	}
+	if agg.PossibleCells != 15 || agg.Uncertainty != 3 || agg.Incorrectness != 200 {
+		t.Errorf("agg = %+v", agg)
+	}
+	if agg.FailureRate != 0.5 || agg.SuccessRate != 0.5 {
+		t.Errorf("failure = %f success = %f", agg.FailureRate, agg.SuccessRate)
+	}
+}
+
+func TestSummarizeEmpty(t *testing.T) {
+	agg := Summarize(nil)
+	if agg.Victims != 0 || agg.FailureRate != 0 {
+		t.Errorf("agg = %+v", agg)
+	}
+}
+
+func TestAggregateString(t *testing.T) {
+	s := Summarize([]Report{{PossibleCells: 5, Uncertainty: 2.32, Incorrectness: 1500}}).String()
+	for _, want := range []string{"victims=1", "cells=5.0", "failure=0.0%"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String() = %q missing %q", s, want)
+		}
+	}
+}

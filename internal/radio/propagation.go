@@ -1,0 +1,258 @@
+// Package radio models the RF substrate of the cognitive-radio simulation:
+// primary-user transmitters, a log-distance path-loss model with
+// deterministic log-normal shadowing, and the derivation of per-channel
+// coverage and spectrum-quality maps.
+//
+// The paper's experiments consume coverage maps extracted from FCC/TVFool
+// data for Los Angeles. Those maps reduce to two artefacts per channel:
+// a boolean availability map (cells where the PU signal is at or below the
+// −81 dBm threshold, i.e. the complement of the PU's protected contour) and
+// a scalar quality figure per cell. This package regenerates both from
+// first principles so experiments are self-contained and reproducible.
+package radio
+
+import (
+	"fmt"
+	"math"
+
+	"lppa/internal/geo"
+)
+
+// Tower is a primary-user transmitter at metric coordinates (X, Y) with
+// effective radiated power PowerDBm.
+type Tower struct {
+	X, Y     float64
+	PowerDBm float64
+}
+
+// PathLoss is a log-distance path-loss model with deterministic log-normal
+// shadowing:
+//
+//	PL(d) = RefLossDB + 10·Exponent·log10(d/RefDistM) + X_sigma
+//
+// where X_sigma is a zero-mean pseudo-Gaussian with standard deviation
+// ShadowSigmaDB, derived deterministically from (Seed, shadow key) so that
+// repeated evaluations and repeated runs agree.
+type PathLoss struct {
+	// Exponent is the path-loss exponent n: ~2 free space, 2.5–3 rural,
+	// 3.5–4 urban.
+	Exponent float64
+	// RefLossDB is the loss at the reference distance. For UHF TV bands
+	// (~600 MHz) free-space loss at 1 km is ≈ 88 dB.
+	RefLossDB float64
+	// RefDistM is the reference distance in meters.
+	RefDistM float64
+	// ShadowSigmaDB is the shadowing standard deviation (0 disables).
+	ShadowSigmaDB float64
+	// ShadowCorrM is the shadowing correlation length in meters: terrain
+	// features (hills, built-up blocks) span kilometers, so nearby cells
+	// see similar shadowing and coverage contours stay smooth. Zero
+	// selects the 5 km default.
+	ShadowCorrM float64
+	// Seed decorrelates shadowing between areas/runs.
+	Seed uint64
+}
+
+// DefaultShadowCorrM is the default shadowing correlation length.
+const DefaultShadowCorrM = 5000
+
+// DefaultPathLoss returns a suburban-profile model.
+func DefaultPathLoss() PathLoss {
+	return PathLoss{Exponent: 3.0, RefLossDB: 88, RefDistM: 1000, ShadowSigmaDB: 6, ShadowCorrM: DefaultShadowCorrM, Seed: 1}
+}
+
+// Validate checks model parameters.
+func (m PathLoss) Validate() error {
+	if m.Exponent < 1.5 || m.Exponent > 6 {
+		return fmt.Errorf("radio: implausible path-loss exponent %.2f", m.Exponent)
+	}
+	if m.RefDistM <= 0 {
+		return fmt.Errorf("radio: reference distance %.1f m must be positive", m.RefDistM)
+	}
+	if m.ShadowSigmaDB < 0 {
+		return fmt.Errorf("radio: negative shadowing sigma %.1f", m.ShadowSigmaDB)
+	}
+	return nil
+}
+
+// LossDB returns the path loss in dB at distance d meters, excluding
+// shadowing. Distances below the reference distance clamp to it (receivers
+// essentially at the mast).
+func (m PathLoss) LossDB(d float64) float64 {
+	if d < m.RefDistM {
+		d = m.RefDistM
+	}
+	return m.RefLossDB + 10*m.Exponent*math.Log10(d/m.RefDistM)
+}
+
+// ReceivedDBm returns the power received from t at metric point (x, y),
+// including deterministic spatially-correlated shadowing keyed by
+// shadowKey (callers pass a stable identifier for the (channel, tower)
+// pair — NOT the receiver position, which enters through (x, y)).
+func (m PathLoss) ReceivedDBm(t Tower, x, y float64, shadowKey uint64) float64 {
+	d := math.Hypot(t.X-x, t.Y-y)
+	rssi := t.PowerDBm - m.LossDB(d)
+	if m.ShadowSigmaDB > 0 {
+		rssi += m.ShadowSigmaDB * m.shadowField(shadowKey, x, y)
+	}
+	return rssi
+}
+
+// shadowField evaluates a deterministic, spatially-correlated, zero-mean,
+// unit-variance noise field: independent pseudo-Gaussian values on a
+// lattice with spacing ShadowCorrM, bilinearly interpolated between
+// lattice points. Bilinear blending of unit-variance corners has variance
+// in [4/9, 1]; the field is rescaled by the blend weights to stay close to
+// unit variance everywhere.
+func (m PathLoss) shadowField(key uint64, x, y float64) float64 {
+	corr := m.ShadowCorrM
+	if corr <= 0 {
+		corr = DefaultShadowCorrM
+	}
+	// Offset far from the origin so negative coordinates stay monotone.
+	fx := x/corr + 1e6
+	fy := y/corr + 1e6
+	ix, iy := uint64(fx), uint64(fy)
+	tx, ty := fx-float64(ix), fy-float64(iy)
+
+	g := func(dx, dy uint64) float64 {
+		return gaussianHash(m.Seed, key^latticeKey(ix+dx, iy+dy))
+	}
+	v := (1-tx)*(1-ty)*g(0, 0) + tx*(1-ty)*g(1, 0) + (1-tx)*ty*g(0, 1) + tx*ty*g(1, 1)
+	// Normalize variance: Var = Σ w_i² for independent corners.
+	w2 := sq((1-tx)*(1-ty)) + sq(tx*(1-ty)) + sq((1-tx)*ty) + sq(tx*ty)
+	return v / math.Sqrt(w2)
+}
+
+func sq(x float64) float64 { return x * x }
+
+func latticeKey(i, j uint64) uint64 {
+	return splitmix64(i*0x9E3779B97F4A7C15 ^ j*0xC2B2AE3D27D4EB4F)
+}
+
+// gaussianHash maps (seed, key) to an approximately standard-normal value,
+// deterministically. It sums 4 uniform(−0.5, 0.5) draws from a splitmix64
+// stream and rescales to unit variance (Irwin–Hall; adequate tail behaviour
+// for shadowing within ±3σ).
+func gaussianHash(seed, key uint64) float64 {
+	x := seed ^ (key * 0x9E3779B97F4A7C15)
+	var sum float64
+	for i := 0; i < 4; i++ {
+		x = splitmix64(x)
+		u := float64(x>>11) / (1 << 53) // [0,1)
+		sum += u - 0.5
+	}
+	// Var(sum of 4 U(-0.5,0.5)) = 4/12 = 1/3 → scale by sqrt(3).
+	return sum * math.Sqrt(3)
+}
+
+func splitmix64(x uint64) uint64 {
+	x += 0x9E3779B97F4A7C15
+	z := x
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
+// Channel is one auctionable spectrum band with its primary-user
+// transmitters.
+type Channel struct {
+	ID     int
+	Towers []Tower
+}
+
+// CoverageMap is the per-channel artefact the rest of the system consumes:
+// for every grid cell, whether the channel is available to a secondary
+// user there, and the channel's quality for an SU in that cell.
+type CoverageMap struct {
+	ChannelID int
+	Grid      geo.Grid
+	// Available holds cells where the PU signal is at or below the
+	// threshold (the paper's C_r, the complement of the PU coverage).
+	Available *geo.CellSet
+	// Quality holds q*_r(cell) indexed by geo.Grid.Index: 0 for
+	// unavailable cells, otherwise a positive figure growing with the
+	// interference margin below the threshold.
+	Quality []float64
+}
+
+// QualityAt returns the quality in cell c.
+func (cm *CoverageMap) QualityAt(c geo.Cell) float64 {
+	return cm.Quality[cm.Grid.Index(c)]
+}
+
+// AvailableAt reports channel availability in cell c.
+func (cm *CoverageMap) AvailableAt(c geo.Cell) bool {
+	return cm.Available.Contains(c)
+}
+
+// QualityScale caps the interference margin (dB below threshold) that maps
+// to the maximum quality 1.0. Margins beyond 40 dB add no practical value
+// to an SU link.
+const QualityScale = 40.0
+
+// QualityTextureFrac is the relative magnitude of fine-scale (per-cell)
+// quality texture: multipath fading perturbs the link quality an SU
+// actually experiences without moving the regulatory availability contour
+// (which a geo-location database defines from smooth propagation
+// predictions). The texture makes neighbouring cells' quality fingerprints
+// distinguishable — which is what lets the BPM attack rank cells, and what
+// makes it fallible under the bid-valuation noise.
+const QualityTextureFrac = 0.15
+
+// ComputeCoverage evaluates the channel over every cell of g: a cell is
+// available iff the strongest PU signal there is at or below thresholdDBm
+// (the paper uses −81 dBm), and quality is the clamped, normalized margin
+// (threshold − rssi)/QualityScale ∈ (0, 1]. A channel with no towers is
+// available everywhere at maximum quality.
+func ComputeCoverage(g geo.Grid, ch Channel, model PathLoss, thresholdDBm float64) *CoverageMap {
+	cm := &CoverageMap{
+		ChannelID: ch.ID,
+		Grid:      g,
+		Available: geo.NewCellSet(g),
+		Quality:   make([]float64, g.NumCells()),
+	}
+	for idx := 0; idx < g.NumCells(); idx++ {
+		cell := g.CellAt(idx)
+		x, y := g.Center(cell)
+		rssi := math.Inf(-1)
+		for _, t := range ch.Towers {
+			// Shadowing is terrain-driven and therefore common to every
+			// channel radiating from the same site: the key quantizes the
+			// tower position (~4 km) so co-sited transmitters share one
+			// shadow field and their contours nest by power. This is what
+			// keeps the coverage complements of co-sited channels
+			// correlated — the property BCM's output size depends on.
+			key := latticeKey(uint64((t.X+1e7)/4000), uint64((t.Y+1e7)/4000))
+			if p := model.ReceivedDBm(t, x, y, key); p > rssi {
+				rssi = p
+			}
+		}
+		if rssi > thresholdDBm {
+			continue // PU protected: unavailable, quality 0
+		}
+		cm.Available.Add(cell)
+		margin := thresholdDBm - rssi
+		if math.IsInf(margin, 1) || margin > QualityScale {
+			margin = QualityScale
+		}
+		q := margin / QualityScale
+		// Fine-scale multipath texture: perturbs quality per cell without
+		// touching availability. Towerless channels have no PU signal to
+		// fade against and stay saturated at 1.
+		if len(ch.Towers) > 0 {
+			q *= 1 + QualityTextureFrac*gaussianHash(model.Seed^0xA5A5A5A5, uint64(ch.ID)<<32|uint64(idx))
+		}
+		if q < 0.01 {
+			q = 0.01
+		}
+		if q > 1 {
+			q = 1
+		}
+		cm.Quality[idx] = q
+	}
+	return cm
+}
+
+// FCCThresholdDBm is the paper's practical availability threshold.
+const FCCThresholdDBm = -81.0

@@ -1,0 +1,163 @@
+package radio
+
+import (
+	"math"
+	"testing"
+
+	"lppa/internal/geo"
+)
+
+func TestPathLossMonotoneInDistance(t *testing.T) {
+	m := DefaultPathLoss()
+	prev := m.LossDB(m.RefDistM)
+	for d := m.RefDistM * 2; d < 100_000; d *= 2 {
+		l := m.LossDB(d)
+		if l <= prev {
+			t.Fatalf("loss not increasing: L(%f)=%f <= %f", d, l, prev)
+		}
+		prev = l
+	}
+}
+
+func TestPathLossClampsBelowReference(t *testing.T) {
+	m := DefaultPathLoss()
+	if m.LossDB(1) != m.LossDB(m.RefDistM) {
+		t.Error("loss below reference distance should clamp")
+	}
+}
+
+func TestPathLossSlope(t *testing.T) {
+	m := PathLoss{Exponent: 3.0, RefLossDB: 88, RefDistM: 1000}
+	// One decade of distance adds 10·n dB.
+	got := m.LossDB(10_000) - m.LossDB(1000)
+	if math.Abs(got-30) > 1e-9 {
+		t.Errorf("per-decade loss = %f, want 30", got)
+	}
+}
+
+func TestPathLossValidate(t *testing.T) {
+	good := DefaultPathLoss()
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []PathLoss{
+		{Exponent: 1.0, RefDistM: 1000},
+		{Exponent: 3, RefDistM: 0},
+		{Exponent: 3, RefDistM: 100, ShadowSigmaDB: -1},
+	}
+	for i, m := range bad {
+		if m.Validate() == nil {
+			t.Errorf("case %d: bad model validated", i)
+		}
+	}
+}
+
+func TestShadowingDeterministicAndBounded(t *testing.T) {
+	m := DefaultPathLoss()
+	tower := Tower{X: 0, Y: 0, PowerDBm: 50}
+	a := m.ReceivedDBm(tower, 5000, 5000, 42)
+	b := m.ReceivedDBm(tower, 5000, 5000, 42)
+	if a != b {
+		t.Error("shadowing not deterministic for same key")
+	}
+	c := m.ReceivedDBm(tower, 5000, 5000, 43)
+	if a == c {
+		t.Error("distinct shadow keys gave identical rssi (suspicious)")
+	}
+}
+
+func TestGaussianHashMoments(t *testing.T) {
+	// Empirical mean ≈ 0, variance ≈ 1 over many keys.
+	var sum, sumSq float64
+	const n = 20000
+	for k := uint64(0); k < n; k++ {
+		g := gaussianHash(7, k)
+		sum += g
+		sumSq += g * g
+	}
+	mean := sum / n
+	variance := sumSq/n - mean*mean
+	if math.Abs(mean) > 0.02 {
+		t.Errorf("mean = %f, want ≈0", mean)
+	}
+	if math.Abs(variance-1) > 0.05 {
+		t.Errorf("variance = %f, want ≈1", variance)
+	}
+}
+
+func TestComputeCoverageNearFarStructure(t *testing.T) {
+	g := geo.Grid{Rows: 50, Cols: 50, SideMeters: 75_000}
+	model := PathLoss{Exponent: 3.0, RefLossDB: 88, RefDistM: 1000} // no shadowing
+	ch := Channel{ID: 1, Towers: []Tower{{X: 37_500, Y: 37_500, PowerDBm: 50}}}
+	cm := ComputeCoverage(g, ch, model, FCCThresholdDBm)
+
+	center := geo.Cell{Row: 25, Col: 25}
+	corner := geo.Cell{Row: 0, Col: 0}
+	if cm.AvailableAt(center) {
+		t.Error("cell at the tower should be inside PU coverage (unavailable)")
+	}
+	if !cm.AvailableAt(corner) {
+		t.Error("far corner should be available")
+	}
+	if cm.QualityAt(center) != 0 {
+		t.Error("unavailable cell must have zero quality")
+	}
+	q := cm.QualityAt(corner)
+	if q <= 0 || q > 1 {
+		t.Errorf("corner quality = %f, want in (0,1]", q)
+	}
+	// Quality grows with distance from the tower (monotone margin).
+	mid := geo.Cell{Row: 25, Col: 44}
+	if cm.AvailableAt(mid) && cm.QualityAt(mid) >= q+1e-9 && cm.QualityAt(mid) != 1 {
+		// mid is closer to the tower than corner; unless both clamp at 1,
+		// mid must not exceed corner.
+		t.Errorf("quality not monotone: mid %f > corner %f", cm.QualityAt(mid), q)
+	}
+}
+
+func TestComputeCoverageNoTowers(t *testing.T) {
+	g := geo.Grid{Rows: 10, Cols: 10, SideMeters: 1000}
+	cm := ComputeCoverage(g, Channel{ID: 9}, DefaultPathLoss(), FCCThresholdDBm)
+	if cm.Available.Count() != g.NumCells() {
+		t.Errorf("towerless channel available in %d cells, want all %d",
+			cm.Available.Count(), g.NumCells())
+	}
+	for _, q := range cm.Quality {
+		if q != 1 {
+			t.Fatalf("towerless quality = %f, want 1", q)
+		}
+	}
+}
+
+func TestComputeCoverageMultiTowerMax(t *testing.T) {
+	g := geo.Grid{Rows: 20, Cols: 20, SideMeters: 75_000}
+	model := PathLoss{Exponent: 3.0, RefLossDB: 88, RefDistM: 1000}
+	one := ComputeCoverage(g, Channel{ID: 1, Towers: []Tower{{X: 10_000, Y: 10_000, PowerDBm: 50}}}, model, FCCThresholdDBm)
+	two := ComputeCoverage(g, Channel{ID: 1, Towers: []Tower{
+		{X: 10_000, Y: 10_000, PowerDBm: 50},
+		{X: 65_000, Y: 65_000, PowerDBm: 50},
+	}}, model, FCCThresholdDBm)
+	// Adding a tower can only shrink availability.
+	if two.Available.Count() > one.Available.Count() {
+		t.Errorf("second tower grew availability: %d > %d",
+			two.Available.Count(), one.Available.Count())
+	}
+	inter := two.Available.Clone()
+	inter.SubtractWith(one.Available)
+	if inter.Count() != 0 {
+		t.Error("two-tower availability not a subset of one-tower availability")
+	}
+}
+
+func TestQualityZeroIffUnavailable(t *testing.T) {
+	g := geo.Grid{Rows: 30, Cols: 30, SideMeters: 75_000}
+	model := PathLoss{Exponent: 3.2, RefLossDB: 88, RefDistM: 1000, ShadowSigmaDB: 5, Seed: 3}
+	ch := Channel{ID: 4, Towers: []Tower{{X: 20_000, Y: 30_000, PowerDBm: 52}}}
+	cm := ComputeCoverage(g, ch, model, FCCThresholdDBm)
+	for idx := 0; idx < g.NumCells(); idx++ {
+		avail := cm.Available.Contains(g.CellAt(idx))
+		if avail != (cm.Quality[idx] > 0) {
+			t.Fatalf("cell %v: available=%v quality=%f", g.CellAt(idx), avail, cm.Quality[idx])
+		}
+	}
+}

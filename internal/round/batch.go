@@ -1,0 +1,122 @@
+package round
+
+import (
+	"fmt"
+
+	"lppa/internal/core"
+	"lppa/internal/ttp"
+)
+
+// Batcher implements section V.C.2's TTP workload reduction: instead of
+// contacting the periodically-available TTP after every auction, the
+// auctioneer queues the charge requests of several auctions and settles
+// them in one TTP online window. The window opens when either the queued
+// request count or the queued round count reaches its bound — the paper's
+// "determined by both the real-time requirement of the system and the
+// longest online time of TTP".
+type Batcher struct {
+	// MaxRequests bounds one window's workload (the TTP's online
+	// capacity).
+	MaxRequests int
+	// MaxRounds bounds settlement latency (the system's real-time
+	// requirement).
+	MaxRounds int
+
+	settle  func([]core.ChargeRequest) []ttp.ChargeResult
+	pending []queuedRound
+	stats   BatchStats
+}
+
+type queuedRound struct {
+	id   int
+	reqs []core.ChargeRequest
+}
+
+// BatchStats reports the scheduler's behaviour.
+type BatchStats struct {
+	// Windows counts TTP online windows used.
+	Windows int
+	// Rounds and Requests count the settled workload.
+	Rounds   int
+	Requests int
+	// MaxQueuedRounds is the worst settlement latency in rounds.
+	MaxQueuedRounds int
+}
+
+// NewBatcher builds a scheduler around the TTP's settlement function
+// (ProcessBatch, possibly remoted via transport.SubmitCharges).
+func NewBatcher(maxRequests, maxRounds int, settle func([]core.ChargeRequest) []ttp.ChargeResult) (*Batcher, error) {
+	if maxRequests < 1 || maxRounds < 1 {
+		return nil, fmt.Errorf("round: batcher bounds must be ≥ 1 (got %d, %d)", maxRequests, maxRounds)
+	}
+	if settle == nil {
+		return nil, fmt.Errorf("round: batcher needs a settlement function")
+	}
+	return &Batcher{MaxRequests: maxRequests, MaxRounds: maxRounds, settle: settle}, nil
+}
+
+// Settlement couples a round id with its adjudicated charges.
+type Settlement struct {
+	RoundID int
+	Results []ttp.ChargeResult
+}
+
+// Add queues one auction's charge requests. When a bound is reached the
+// queue settles immediately and the settlements are returned; otherwise it
+// returns nil (charges remain pending until a later Add or Flush).
+func (b *Batcher) Add(roundID int, reqs []core.ChargeRequest) []Settlement {
+	b.pending = append(b.pending, queuedRound{id: roundID, reqs: reqs})
+	if len(b.pending) > b.stats.MaxQueuedRounds {
+		b.stats.MaxQueuedRounds = len(b.pending)
+	}
+	if b.pendingRequests() >= b.MaxRequests || len(b.pending) >= b.MaxRounds {
+		return b.Flush()
+	}
+	return nil
+}
+
+func (b *Batcher) pendingRequests() int {
+	total := 0
+	for _, q := range b.pending {
+		total += len(q.reqs)
+	}
+	return total
+}
+
+// Pending reports the queued round count.
+func (b *Batcher) Pending() int { return len(b.pending) }
+
+// Flush settles everything queued in one TTP window. Flushing an empty
+// queue uses no window.
+func (b *Batcher) Flush() []Settlement {
+	if len(b.pending) == 0 {
+		return nil
+	}
+	var all []core.ChargeRequest
+	for _, q := range b.pending {
+		all = append(all, q.reqs...)
+	}
+	results := b.settle(all)
+	b.stats.Windows++
+	b.stats.Requests += len(all)
+	b.stats.Rounds += len(b.pending)
+
+	out := make([]Settlement, 0, len(b.pending))
+	off := 0
+	for _, q := range b.pending {
+		n := len(q.reqs)
+		if off+n > len(results) {
+			n = len(results) - off // defensive: malformed settle output
+			if n < 0 {
+				n = 0
+			}
+		}
+		out = append(out, Settlement{RoundID: q.id, Results: results[off : off+n]})
+		off += n
+	}
+	b.pending = nil
+	return out
+}
+
+// Stats returns the scheduler counters.
+func (b *Batcher) Stats() BatchStats { return b.stats }

@@ -1,0 +1,160 @@
+package round
+
+import (
+	"testing"
+
+	"lppa/internal/core"
+	"lppa/internal/ttp"
+)
+
+// fakeSettle adjudicates every request as valid with price = bidder id,
+// and counts invocations (TTP windows).
+type fakeSettle struct {
+	calls int
+}
+
+func (f *fakeSettle) settle(reqs []core.ChargeRequest) []ttp.ChargeResult {
+	f.calls++
+	out := make([]ttp.ChargeResult, len(reqs))
+	for i, r := range reqs {
+		out[i] = ttp.ChargeResult{Bidder: r.Bidder, Channel: r.Channel, Valid: true, Price: uint64(r.Bidder)}
+	}
+	return out
+}
+
+func req(bidder int) core.ChargeRequest { return core.ChargeRequest{Bidder: bidder} }
+
+func TestNewBatcherValidation(t *testing.T) {
+	f := &fakeSettle{}
+	if _, err := NewBatcher(0, 1, f.settle); err == nil {
+		t.Error("maxRequests=0 accepted")
+	}
+	if _, err := NewBatcher(1, 0, f.settle); err == nil {
+		t.Error("maxRounds=0 accepted")
+	}
+	if _, err := NewBatcher(1, 1, nil); err == nil {
+		t.Error("nil settle accepted")
+	}
+}
+
+func TestBatcherSettlesOnRoundBound(t *testing.T) {
+	f := &fakeSettle{}
+	b, err := NewBatcher(1000, 3, f.settle)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := b.Add(1, []core.ChargeRequest{req(1)}); got != nil {
+		t.Fatal("settled too early")
+	}
+	if got := b.Add(2, []core.ChargeRequest{req(2)}); got != nil {
+		t.Fatal("settled too early")
+	}
+	settled := b.Add(3, []core.ChargeRequest{req(3), req(4)})
+	if len(settled) != 3 {
+		t.Fatalf("settlements = %d, want 3 rounds", len(settled))
+	}
+	if f.calls != 1 {
+		t.Errorf("TTP windows = %d, want 1", f.calls)
+	}
+	if settled[0].RoundID != 1 || len(settled[0].Results) != 1 {
+		t.Errorf("settlement 0 = %+v", settled[0])
+	}
+	if settled[2].RoundID != 3 || len(settled[2].Results) != 2 {
+		t.Errorf("settlement 2 = %+v", settled[2])
+	}
+	if b.Pending() != 0 {
+		t.Errorf("pending = %d after flush", b.Pending())
+	}
+}
+
+func TestBatcherSettlesOnRequestBound(t *testing.T) {
+	f := &fakeSettle{}
+	b, err := NewBatcher(5, 100, f.settle)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := b.Add(1, []core.ChargeRequest{req(1), req(2)}); got != nil {
+		t.Fatal("settled too early")
+	}
+	settled := b.Add(2, []core.ChargeRequest{req(3), req(4), req(5)})
+	if len(settled) != 2 {
+		t.Fatalf("settlements = %d", len(settled))
+	}
+	stats := b.Stats()
+	if stats.Windows != 1 || stats.Requests != 5 || stats.Rounds != 2 {
+		t.Errorf("stats = %+v", stats)
+	}
+}
+
+func TestBatcherResultsRoutedToRightRound(t *testing.T) {
+	f := &fakeSettle{}
+	b, err := NewBatcher(1000, 2, f.settle)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.Add(10, []core.ChargeRequest{req(7)})
+	settled := b.Add(11, []core.ChargeRequest{req(8), req(9)})
+	if settled[0].Results[0].Bidder != 7 {
+		t.Errorf("round 10 got bidder %d's result", settled[0].Results[0].Bidder)
+	}
+	if settled[1].Results[1].Bidder != 9 {
+		t.Errorf("round 11 got bidder %d's result", settled[1].Results[1].Bidder)
+	}
+}
+
+func TestBatcherFlushEmptyUsesNoWindow(t *testing.T) {
+	f := &fakeSettle{}
+	b, err := NewBatcher(10, 10, f.settle)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := b.Flush(); got != nil {
+		t.Error("empty flush returned settlements")
+	}
+	if f.calls != 0 {
+		t.Error("empty flush used a TTP window")
+	}
+}
+
+func TestBatcherReducesWindows(t *testing.T) {
+	// The paper's point: batching R rounds into one window divides TTP
+	// online time by R.
+	perRound := &fakeSettle{}
+	batched := &fakeSettle{}
+	immediate, err := NewBatcher(1, 1, perRound.settle) // settles every round
+	if err != nil {
+		t.Fatal(err)
+	}
+	fiveAtATime, err := NewBatcher(1000, 5, batched.settle)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for round := 0; round < 20; round++ {
+		immediate.Add(round, []core.ChargeRequest{req(round)})
+		fiveAtATime.Add(round, []core.ChargeRequest{req(round)})
+	}
+	fiveAtATime.Flush()
+	if perRound.calls != 20 {
+		t.Errorf("immediate windows = %d, want 20", perRound.calls)
+	}
+	if batched.calls != 4 {
+		t.Errorf("batched windows = %d, want 4", batched.calls)
+	}
+	if got := fiveAtATime.Stats().MaxQueuedRounds; got != 5 {
+		t.Errorf("max queued rounds = %d, want 5", got)
+	}
+}
+
+func TestBatcherStatsAccumulate(t *testing.T) {
+	f := &fakeSettle{}
+	b, err := NewBatcher(2, 100, f.settle)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.Add(1, []core.ChargeRequest{req(1), req(2)}) // settles (bound 2)
+	b.Add(2, []core.ChargeRequest{req(3), req(4)}) // settles
+	stats := b.Stats()
+	if stats.Windows != 2 || stats.Requests != 4 || stats.Rounds != 2 {
+		t.Errorf("stats = %+v", stats)
+	}
+}

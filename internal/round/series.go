@@ -1,0 +1,143 @@
+package round
+
+import (
+	"fmt"
+	"math/rand"
+
+	"lppa/internal/auction"
+	"lppa/internal/core"
+	"lppa/internal/geo"
+	"lppa/internal/mask"
+	"lppa/internal/ttp"
+)
+
+// Series runs several consecutive private auctions against one TTP with
+// batched charging (section V.C.2 end to end): each round allocates
+// immediately, but winners' charges settle only when the batcher opens a
+// TTP window — so results finalize in batches, trading settlement latency
+// for TTP online time.
+type Series struct {
+	params  core.Params
+	trusted *ttp.TTP
+	batcher *Batcher
+
+	pending map[int]*pendingRound
+	nextID  int
+	results []SeriesRound
+}
+
+type pendingRound struct {
+	assignments []auction.Assignment
+	bidders     int
+}
+
+// SeriesRound is one settled auction.
+type SeriesRound struct {
+	RoundID int
+	Outcome *auction.Outcome
+	Voided  int
+}
+
+// NewSeries builds a multi-auction runner. maxRequests/maxRounds bound the
+// TTP batching window (see Batcher).
+func NewSeries(params core.Params, ring *mask.KeyRing, maxRequests, maxRounds int, rng *rand.Rand) (*Series, error) {
+	trusted, err := ttp.FromRing(params, ring, rand.New(rand.NewSource(rng.Int63())))
+	if err != nil {
+		return nil, err
+	}
+	s := &Series{
+		params:  params,
+		trusted: trusted,
+		pending: make(map[int]*pendingRound),
+	}
+	s.batcher, err = NewBatcher(maxRequests, maxRounds, trusted.ProcessBatch)
+	if err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// Run executes one auction round: allocation completes immediately, the
+// charge requests join the batch queue, and any rounds whose settlement
+// the queue released are returned (possibly none, possibly several,
+// possibly including this round).
+func (s *Series) Run(ring *mask.KeyRing, points []geo.Point, bids [][]uint64,
+	policy core.DisguisePolicy, rng *rand.Rand) ([]SeriesRound, error) {
+	n := len(points)
+	if n == 0 || len(bids) != n {
+		return nil, fmt.Errorf("round: series round needs matching points and bids")
+	}
+	var sampler *core.DisguiseSampler
+	var err error
+	if policy.P0 < 1 {
+		if sampler, err = core.NewDisguiseSampler(policy, s.params.BMax); err != nil {
+			return nil, err
+		}
+	}
+	locs := make([]*core.LocationSubmission, n)
+	subs := make([]*core.BidSubmission, n)
+	for i := 0; i < n; i++ {
+		if locs[i], err = core.NewLocationSubmission(s.params, ring, points[i]); err != nil {
+			return nil, err
+		}
+		enc, err := core.NewBidEncoder(s.params, ring, sampler, rng)
+		if err != nil {
+			return nil, err
+		}
+		if subs[i], err = enc.Encode(bids[i], rng); err != nil {
+			return nil, err
+		}
+	}
+	auc, err := core.NewAuctioneer(s.params, locs, subs)
+	if err != nil {
+		return nil, err
+	}
+	assignments, err := auc.Allocate(rng)
+	if err != nil {
+		return nil, err
+	}
+	id := s.nextID
+	s.nextID++
+	s.pending[id] = &pendingRound{assignments: assignments, bidders: n}
+	return s.settle(s.batcher.Add(id, auc.ChargeRequests(assignments))), nil
+}
+
+// Flush settles every queued round in one final TTP window.
+func (s *Series) Flush() []SeriesRound {
+	return s.settle(s.batcher.Flush())
+}
+
+// Stats exposes the batching counters.
+func (s *Series) Stats() BatchStats { return s.batcher.Stats() }
+
+func (s *Series) settle(settlements []Settlement) []SeriesRound {
+	var out []SeriesRound
+	for _, st := range settlements {
+		p, ok := s.pending[st.RoundID]
+		if !ok {
+			continue
+		}
+		delete(s.pending, st.RoundID)
+		outcome := &auction.Outcome{
+			Assignments: p.assignments,
+			Charges:     make([]uint64, len(p.assignments)),
+			Bidders:     p.bidders,
+		}
+		sr := SeriesRound{RoundID: st.RoundID, Outcome: outcome}
+		for i, r := range st.Results {
+			if i >= len(outcome.Charges) {
+				break
+			}
+			if r.Err != nil || !r.Valid {
+				sr.Voided++
+				continue
+			}
+			outcome.Charges[i] = r.Price
+			outcome.Revenue += r.Price
+			outcome.SatisfiedBidders++
+		}
+		out = append(out, sr)
+		s.results = append(s.results, sr)
+	}
+	return out
+}

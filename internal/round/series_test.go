@@ -1,0 +1,119 @@
+package round
+
+import (
+	"math/rand"
+	"testing"
+
+	"lppa/internal/core"
+	"lppa/internal/geo"
+	"lppa/internal/mask"
+)
+
+func seriesFixture(t *testing.T) (core.Params, *mask.KeyRing, []geo.Point, [][]uint64) {
+	t.Helper()
+	p := core.Params{Channels: 4, Lambda: 2, MaxX: 49, MaxY: 49, BMax: 100}
+	ring, err := mask.DeriveKeyRing([]byte("series"), p.Channels, 3, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	const n = 8
+	points := make([]geo.Point, n)
+	bids := make([][]uint64, n)
+	for i := range points {
+		points[i] = geo.Point{X: uint64(rng.Intn(50)), Y: uint64(rng.Intn(50))}
+		bids[i] = make([]uint64, p.Channels)
+		for r := range bids[i] {
+			if rng.Intn(3) > 0 {
+				bids[i][r] = uint64(rng.Intn(100)) + 1
+			}
+		}
+	}
+	return p, ring, points, bids
+}
+
+func TestSeriesBatchedSettlement(t *testing.T) {
+	p, ring, points, bids := seriesFixture(t)
+	s, err := NewSeries(p, ring, 1<<20, 3, rand.New(rand.NewSource(2)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(3))
+	policy := core.DisguisePolicy{P0: 0.8, Decay: 0.9}
+
+	// Rounds 0 and 1 queue; round 2 triggers the window and settles all.
+	for i := 0; i < 2; i++ {
+		settled, err := s.Run(ring, points, bids, policy, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if settled != nil {
+			t.Fatalf("round %d settled early", i)
+		}
+	}
+	settled, err := s.Run(ring, points, bids, policy, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(settled) != 3 {
+		t.Fatalf("settled %d rounds, want 3", len(settled))
+	}
+	ids := map[int]bool{}
+	for _, sr := range settled {
+		ids[sr.RoundID] = true
+		if sr.Outcome.Revenue == 0 && sr.Voided == 0 {
+			t.Errorf("round %d: nothing adjudicated", sr.RoundID)
+		}
+	}
+	if !ids[0] || !ids[1] || !ids[2] {
+		t.Errorf("settled ids = %v", ids)
+	}
+	if s.Stats().Windows != 1 {
+		t.Errorf("TTP windows = %d, want 1", s.Stats().Windows)
+	}
+}
+
+func TestSeriesFlushSettlesRemainder(t *testing.T) {
+	p, ring, points, bids := seriesFixture(t)
+	s, err := NewSeries(p, ring, 1<<20, 100, rand.New(rand.NewSource(4)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < 4; i++ {
+		if settled, err := s.Run(ring, points, bids, core.DisguisePolicy{P0: 1}, rng); err != nil {
+			t.Fatal(err)
+		} else if settled != nil {
+			t.Fatal("settled before flush")
+		}
+	}
+	settled := s.Flush()
+	if len(settled) != 4 {
+		t.Fatalf("flush settled %d rounds", len(settled))
+	}
+	if s.Stats().Windows != 1 || s.Stats().Rounds != 4 {
+		t.Errorf("stats = %+v", s.Stats())
+	}
+	// First-price charges: valid charges equal the original bids.
+	for _, sr := range settled {
+		for i, a := range sr.Outcome.Assignments {
+			if c := sr.Outcome.Charges[i]; c != 0 && c != bids[a.Bidder][a.Channel] {
+				t.Errorf("round %d: charge %d != bid %d", sr.RoundID, c, bids[a.Bidder][a.Channel])
+			}
+		}
+	}
+}
+
+func TestSeriesValidation(t *testing.T) {
+	p, ring, _, _ := seriesFixture(t)
+	if _, err := NewSeries(p, ring, 0, 1, rand.New(rand.NewSource(1))); err == nil {
+		t.Error("bad batch bounds accepted")
+	}
+	s, err := NewSeries(p, ring, 10, 10, rand.New(rand.NewSource(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Run(ring, nil, nil, core.DisguisePolicy{P0: 1}, rand.New(rand.NewSource(1))); err == nil {
+		t.Error("empty round accepted")
+	}
+}

@@ -1,0 +1,63 @@
+package sim
+
+import (
+	"fmt"
+	"strings"
+
+	"lppa/internal/dataset"
+	"lppa/internal/geo"
+)
+
+// CoverageSummary describes one channel's coverage in one area
+// (Fig. 1(b)'s role: show what a coverage map looks like).
+type CoverageSummary struct {
+	Area          string
+	Channel       int
+	AvailableFrac float64
+	Towers        int
+	ASCIIMap      string
+}
+
+// Coverage summarizes channel ch of the given area, rendering a
+// downsampled ASCII map ('#' = PU-covered/unavailable, '.' = available to
+// SUs).
+func Coverage(area *dataset.Area, ch int, mapWidth int) (*CoverageSummary, error) {
+	if ch < 0 || ch >= area.NumChannels() {
+		return nil, fmt.Errorf("sim: channel %d out of range [0,%d)", ch, area.NumChannels())
+	}
+	if mapWidth < 4 {
+		return nil, fmt.Errorf("sim: map width %d too small", mapWidth)
+	}
+	cm := area.Coverage[ch]
+	g := area.Grid
+	stepC := (g.Cols + mapWidth - 1) / mapWidth
+	stepR := stepC
+	var b strings.Builder
+	for r := 0; r < g.Rows; r += stepR {
+		for c := 0; c < g.Cols; c += stepC {
+			// Sample the block's majority availability.
+			avail, total := 0, 0
+			for dr := 0; dr < stepR && r+dr < g.Rows; dr++ {
+				for dc := 0; dc < stepC && c+dc < g.Cols; dc++ {
+					total++
+					if cm.AvailableAt(geo.Cell{Row: r + dr, Col: c + dc}) {
+						avail++
+					}
+				}
+			}
+			if avail*2 >= total {
+				b.WriteByte('.')
+			} else {
+				b.WriteByte('#')
+			}
+		}
+		b.WriteByte('\n')
+	}
+	return &CoverageSummary{
+		Area:          area.Name,
+		Channel:       ch,
+		AvailableFrac: float64(cm.Available.Count()) / float64(g.NumCells()),
+		Towers:        len(area.Channels[ch].Towers),
+		ASCIIMap:      b.String(),
+	}, nil
+}

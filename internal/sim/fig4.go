@@ -1,0 +1,182 @@
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+
+	"lppa/internal/attack"
+	"lppa/internal/bidder"
+	"lppa/internal/dataset"
+	"lppa/internal/privacy"
+)
+
+// Fig4Config drives the attack-effectiveness experiments of Fig. 4.
+type Fig4Config struct {
+	// Victims is the number of SUs localized per configuration.
+	Victims int
+	// ChannelCounts is the sweep over k (Fig. 4(a)(b) x axis).
+	ChannelCounts []int
+	// KeepFractions is the BPM sweep (1 = pure BCM output).
+	KeepFractions []float64
+	// MaxCells is the paper's threshold cap on BPM output (0 = none).
+	MaxCells int
+	// Lambda only affects protocol parameters, not the attacks; kept for
+	// scenario symmetry.
+	Lambda uint64
+}
+
+// DefaultFig4Config mirrors the paper's sweep.
+func DefaultFig4Config() Fig4Config {
+	return Fig4Config{
+		Victims:       60,
+		ChannelCounts: []int{20, 40, 60, 80, 100, 129},
+		KeepFractions: []float64{1, 0.5, 1.0 / 3, 0.25, 0.2, 0.125, 0.1},
+		MaxCells:      250,
+		Lambda:        2,
+	}
+}
+
+// Fig4Point is one (k, fraction) cell of the Fig. 4(a)(b) matrix.
+type Fig4Point struct {
+	Channels     int
+	KeepFraction float64
+	BCM          privacy.Aggregate
+	BPM          privacy.Aggregate
+}
+
+// Fig4AB runs the BCM/BPM sweep in one area (the paper uses Area 4).
+func Fig4AB(area *dataset.Area, cfg Fig4Config, seed int64) ([]Fig4Point, error) {
+	if cfg.Victims < 1 {
+		return nil, fmt.Errorf("sim: fig4 needs at least one victim")
+	}
+	var points []Fig4Point
+	for _, k := range cfg.ChannelCounts {
+		if k > area.NumChannels() {
+			k = area.NumChannels()
+		}
+		sc, err := NewScenario(area, k, cfg.Lambda)
+		if err != nil {
+			return nil, err
+		}
+		rng := rand.New(rand.NewSource(seed + int64(k)))
+		pop, err := bidder.NewPopulation(area, cfg.Victims, sc.BidCfg, rng)
+		if err != nil {
+			return nil, err
+		}
+		bids := sc.TruncatedBids(pop)
+
+		for _, frac := range cfg.KeepFractions {
+			var bcmReps, bpmReps []privacy.Report
+			for i, su := range pop.SUs {
+				p, err := attack.BCMFromBids(area, bids[i])
+				if err != nil {
+					return nil, err
+				}
+				bcmReps = append(bcmReps, privacy.Evaluate(p, su.Cell))
+
+				res, err := attack.BPM(area, p, bids[i], attack.BPMConfig{KeepFraction: frac, MaxCells: cfg.MaxCells})
+				if err != nil {
+					// Victims with no positive bid cannot be BPM'd; count
+					// as a full-region (failed-to-narrow) outcome.
+					bpmReps = append(bpmReps, privacy.Evaluate(p, su.Cell))
+					continue
+				}
+				bpmReps = append(bpmReps, privacy.Evaluate(res.Selected, su.Cell))
+			}
+			points = append(points, Fig4Point{
+				Channels:     k,
+				KeepFraction: frac,
+				BCM:          privacy.Summarize(bcmReps),
+				BPM:          privacy.Summarize(bpmReps),
+			})
+		}
+	}
+	return points, nil
+}
+
+// Fig4ABTable renders the sweep as two logical columns (possible cells for
+// Fig. 4(a), success rate for Fig. 4(b)).
+func Fig4ABTable(points []Fig4Point) *Table {
+	t := &Table{
+		Title:   "Fig.4(a)(b): BCM/BPM possible cells and success rate (Area 4)",
+		Columns: []string{"k", "keep", "BCM cells", "BPM cells", "BCM success", "BPM success"},
+	}
+	for _, p := range points {
+		t.AddRow(
+			fmt.Sprintf("%d", p.Channels),
+			fmt.Sprintf("%.3f", p.KeepFraction),
+			fmt.Sprintf("%.1f", p.BCM.PossibleCells),
+			fmt.Sprintf("%.1f", p.BPM.PossibleCells),
+			fmt.Sprintf("%.1f%%", 100*p.BCM.SuccessRate),
+			fmt.Sprintf("%.1f%%", 100*p.BPM.SuccessRate),
+		)
+	}
+	return t
+}
+
+// Fig4CPoint is one area's result at full channel count.
+type Fig4CPoint struct {
+	Area string
+	BCM  privacy.Aggregate
+	BPM  privacy.Aggregate
+}
+
+// Fig4C compares attack effectiveness across all four areas at k channels
+// (the paper uses 129) with a 1/2 BPM keep fraction.
+func Fig4C(ds *dataset.Dataset, victims, k int, maxCells int, seed int64) ([]Fig4CPoint, error) {
+	var out []Fig4CPoint
+	for ai, area := range ds.Areas {
+		kk := k
+		if kk > area.NumChannels() {
+			kk = area.NumChannels()
+		}
+		sc, err := NewScenario(area, kk, 2)
+		if err != nil {
+			return nil, err
+		}
+		rng := rand.New(rand.NewSource(seed + int64(ai)*37))
+		pop, err := bidder.NewPopulation(area, victims, sc.BidCfg, rng)
+		if err != nil {
+			return nil, err
+		}
+		bids := sc.TruncatedBids(pop)
+		var bcmReps, bpmReps []privacy.Report
+		for i, su := range pop.SUs {
+			p, err := attack.BCMFromBids(area, bids[i])
+			if err != nil {
+				return nil, err
+			}
+			bcmReps = append(bcmReps, privacy.Evaluate(p, su.Cell))
+			res, err := attack.BPM(area, p, bids[i], attack.BPMConfig{KeepFraction: 0.5, MaxCells: maxCells})
+			if err != nil {
+				bpmReps = append(bpmReps, privacy.Evaluate(p, su.Cell))
+				continue
+			}
+			bpmReps = append(bpmReps, privacy.Evaluate(res.Selected, su.Cell))
+		}
+		out = append(out, Fig4CPoint{
+			Area: area.Name,
+			BCM:  privacy.Summarize(bcmReps),
+			BPM:  privacy.Summarize(bpmReps),
+		})
+	}
+	return out, nil
+}
+
+// Fig4CTable renders the per-area comparison.
+func Fig4CTable(points []Fig4CPoint) *Table {
+	t := &Table{
+		Title:   "Fig.4(c): BCM/BPM across the four areas (k=129, keep=1/2)",
+		Columns: []string{"area", "BCM cells", "BPM cells", "BCM success", "BPM success"},
+	}
+	for _, p := range points {
+		t.AddRow(
+			p.Area,
+			fmt.Sprintf("%.1f", p.BCM.PossibleCells),
+			fmt.Sprintf("%.1f", p.BPM.PossibleCells),
+			fmt.Sprintf("%.1f%%", 100*p.BCM.SuccessRate),
+			fmt.Sprintf("%.1f%%", 100*p.BPM.SuccessRate),
+		)
+	}
+	return t
+}

@@ -1,0 +1,166 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"lppa/internal/attack"
+	"lppa/internal/bidder"
+	"lppa/internal/core"
+	"lppa/internal/dataset"
+	"lppa/internal/geo"
+	"lppa/internal/mask"
+	"lppa/internal/privacy"
+	"lppa/internal/round"
+)
+
+// MultiRoundConfig drives the repeated-participation experiment
+// (section V.C.3): the same users join several LPPA rounds, and the
+// attacker either can link their pseudonyms across rounds (no ID mixing)
+// or cannot (the paper's countermeasure).
+type MultiRoundConfig struct {
+	Bidders  int
+	Channels int
+	Rounds   int
+	// Keep is the attacker's per-round t-largest fraction.
+	Keep float64
+	// ZeroReplace is 1−p0 for every bidder.
+	ZeroReplace float64
+	Decay       float64
+	Lambda      uint64
+	RD, CR      uint64
+	// ReliableFrac is the majority threshold: a channel counts as
+	// genuinely available when observed in at least ReliableFrac of the
+	// rounds so far.
+	ReliableFrac float64
+}
+
+// DefaultMultiRoundConfig gives a moderate defence setting where single
+// rounds are safe but linkage across ~10 rounds is not.
+func DefaultMultiRoundConfig() MultiRoundConfig {
+	return MultiRoundConfig{
+		Bidders:      50,
+		Channels:     64,
+		Rounds:       10,
+		Keep:         0.5,
+		ZeroReplace:  0.5,
+		Decay:        0.95,
+		Lambda:       2,
+		RD:           5,
+		CR:           8,
+		ReliableFrac: 0.8,
+	}
+}
+
+// MultiRoundPoint is the attack state after a number of rounds.
+type MultiRoundPoint struct {
+	Rounds int
+	// Linked is the accumulated attack when pseudonyms are stable.
+	Linked privacy.Aggregate
+	// Mixed is the (necessarily single-round) attack when IDs are remixed
+	// every round.
+	Mixed privacy.Aggregate
+}
+
+// MultiRound runs the repeated-participation experiment. Users keep their
+// positions (the paper assumes positions fixed during a lease term) and
+// re-derive fresh noisy bids each round; every round uses a fresh key
+// ring. The returned points trace both attackers round by round.
+func MultiRound(area *dataset.Area, cfg MultiRoundConfig, seed int64) ([]MultiRoundPoint, error) {
+	if cfg.Rounds < 1 || cfg.Bidders < 1 {
+		return nil, fmt.Errorf("sim: multiround needs rounds ≥ 1 and bidders ≥ 1")
+	}
+	if cfg.ReliableFrac <= 0 || cfg.ReliableFrac > 1 {
+		return nil, fmt.Errorf("sim: reliable fraction %f out of (0,1]", cfg.ReliableFrac)
+	}
+	sc, err := NewScenario(area, min(cfg.Channels, area.NumChannels()), cfg.Lambda)
+	if err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(seed))
+	bidCfg := sc.BidCfg
+	sus := bidder.Place(area.Grid, cfg.Bidders, bidCfg, rng)
+	points := make([]MultiRoundPoint, 0, cfg.Rounds)
+
+	// observed[u][t] = channels attributed to user u in round t.
+	observed := make([][][]int, cfg.Bidders)
+	for u := range observed {
+		observed[u] = make([][]int, 0, cfg.Rounds)
+	}
+	policy := core.DisguisePolicy{P0: 1 - cfg.ZeroReplace, Decay: cfg.Decay}
+
+	coords := make([]geo.Point, cfg.Bidders)
+	for i, su := range sus {
+		coords[i] = su.Point()
+	}
+
+	for t := 0; t < cfg.Rounds; t++ {
+		// Fresh bids (same positions, new valuation noise) and fresh keys.
+		bids := make([][]uint64, cfg.Bidders)
+		for i, su := range sus {
+			bids[i] = bidder.BidVector(su, area, bidCfg, rng)[:sc.Params.Channels]
+		}
+		ring, err := mask.DeriveKeyRing([]byte(fmt.Sprintf("multiround-%d-%d", seed, t)), sc.Params.Channels, cfg.RD, cfg.CR)
+		if err != nil {
+			return nil, err
+		}
+		res, err := round.RunPrivate(sc.Params, ring, coords, bids, policy, rand.New(rand.NewSource(seed+int64(t)*31)))
+		if err != nil {
+			return nil, err
+		}
+		obs, err := attack.TopFractionChannels(res.Auctioneer.Rankings(), cfg.Bidders, cfg.Keep)
+		if err != nil {
+			return nil, err
+		}
+		for u := range obs {
+			observed[u] = append(observed[u], obs[u])
+		}
+
+		// Attack state after t+1 rounds.
+		var linkedReps, mixedReps []privacy.Report
+		minRounds := int(math.Ceil(cfg.ReliableFrac * float64(t+1)))
+		for u, su := range sus {
+			counts := attack.AccumulateObservations(observed[u], sc.Params.Channels)
+			reliable := attack.ReliableChannels(counts, minRounds)
+			p, _, err := attack.BCMRobust(area, reliable)
+			if err != nil {
+				return nil, err
+			}
+			linkedReps = append(linkedReps, privacy.Evaluate(p, su.Cell))
+
+			// The mixing defence limits the attacker to this round alone.
+			pm, _, err := attack.BCMRobust(area, obs[u])
+			if err != nil {
+				return nil, err
+			}
+			mixedReps = append(mixedReps, privacy.Evaluate(pm, su.Cell))
+		}
+		points = append(points, MultiRoundPoint{
+			Rounds: t + 1,
+			Linked: privacy.Summarize(linkedReps),
+			Mixed:  privacy.Summarize(mixedReps),
+		})
+	}
+	return points, nil
+}
+
+// MultiRoundTable renders the round-by-round comparison.
+func MultiRoundTable(points []MultiRoundPoint) *Table {
+	t := &Table{
+		Title: "Section V.C.3: repeated participation — linked pseudonyms vs per-round ID mixing",
+		Columns: []string{"rounds", "linked cells", "linked failure", "linked incorrect(km)",
+			"mixed cells", "mixed failure"},
+	}
+	for _, p := range points {
+		t.AddRow(
+			fmt.Sprintf("%d", p.Rounds),
+			fmt.Sprintf("%.1f", p.Linked.PossibleCells),
+			fmt.Sprintf("%.0f%%", 100*p.Linked.FailureRate),
+			fmt.Sprintf("%.1f", p.Linked.Incorrectness/1000),
+			fmt.Sprintf("%.1f", p.Mixed.PossibleCells),
+			fmt.Sprintf("%.0f%%", 100*p.Mixed.FailureRate),
+		)
+	}
+	return t
+}

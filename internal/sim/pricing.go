@@ -1,0 +1,122 @@
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+
+	"lppa/internal/bidder"
+	"lppa/internal/core"
+	"lppa/internal/dataset"
+	"lppa/internal/mask"
+	"lppa/internal/round"
+	"lppa/internal/stats"
+)
+
+// PricingConfig drives the pricing-rule comparison: the paper's
+// first-price charging against the future-work second-price (clearing
+// price) variant, both through the full private pipeline.
+type PricingConfig struct {
+	Bidders  int
+	Channels int
+	Lambda   uint64
+	RD, CR   uint64
+	// ZeroReplace sweeps the disguise probability.
+	ZeroReplace []float64
+	Decay       float64
+	Trials      int
+}
+
+// DefaultPricingConfig mirrors the fig5 setup at moderate scale.
+func DefaultPricingConfig() PricingConfig {
+	return PricingConfig{
+		Bidders:     60,
+		Channels:    64,
+		Lambda:      2,
+		RD:          5,
+		CR:          8,
+		ZeroReplace: []float64{0, 0.5, 1.0},
+		Decay:       0.95,
+		Trials:      3,
+	}
+}
+
+// PricingPoint is one sweep cell.
+type PricingPoint struct {
+	ZeroReplace   float64
+	FirstPrice    stats.Summary // revenue ratio vs plain baseline
+	SecondPrice   stats.Summary
+	SecondOfFirst stats.Summary // second-price revenue / first-price revenue
+}
+
+// Pricing runs the comparison.
+func Pricing(area *dataset.Area, cfg PricingConfig, seed int64) ([]PricingPoint, error) {
+	if cfg.Bidders < 1 || cfg.Trials < 1 {
+		return nil, fmt.Errorf("sim: pricing needs bidders ≥ 1 and trials ≥ 1")
+	}
+	sc, err := NewScenario(area, min(cfg.Channels, area.NumChannels()), cfg.Lambda)
+	if err != nil {
+		return nil, err
+	}
+	var out []PricingPoint
+	for zi, zr := range cfg.ZeroReplace {
+		var firsts, seconds, ratios []float64
+		policy := core.DisguisePolicy{P0: 1 - zr, Decay: cfg.Decay}
+		for trial := 0; trial < cfg.Trials; trial++ {
+			tSeed := seed + int64(zi)*101 + int64(trial)*17
+			rng := rand.New(rand.NewSource(tSeed))
+			pop, err := bidder.NewPopulation(area, cfg.Bidders, sc.BidCfg, rng)
+			if err != nil {
+				return nil, err
+			}
+			bids := sc.TruncatedBids(pop)
+			pts := Points(pop)
+			base, err := round.RunPlainBaseline(pts, bids, sc.Params.Lambda, rand.New(rand.NewSource(tSeed+1)))
+			if err != nil {
+				return nil, err
+			}
+			ring, err := mask.DeriveKeyRing([]byte(fmt.Sprintf("pricing-%d-%d-%d", seed, zi, trial)), sc.Params.Channels, cfg.RD, cfg.CR)
+			if err != nil {
+				return nil, err
+			}
+			fp, err := round.RunPrivate(sc.Params, ring, pts, bids, policy, rand.New(rand.NewSource(tSeed+2)))
+			if err != nil {
+				return nil, err
+			}
+			sp, err := round.RunPrivateSecondPrice(sc.Params, ring, pts, bids, policy, rand.New(rand.NewSource(tSeed+2)))
+			if err != nil {
+				return nil, err
+			}
+			if base.Revenue > 0 {
+				firsts = append(firsts, float64(fp.Outcome.Revenue)/float64(base.Revenue))
+				seconds = append(seconds, float64(sp.Outcome.Revenue)/float64(base.Revenue))
+			}
+			if fp.Outcome.Revenue > 0 {
+				ratios = append(ratios, float64(sp.Outcome.Revenue)/float64(fp.Outcome.Revenue))
+			}
+		}
+		out = append(out, PricingPoint{
+			ZeroReplace:   zr,
+			FirstPrice:    stats.Summarize(firsts),
+			SecondPrice:   stats.Summarize(seconds),
+			SecondOfFirst: stats.Summarize(ratios),
+		})
+	}
+	return out, nil
+}
+
+// PricingTable renders the comparison.
+func PricingTable(points []PricingPoint) *Table {
+	t := &Table{
+		Title:   "Pricing rules: first-price (paper) vs second-price (future work), revenue vs plain baseline",
+		Columns: []string{"1-p0", "first-price", "second-price", "second/first"},
+	}
+	for _, p := range points {
+		t.AddRow(
+			fmt.Sprintf("%.1f", p.ZeroReplace),
+			p.FirstPrice.String(),
+			p.SecondPrice.String(),
+			p.SecondOfFirst.String(),
+		)
+	}
+	return t
+}

@@ -1,0 +1,145 @@
+// Package sim is the experiment harness: one driver per figure/table of
+// the paper's evaluation (section VI), each returning structured results
+// that cmd/lppa-sim renders and bench_test.go regenerates. All drivers are
+// deterministic given a seed.
+package sim
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strings"
+
+	"lppa/internal/bidder"
+	"lppa/internal/core"
+	"lppa/internal/dataset"
+	"lppa/internal/geo"
+)
+
+// Table is a rendered experiment result.
+type Table struct {
+	Title   string
+	Columns []string
+	Rows    [][]string
+}
+
+// AddRow appends a formatted row.
+func (t *Table) AddRow(cells ...string) {
+	t.Rows = append(t.Rows, cells)
+}
+
+// Render writes the table as aligned text.
+func (t *Table) Render(w io.Writer) error {
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	line := func(cells []string) string {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			parts[i] = pad(c, widths[i])
+		}
+		return strings.Join(parts, "  ")
+	}
+	if _, err := fmt.Fprintf(w, "## %s\n\n", t.Title); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintln(w, line(t.Columns)); err != nil {
+		return err
+	}
+	rule := make([]string, len(t.Columns))
+	for i := range rule {
+		rule[i] = strings.Repeat("-", widths[i])
+	}
+	if _, err := fmt.Fprintln(w, line(rule)); err != nil {
+		return err
+	}
+	for _, row := range t.Rows {
+		if _, err := fmt.Fprintln(w, line(row)); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintln(w)
+	return err
+}
+
+// RenderCSV writes the table as CSV (header row first). The title goes
+// into a leading comment line.
+func (t *Table) RenderCSV(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "# %s\n", t.Title); err != nil {
+		return err
+	}
+	cw := csv.NewWriter(w)
+	if err := cw.Write(t.Columns); err != nil {
+		return err
+	}
+	for _, row := range t.Rows {
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+func pad(s string, w int) string {
+	if len(s) >= w {
+		return s
+	}
+	return s + strings.Repeat(" ", w-len(s))
+}
+
+// Scenario bundles the shared experiment setup: an area, the auction
+// parameters sized to it, and the bid model.
+type Scenario struct {
+	Area   *dataset.Area
+	Params core.Params
+	BidCfg bidder.Config
+}
+
+// NewScenario derives protocol parameters from an area. lambda is in grid
+// cells; the paper's interference predicate uses 2λ as the conflict
+// threshold on each axis.
+func NewScenario(area *dataset.Area, channels int, lambda uint64) (*Scenario, error) {
+	if channels < 1 || channels > area.NumChannels() {
+		return nil, fmt.Errorf("sim: %d channels requested, area has %d", channels, area.NumChannels())
+	}
+	bidCfg := bidder.DefaultConfig()
+	params := core.Params{
+		Channels: channels,
+		Lambda:   lambda,
+		MaxX:     uint64(area.Grid.Cols - 1),
+		MaxY:     uint64(area.Grid.Rows - 1),
+		BMax:     bidCfg.BMax,
+	}
+	if err := params.Validate(); err != nil {
+		return nil, err
+	}
+	return &Scenario{Area: area, Params: params, BidCfg: bidCfg}, nil
+}
+
+// TruncatedBids clips a population's bid vectors to the scenario's channel
+// count (experiments sweep k over a 129-channel dataset).
+func (s *Scenario) TruncatedBids(pop *bidder.Population) [][]uint64 {
+	out := make([][]uint64, pop.N())
+	for i, b := range pop.Bids {
+		out[i] = b[:s.Params.Channels]
+	}
+	return out
+}
+
+// Points extracts protocol coordinates for a population.
+func Points(pop *bidder.Population) []geo.Point {
+	pts := make([]geo.Point, pop.N())
+	for i, su := range pop.SUs {
+		pts[i] = su.Point()
+	}
+	return pts
+}

@@ -1,0 +1,146 @@
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+
+	"lppa/internal/bidder"
+	"lppa/internal/core"
+	"lppa/internal/dataset"
+	"lppa/internal/mask"
+	"lppa/internal/round"
+	"lppa/internal/theory"
+)
+
+// TheoremConfig drives the analytical-validation experiments.
+type TheoremConfig struct {
+	BMax   int
+	Trials int
+}
+
+// DefaultTheoremConfig uses the paper's bid scale.
+func DefaultTheoremConfig() TheoremConfig {
+	return TheoremConfig{BMax: 100, Trials: 200_000}
+}
+
+// TheoremsTable compares each closed form against its Monte-Carlo
+// validator over a parameter grid.
+func TheoremsTable(cfg TheoremConfig, seed int64) (*Table, error) {
+	rng := rand.New(rand.NewSource(seed))
+	t := &Table{
+		Title:   "Theorems 1-3: closed form vs Monte Carlo",
+		Columns: []string{"theorem", "parameters", "closed form", "monte carlo", "|diff|"},
+	}
+
+	// Theorem 1: zero-doesn't-win probability.
+	for _, c := range []struct {
+		d     theory.Dist
+		name  string
+		bN, m int
+	}{
+		{theory.UniformDist(cfg.BMax), "uniform", 80, 10},
+		{theory.UniformDist(cfg.BMax), "uniform", 95, 30},
+		{theory.GeometricDist(cfg.BMax, 0.5, 0.95), "geometric p0=0.5", 60, 20},
+	} {
+		closed, err := theory.Theorem1(c.d, c.bN, c.m)
+		if err != nil {
+			return nil, err
+		}
+		mc, err := theory.MonteCarloTheorem1(c.d, c.bN, c.m, cfg.Trials, rng)
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow("1", fmt.Sprintf("%s bN=%d m=%d", c.name, c.bN, c.m),
+			fmt.Sprintf("%.4f", closed), fmt.Sprintf("%.4f", mc), fmt.Sprintf("%.4f", abs(closed-mc)))
+	}
+
+	// Theorem 2: no-leak probability under t-largest selection.
+	for _, c := range []struct {
+		bN, m, tt int
+	}{
+		{80, 12, 2}, {90, 25, 3}, {70, 40, 5},
+	} {
+		d := theory.UniformDist(cfg.BMax)
+		closed, err := theory.Theorem2(d, c.bN, c.m, c.tt)
+		if err != nil {
+			return nil, err
+		}
+		mc, err := theory.MonteCarloTheorem2(d, c.bN, c.m, c.tt, cfg.Trials, rng)
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow("2", fmt.Sprintf("uniform bN=%d m=%d t=%d", c.bN, c.m, c.tt),
+			fmt.Sprintf("%.4f", closed), fmt.Sprintf("%.4f", mc), fmt.Sprintf("%.4f", abs(closed-mc)))
+	}
+
+	// Theorem 3: expected number of exposed true bids.
+	for _, c := range []struct {
+		bids  []int
+		m, tt int
+	}{
+		{[]int{10, 25, 50, 75}, 15, 2},
+		{[]int{30, 60, 90}, 25, 3},
+	} {
+		closed, err := theory.Theorem3(cfg.BMax, c.bids, c.m, c.tt)
+		if err != nil {
+			return nil, err
+		}
+		mc, err := theory.MonteCarloTheorem3(cfg.BMax, c.bids, c.m, c.tt, cfg.Trials/4, rng)
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow("3", fmt.Sprintf("bids=%v m=%d t=%d", c.bids, c.m, c.tt),
+			fmt.Sprintf("%.4f", closed), fmt.Sprintf("%.4f", mc), fmt.Sprintf("%.4f", abs(closed-mc)))
+	}
+	return t, nil
+}
+
+// Theorem4Table compares the communication-cost formula against the
+// transcript bytes actually measured on a private round.
+func Theorem4Table(area *dataset.Area, channels, n int, seed int64) (*Table, error) {
+	sc, err := NewScenario(area, channels, 2)
+	if err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(seed))
+	pop, err := bidder.NewPopulation(area, n, sc.BidCfg, rng)
+	if err != nil {
+		return nil, err
+	}
+	const rd, cr = 5, 8
+	ring, err := mask.DeriveKeyRing([]byte(fmt.Sprintf("thm4-%d", seed)), sc.Params.Channels, rd, cr)
+	if err != nil {
+		return nil, err
+	}
+	res, err := round.RunPrivate(sc.Params, ring, Points(pop), sc.TruncatedBids(pop),
+		core.DisguisePolicy{P0: 0.7, Decay: 0.95}, rng)
+	if err != nil {
+		return nil, err
+	}
+	w := sc.Params.BidWidth(ring)
+	predBits, err := theory.Theorem4Bits(mask.DigestSize*8, w, sc.Params.Channels, n)
+	if err != nil {
+		return nil, err
+	}
+	predBytes := predBits / 8
+
+	t := &Table{
+		Title:   "Theorem 4: predicted vs measured bid-submission transcript size",
+		Columns: []string{"quantity", "value"},
+	}
+	t.AddRow("bidders N", fmt.Sprintf("%d", n))
+	t.AddRow("channels k", fmt.Sprintf("%d", sc.Params.Channels))
+	t.AddRow("bid width w (blinded)", fmt.Sprintf("%d", w))
+	t.AddRow("predicted digest bytes (Thm 4)", fmt.Sprintf("%.0f", predBytes))
+	t.AddRow("measured transcript bytes", fmt.Sprintf("%d", res.SubmissionBytes))
+	t.AddRow("measured/predicted", fmt.Sprintf("%.3f", float64(res.SubmissionBytes)/predBytes))
+	t.AddRow("note", "measured includes sealed ciphertexts and location sets; see EXPERIMENTS.md")
+	return t, nil
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

@@ -1,0 +1,90 @@
+// Package stats provides the small statistical toolkit the experiment
+// harness uses to aggregate multi-trial runs: mean, standard deviation,
+// and normal-approximation confidence intervals.
+package stats
+
+import (
+	"fmt"
+	"math"
+)
+
+// Summary describes a sample of repeated measurements.
+type Summary struct {
+	N    int
+	Mean float64
+	Std  float64 // sample standard deviation (n−1)
+	Min  float64
+	Max  float64
+}
+
+// Summarize computes the summary of xs. An empty sample yields a zero
+// Summary.
+func Summarize(xs []float64) Summary {
+	s := Summary{N: len(xs)}
+	if len(xs) == 0 {
+		return s
+	}
+	s.Min, s.Max = xs[0], xs[0]
+	var sum float64
+	for _, x := range xs {
+		sum += x
+		if x < s.Min {
+			s.Min = x
+		}
+		if x > s.Max {
+			s.Max = x
+		}
+	}
+	s.Mean = sum / float64(len(xs))
+	if len(xs) > 1 {
+		var ss float64
+		for _, x := range xs {
+			d := x - s.Mean
+			ss += d * d
+		}
+		s.Std = math.Sqrt(ss / float64(len(xs)-1))
+	}
+	return s
+}
+
+// CI95 returns the half-width of the 95 % normal-approximation confidence
+// interval of the mean (0 for samples smaller than 2).
+func (s Summary) CI95() float64 {
+	if s.N < 2 {
+		return 0
+	}
+	return 1.96 * s.Std / math.Sqrt(float64(s.N))
+}
+
+// String renders "mean ± ci95".
+func (s Summary) String() string {
+	if s.N < 2 {
+		return fmt.Sprintf("%.3f", s.Mean)
+	}
+	return fmt.Sprintf("%.3f ± %.3f", s.Mean, s.CI95())
+}
+
+// Collector accumulates named series across trials.
+type Collector struct {
+	series map[string][]float64
+	order  []string
+}
+
+// NewCollector returns an empty collector.
+func NewCollector() *Collector {
+	return &Collector{series: make(map[string][]float64)}
+}
+
+// Add appends one observation to a named series.
+func (c *Collector) Add(name string, v float64) {
+	if _, ok := c.series[name]; !ok {
+		c.order = append(c.order, name)
+	}
+	c.series[name] = append(c.series[name], v)
+}
+
+// Names returns the series names in insertion order.
+func (c *Collector) Names() []string { return append([]string(nil), c.order...) }
+
+// Summary summarizes one named series.
+func (c *Collector) Summary(name string) Summary { return Summarize(c.series[name]) }

@@ -1,0 +1,91 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestSummarizeBasic(t *testing.T) {
+	s := Summarize([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	if s.N != 8 || s.Mean != 5 {
+		t.Fatalf("summary = %+v", s)
+	}
+	// Sample std of this classic dataset is sqrt(32/7).
+	want := math.Sqrt(32.0 / 7.0)
+	if math.Abs(s.Std-want) > 1e-12 {
+		t.Errorf("std = %f, want %f", s.Std, want)
+	}
+	if s.Min != 2 || s.Max != 9 {
+		t.Errorf("min/max = %f/%f", s.Min, s.Max)
+	}
+}
+
+func TestSummarizeEmptyAndSingleton(t *testing.T) {
+	if s := Summarize(nil); s.N != 0 || s.Mean != 0 || s.CI95() != 0 {
+		t.Errorf("empty summary = %+v", s)
+	}
+	s := Summarize([]float64{3.5})
+	if s.N != 1 || s.Mean != 3.5 || s.Std != 0 || s.CI95() != 0 {
+		t.Errorf("singleton summary = %+v", s)
+	}
+	if s.String() != "3.500" {
+		t.Errorf("singleton string = %q", s.String())
+	}
+}
+
+func TestCI95ShrinksWithN(t *testing.T) {
+	small := Summarize([]float64{1, 2, 3, 4})
+	var many []float64
+	for i := 0; i < 16; i++ {
+		many = append(many, float64(1+i%4))
+	}
+	big := Summarize(many)
+	if big.CI95() >= small.CI95() {
+		t.Errorf("CI did not shrink: %f >= %f", big.CI95(), small.CI95())
+	}
+}
+
+func TestSummaryStringWithCI(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3})
+	if !strings.Contains(s.String(), "±") {
+		t.Errorf("string = %q missing ±", s.String())
+	}
+}
+
+func TestMeanWithinBounds(t *testing.T) {
+	prop := func(xs []float64) bool {
+		clean := xs[:0]
+		for _, x := range xs {
+			if !math.IsNaN(x) && !math.IsInf(x, 0) && math.Abs(x) < 1e12 {
+				clean = append(clean, x)
+			}
+		}
+		if len(clean) == 0 {
+			return true
+		}
+		s := Summarize(clean)
+		return s.Mean >= s.Min-1e-9 && s.Mean <= s.Max+1e-9 && s.Std >= 0
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCollector(t *testing.T) {
+	c := NewCollector()
+	c.Add("a", 1)
+	c.Add("b", 10)
+	c.Add("a", 3)
+	names := c.Names()
+	if len(names) != 2 || names[0] != "a" || names[1] != "b" {
+		t.Fatalf("names = %v", names)
+	}
+	if s := c.Summary("a"); s.N != 2 || s.Mean != 2 {
+		t.Errorf("a summary = %+v", s)
+	}
+	if s := c.Summary("missing"); s.N != 0 {
+		t.Errorf("missing summary = %+v", s)
+	}
+}

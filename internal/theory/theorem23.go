@@ -1,0 +1,182 @@
+package theory
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+)
+
+// Theorem2 returns the paper's closed-form probability of *no location
+// information leakage* when the auctioneer marks a channel available to
+// the holders of the t largest prices: all t selections are disguised
+// zeros. bN is the largest true bid, m > t the number of zeros.
+//
+// The formula is transcribed verbatim; the paper's second term treats the
+// tie group approximately (it assumes exactly one tie slot matters), so
+// MonteCarloTheorem2 — which simulates the selection exactly — can deviate
+// by a few percent in tie-heavy configurations. The experiment harness
+// reports both.
+func Theorem2(d Dist, bN, m, t int) (float64, error) {
+	if err := d.Validate(); err != nil {
+		return 0, err
+	}
+	if bN < 1 || bN >= len(d) {
+		return 0, fmt.Errorf("theory: bN %d out of [1,%d]", bN, len(d)-1)
+	}
+	if t < 1 || m <= t {
+		return 0, fmt.Errorf("theory: need m > t ≥ 1, got m=%d t=%d", m, t)
+	}
+	above := d.tailSum(bN + 1) // replacement strictly above bN
+	atOrBelow := d.headSum(bN) // ≤ bN
+	below := d.headSum(bN - 1) // < bN
+	pBN := d[bN]
+
+	// First term: at least t zeros strictly above bN.
+	first := 0.0
+	for k := t; k <= m; k++ {
+		first += binom(m, k) * pow(above, k) * pow(atOrBelow, m-k)
+	}
+	// Second term: k < t zeros strictly above, j ≥ t−k zeros tied at bN,
+	// original bN loses the tie-break with weight (j−1)/j.
+	second := 0.0
+	for k := 0; k <= t-1; k++ {
+		inner := 0.0
+		for j := t - k; j <= m-k; j++ {
+			inner += (float64(j-1) / float64(j)) * binom(m-k, j) * pow(below, m-k-j) * pow(pBN, j)
+		}
+		second += binom(m, k) * pow(above, k) * inner
+	}
+	return first + second, nil
+}
+
+// MonteCarloTheorem2 simulates the t-largest selection exactly: the m
+// zeros are replaced i.i.d. from d, pooled with the true bids (of which
+// bN is the largest; the remaining true bids are below and never reach the
+// top set when it contains t candidates above them), and the auctioneer
+// picks t bids, breaking value ties uniformly. No leakage ⇔ every selected
+// bid is a zero.
+func MonteCarloTheorem2(d Dist, bN, m, t, trials int, rng *rand.Rand) (float64, error) {
+	if err := d.Validate(); err != nil {
+		return 0, err
+	}
+	if bN < 1 || bN >= len(d) || t < 1 || m <= t || trials < 1 {
+		return 0, fmt.Errorf("theory: bad arguments bN=%d m=%d t=%d trials=%d", bN, m, t, trials)
+	}
+	noLeak := 0
+	for trial := 0; trial < trials; trial++ {
+		above, tie := 0, 0
+		for z := 0; z < m; z++ {
+			v := d.sample(rng)
+			switch {
+			case v > bN:
+				above++
+			case v == bN:
+				tie++
+			}
+		}
+		switch {
+		case above >= t:
+			noLeak++
+		case above+tie >= t:
+			// Need the remaining t−above slots filled from the tie group
+			// of (tie zeros + 1 original bN), uniformly without the
+			// original: P = C(tie, t−above)/C(tie+1, t−above).
+			need := t - above
+			if float64(rng.Int63())/float64(1<<63) < hypergeomAllZeros(tie, need) {
+				noLeak++
+			}
+		}
+	}
+	return float64(noLeak) / float64(trials), nil
+}
+
+// hypergeomAllZeros returns the probability that drawing need items
+// uniformly from a pool of tie zeros plus one original picks only zeros.
+func hypergeomAllZeros(tie, need int) float64 {
+	return binom(tie, need) / binom(tie+1, need)
+}
+
+// Theorem3 returns the paper's closed-form expectation E[μ] of the number
+// of *true* (non-zero) bids among the users bidding the t largest prices,
+// under the uniform replacement distribution p = 1/(1+bmax). bids must be
+// the sorted non-decreasing true bid values b_1 ≤ … ≤ b_{N−m} (zeros
+// excluded), m the zero count.
+//
+// Transcribed verbatim; the paper's drawer-counting argument is an
+// approximation (see EXPERIMENTS.md), so the Monte-Carlo companion is the
+// ground truth for the harness.
+func Theorem3(bmax int, bids []int, m, t int) (float64, error) {
+	if bmax < 1 || m < 1 || t < 1 || len(bids) == 0 {
+		return 0, fmt.Errorf("theory: bad arguments bmax=%d m=%d t=%d bids=%d", bmax, m, t, len(bids))
+	}
+	if !sort.IntsAreSorted(bids) {
+		return 0, fmt.Errorf("theory: bids must be sorted ascending")
+	}
+	p := 1 / float64(bmax+1)
+	total := 0.0
+	for mu := 1; mu <= t && mu <= len(bids); mu++ {
+		bTop := bids[len(bids)-mu] // b_{N−μ} in the paper's indexing
+		outer := binom(bmax-bTop-mu, t-mu)
+		if outer == 0 {
+			continue
+		}
+		inner := 0.0
+		for j := t - mu; j <= m; j++ {
+			comb := 0.0
+			for i := 0; i <= j-t+mu; i++ {
+				comb += binom(j, i) * binom(i+mu-1, mu-1) * binom(j-i-1, t-mu-1)
+			}
+			inner += binom(m, j) * comb * pow(float64(1+bTop), m-j)
+		}
+		total += float64(mu) * pow(p, m) * outer * inner
+	}
+	return total, nil
+}
+
+// MonteCarloTheorem3 estimates E[μ] by simulation: replace the m zeros
+// uniformly over [0, bmax], pool with the true bids, select every user
+// whose bid belongs to the t largest *values* present (the paper selects
+// "all the users bidding t largest price"), and count selected true bids.
+func MonteCarloTheorem3(bmax int, bids []int, m, t, trials int, rng *rand.Rand) (float64, error) {
+	if bmax < 1 || m < 1 || t < 1 || len(bids) == 0 || trials < 1 {
+		return 0, fmt.Errorf("theory: bad arguments")
+	}
+	d := UniformDist(bmax)
+	var sum float64
+	zeros := make([]int, m)
+	for trial := 0; trial < trials; trial++ {
+		for z := range zeros {
+			zeros[z] = d.sample(rng)
+		}
+		// Collect the distinct values present, pick the t largest values,
+		// then count true bids at or above the smallest selected value.
+		values := map[int]bool{}
+		for _, b := range bids {
+			values[b] = true
+		}
+		for _, z := range zeros {
+			values[z] = true
+		}
+		distinct := make([]int, 0, len(values))
+		for v := range values {
+			distinct = append(distinct, v)
+		}
+		sort.Sort(sort.Reverse(sort.IntSlice(distinct)))
+		cut := distinct[min(t, len(distinct))-1]
+		mu := 0
+		for _, b := range bids {
+			if b >= cut {
+				mu++
+			}
+		}
+		sum += float64(mu)
+	}
+	return sum / float64(trials), nil
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,26 @@
+package theory
+
+import "fmt"
+
+// Theorem4Bits returns the paper's predicted total transmission cost of the
+// advanced bid submission protocol in bits:
+//
+//	h · k · N · (3w − 1)(w + 1)
+//
+// where w is the bit length of a (blinded) bid, k the channel count, N the
+// bidder count, and h the ratio of HMAC-output length to prefix length.
+// Per bidder and channel the protocol ships a (w+1)-digest family plus a
+// (2w−2)-digest padded range cover — (3w−1) digests of h·(w+1) bits each.
+func Theorem4Bits(hmacOutputBits, w, k, n int) (float64, error) {
+	if hmacOutputBits < 1 || w < 1 || k < 1 || n < 1 {
+		return 0, fmt.Errorf("theory: bad arguments hmac=%d w=%d k=%d n=%d", hmacOutputBits, w, k, n)
+	}
+	h := float64(hmacOutputBits) / float64(w+1)
+	return h * float64(k) * float64(n) * float64(3*w-1) * float64(w+1), nil
+}
+
+// Theorem4DigestCount returns the digest count behind the formula:
+// k·N·(3w−1). Multiplying by the digest size must reproduce Theorem4Bits.
+func Theorem4DigestCount(w, k, n int) int {
+	return k * n * (3*w - 1)
+}

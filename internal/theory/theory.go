@@ -1,0 +1,192 @@
+// Package theory implements the paper's analytical results (Theorems 1–4)
+// and Monte-Carlo validators for each. The closed forms are transcribed
+// verbatim from the paper; the validators simulate the underlying
+// probabilistic model directly, so the experiment harness can report
+// formula-vs-simulation agreement (and flag the places where the paper's
+// combinatorics are approximations).
+//
+// Model (section IV.C.3, as simplified in the paper's theorem setup): on
+// one channel there are N bids b_1 ≤ … ≤ b_N of which m are zeros; each
+// zero is independently replaced by value r ∈ [0, bmax] with probability
+// p_r (Σ p_r = 1, replacement by 0 meaning "stays zero").
+package theory
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Dist is a replacement distribution p_0..p_bmax over zero-disguise values.
+type Dist []float64
+
+// UniformDist returns the best-protection distribution of Theorem 3:
+// p_r = 1/(1+bmax) for every r.
+func UniformDist(bmax int) Dist {
+	d := make(Dist, bmax+1)
+	for i := range d {
+		d[i] = 1 / float64(bmax+1)
+	}
+	return d
+}
+
+// GeometricDist returns p_0 mass at zero and geometrically decaying mass
+// over [1, bmax] (the production disguise policy of package core).
+func GeometricDist(bmax int, p0, decay float64) Dist {
+	d := make(Dist, bmax+1)
+	d[0] = p0
+	w := 1.0
+	total := 0.0
+	for r := 1; r <= bmax; r++ {
+		d[r] = w
+		total += w
+		w *= decay
+	}
+	for r := 1; r <= bmax; r++ {
+		d[r] *= (1 - p0) / total
+	}
+	return d
+}
+
+// Validate checks that d is a probability distribution.
+func (d Dist) Validate() error {
+	if len(d) < 2 {
+		return fmt.Errorf("theory: distribution needs at least p_0 and p_1")
+	}
+	sum := 0.0
+	for r, p := range d {
+		if p < 0 {
+			return fmt.Errorf("theory: p_%d = %f negative", r, p)
+		}
+		sum += p
+	}
+	if sum < 0.999 || sum > 1.001 {
+		return fmt.Errorf("theory: distribution sums to %f", sum)
+	}
+	return nil
+}
+
+// tailSum returns Σ_{r=lo}^{bmax} p_r (0 when lo exceeds bmax).
+func (d Dist) tailSum(lo int) float64 {
+	if lo < 0 {
+		lo = 0
+	}
+	s := 0.0
+	for r := lo; r < len(d); r++ {
+		s += d[r]
+	}
+	return s
+}
+
+// headSum returns Σ_{r=0}^{hi} p_r (0 when hi is negative).
+func (d Dist) headSum(hi int) float64 {
+	if hi >= len(d) {
+		hi = len(d) - 1
+	}
+	s := 0.0
+	for r := 0; r <= hi; r++ {
+		s += d[r]
+	}
+	return s
+}
+
+// sample draws one replacement value.
+func (d Dist) sample(rng *rand.Rand) int {
+	u := rng.Float64()
+	cum := 0.0
+	for r, p := range d {
+		cum += p
+		if u < cum {
+			return r
+		}
+	}
+	return len(d) - 1
+}
+
+// pow is a small helper for x^n with integer n ≥ 0.
+func pow(x float64, n int) float64 {
+	out := 1.0
+	for i := 0; i < n; i++ {
+		out *= x
+	}
+	return out
+}
+
+// binom returns C(n, k) as float64 (n up to a few hundred in our
+// experiments; well within float64 range).
+func binom(n, k int) float64 {
+	if k < 0 || k > n {
+		return 0
+	}
+	if k > n-k {
+		k = n - k
+	}
+	out := 1.0
+	for i := 1; i <= k; i++ {
+		out *= float64(n - k + i)
+		out /= float64(i)
+	}
+	return out
+}
+
+// Theorem1 returns the closed-form probability that no zero bid wins the
+// channel, for highest true bid bN and m zero bids (equation 4):
+//
+//	p_f = [(1 − Σ_{r>bN} p_r)^{m+1} − (1 − Σ_{r≥bN} p_r)^{m+1}] / ((m+1)·p_bN)
+//
+// When p_bN = 0 the tie term vanishes and p_f = (1 − Σ_{r>bN} p_r)^m.
+func Theorem1(d Dist, bN, m int) (float64, error) {
+	if err := d.Validate(); err != nil {
+		return 0, err
+	}
+	if bN < 1 || bN >= len(d) {
+		return 0, fmt.Errorf("theory: bN %d out of [1,%d]", bN, len(d)-1)
+	}
+	if m < 0 {
+		return 0, fmt.Errorf("theory: negative zero count %d", m)
+	}
+	above := d.tailSum(bN + 1)
+	atOrAbove := d.tailSum(bN)
+	pBN := d[bN]
+	if pBN == 0 {
+		return pow(1-above, m), nil
+	}
+	num := pow(1-above, m+1) - pow(1-atOrAbove, m+1)
+	return num / (float64(m+1) * pBN), nil
+}
+
+// MonteCarloTheorem1 estimates the same probability by simulation: draw m
+// replacements; a zero wins when some replacement exceeds bN, or ties bN
+// and the uniform tie-break picks a zero.
+func MonteCarloTheorem1(d Dist, bN, m, trials int, rng *rand.Rand) (float64, error) {
+	if err := d.Validate(); err != nil {
+		return 0, err
+	}
+	if bN < 1 || bN >= len(d) || m < 0 || trials < 1 {
+		return 0, fmt.Errorf("theory: bad arguments bN=%d m=%d trials=%d", bN, m, trials)
+	}
+	noWin := 0
+	for trial := 0; trial < trials; trial++ {
+		aboveCnt, tieCnt := 0, 0
+		for z := 0; z < m; z++ {
+			v := d.sample(rng)
+			switch {
+			case v > bN:
+				aboveCnt++
+			case v == bN:
+				tieCnt++
+			}
+		}
+		switch {
+		case aboveCnt > 0:
+			// a disguised zero strictly outbids bN: zero wins
+		case tieCnt == 0:
+			noWin++
+		default:
+			// Uniform among tieCnt zeros + 1 original.
+			if rng.Intn(tieCnt+1) == tieCnt {
+				noWin++
+			}
+		}
+	}
+	return float64(noWin) / float64(trials), nil
+}

@@ -1,0 +1,254 @@
+package theory
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestDistConstructorsValid(t *testing.T) {
+	if err := UniformDist(100).Validate(); err != nil {
+		t.Error(err)
+	}
+	if err := GeometricDist(100, 0.7, 0.95).Validate(); err != nil {
+		t.Error(err)
+	}
+	g := GeometricDist(50, 0.6, 0.9)
+	if math.Abs(g[0]-0.6) > 1e-12 {
+		t.Errorf("p0 = %f", g[0])
+	}
+	for r := 2; r <= 50; r++ {
+		if g[r] > g[r-1]+1e-15 {
+			t.Fatalf("geometric dist not non-increasing at %d", r)
+		}
+	}
+}
+
+func TestDistValidateRejects(t *testing.T) {
+	if (Dist{1.0}).Validate() == nil {
+		t.Error("too-short dist accepted")
+	}
+	if (Dist{0.5, -0.1, 0.6}).Validate() == nil {
+		t.Error("negative mass accepted")
+	}
+	if (Dist{0.5, 0.1}).Validate() == nil {
+		t.Error("non-normalized dist accepted")
+	}
+}
+
+func TestBinom(t *testing.T) {
+	cases := []struct {
+		n, k int
+		want float64
+	}{
+		{5, 0, 1}, {5, 5, 1}, {5, 2, 10}, {10, 3, 120}, {0, 0, 1}, {4, 7, 0}, {4, -1, 0},
+	}
+	for _, c := range cases {
+		if got := binom(c.n, c.k); math.Abs(got-c.want) > 1e-9 {
+			t.Errorf("C(%d,%d) = %f, want %f", c.n, c.k, got, c.want)
+		}
+	}
+	// Large values stay finite and sane: C(300,150) ≈ 9.38e88.
+	big := binom(300, 150)
+	if math.IsInf(big, 1) || big < 1e88 || big > 1e89 {
+		t.Errorf("C(300,150) = %e", big)
+	}
+}
+
+func TestTheorem1DegenerateCases(t *testing.T) {
+	d := UniformDist(10)
+	// m = 0: no zeros, zero can never win: p_f = 1.
+	got, err := Theorem1(d, 5, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-1) > 1e-12 {
+		t.Errorf("m=0: p_f = %f, want 1", got)
+	}
+	// bN = bmax: a zero can only tie, never exceed.
+	got, err = Theorem1(d, 10, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got <= 0 || got >= 1 {
+		t.Errorf("bN=bmax: p_f = %f, want in (0,1)", got)
+	}
+}
+
+func TestTheorem1MatchesMonteCarlo(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, cfg := range []struct {
+		d     Dist
+		bN, m int
+	}{
+		{UniformDist(20), 15, 5},
+		{UniformDist(20), 19, 10},
+		{GeometricDist(20, 0.5, 0.9), 10, 8},
+		{GeometricDist(50, 0.2, 0.8), 30, 20},
+	} {
+		closed, err := Theorem1(cfg.d, cfg.bN, cfg.m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mc, err := MonteCarloTheorem1(cfg.d, cfg.bN, cfg.m, 60000, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(closed-mc) > 0.01 {
+			t.Errorf("bN=%d m=%d: closed %f vs MC %f", cfg.bN, cfg.m, closed, mc)
+		}
+	}
+}
+
+func TestTheorem1MoreZerosLowerPf(t *testing.T) {
+	d := UniformDist(30)
+	prev := 1.1
+	for m := 0; m <= 20; m += 4 {
+		pf, err := Theorem1(d, 20, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if pf > prev {
+			t.Fatalf("p_f not decreasing in m: %f > %f at m=%d", pf, prev, m)
+		}
+		prev = pf
+	}
+}
+
+func TestTheorem1Validation(t *testing.T) {
+	d := UniformDist(10)
+	if _, err := Theorem1(d, 0, 1); err == nil {
+		t.Error("bN=0 accepted")
+	}
+	if _, err := Theorem1(d, 11, 1); err == nil {
+		t.Error("bN>bmax accepted")
+	}
+	if _, err := Theorem1(d, 5, -1); err == nil {
+		t.Error("negative m accepted")
+	}
+	if _, err := MonteCarloTheorem1(d, 5, 1, 0, rand.New(rand.NewSource(1))); err == nil {
+		t.Error("trials=0 accepted")
+	}
+}
+
+func TestTheorem2CloseToMonteCarlo(t *testing.T) {
+	// The closed form approximates the tie handling; accept a small gap.
+	rng := rand.New(rand.NewSource(2))
+	for _, cfg := range []struct {
+		d         Dist
+		bN, m, t_ int
+	}{
+		{UniformDist(40), 30, 12, 2},
+		{UniformDist(40), 35, 20, 3},
+		{GeometricDist(40, 0.3, 0.9), 20, 15, 2},
+	} {
+		closed, err := Theorem2(cfg.d, cfg.bN, cfg.m, cfg.t_)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mc, err := MonteCarloTheorem2(cfg.d, cfg.bN, cfg.m, cfg.t_, 60000, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if closed < 0 || closed > 1 {
+			t.Errorf("closed form out of [0,1]: %f", closed)
+		}
+		if math.Abs(closed-mc) > 0.05 {
+			t.Errorf("bN=%d m=%d t=%d: closed %f vs MC %f", cfg.bN, cfg.m, cfg.t_, closed, mc)
+		}
+	}
+}
+
+func TestTheorem2Validation(t *testing.T) {
+	d := UniformDist(10)
+	if _, err := Theorem2(d, 5, 2, 2); err == nil {
+		t.Error("m ≤ t accepted")
+	}
+	if _, err := Theorem2(d, 0, 5, 2); err == nil {
+		t.Error("bN=0 accepted")
+	}
+	if _, err := MonteCarloTheorem2(d, 5, 5, 2, 0, rand.New(rand.NewSource(1))); err == nil {
+		t.Error("trials=0 accepted")
+	}
+}
+
+func TestTheorem3Bounds(t *testing.T) {
+	// E[μ] must lie in [0, t] whatever the formula's approximations.
+	bids := []int{5, 12, 30, 44}
+	for _, tt := range []int{1, 2, 3} {
+		e, err := Theorem3(100, bids, 10, tt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if e < 0 || e > float64(tt) {
+			t.Errorf("t=%d: E[mu] = %f out of [0,%d]", tt, e, tt)
+		}
+	}
+}
+
+func TestTheorem3MonteCarloBounds(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	bids := []int{5, 12, 30, 44}
+	mc, err := MonteCarloTheorem3(100, bids, 10, 2, 20000, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mc < 0 || mc > 4 {
+		t.Errorf("MC E[mu] = %f implausible", mc)
+	}
+	// With few zeros and small bmax... more zeros above should reduce μ:
+	// compare m=2 vs m=40 (more disguises crowd out true bids).
+	few, err := MonteCarloTheorem3(100, bids, 2, 2, 20000, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	many, err := MonteCarloTheorem3(100, bids, 40, 2, 20000, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if many > few {
+		t.Errorf("E[mu] should fall as zeros grow: m=2 → %f, m=40 → %f", few, many)
+	}
+}
+
+func TestTheorem3Validation(t *testing.T) {
+	if _, err := Theorem3(10, nil, 5, 2); err == nil {
+		t.Error("empty bids accepted")
+	}
+	if _, err := Theorem3(10, []int{3, 1}, 5, 2); err == nil {
+		t.Error("unsorted bids accepted")
+	}
+	if _, err := MonteCarloTheorem3(10, []int{1}, 0, 1, 100, rand.New(rand.NewSource(1))); err == nil {
+		t.Error("m=0 accepted")
+	}
+}
+
+func TestTheorem4Formula(t *testing.T) {
+	// 128-bit digests, w=10, k=2, N=3:
+	// h = 128/11; total = (128/11)·2·3·29·11 = 128·2·3·29 = 22272 bits.
+	bits, err := Theorem4Bits(128, 10, 2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(bits-22272) > 1e-9 {
+		t.Errorf("bits = %f, want 22272", bits)
+	}
+	if got := Theorem4DigestCount(10, 2, 3); got != 174 {
+		t.Errorf("digest count = %d, want 174", got)
+	}
+	// Consistency: digests × digest bits = formula.
+	if math.Abs(float64(174*128)-bits) > 1e-9 {
+		t.Error("digest count inconsistent with bit formula")
+	}
+	if _, err := Theorem4Bits(0, 1, 1, 1); err == nil {
+		t.Error("bad hmac bits accepted")
+	}
+}
+
+func TestTheorem4LinearInN(t *testing.T) {
+	a, _ := Theorem4Bits(128, 12, 5, 100)
+	b, _ := Theorem4Bits(128, 12, 5, 200)
+	if math.Abs(b/a-2) > 1e-9 {
+		t.Errorf("cost not linear in N: %f vs %f", a, b)
+	}
+}

@@ -1,0 +1,252 @@
+package transport
+
+import (
+	"errors"
+	"fmt"
+	"log/slog"
+	"math/rand"
+	"net"
+	"sync"
+	"time"
+
+	"lppa/internal/core"
+)
+
+// DefaultIdleTimeout bounds each network read/write on server-side
+// connections: a stalled bidder cannot pin a round forever. Results are
+// pushed on idle connections after the round completes, so the timeout
+// must comfortably exceed one full round.
+const DefaultIdleTimeout = 5 * time.Minute
+
+// AuctioneerServer collects masked submissions from a fixed number of
+// bidders over a listener, runs the private auction, settles charges with
+// the TTP, and pushes each bidder its result on the same connection.
+//
+// Run one instance per auction round. The server never holds key material.
+type AuctioneerServer struct {
+	params  core.Params
+	bidders int
+	ttpAddr string
+	ln      net.Listener
+	log     *slog.Logger
+	rng     *rand.Rand
+	// secondPrice switches charging to the clearing-price rule.
+	secondPrice bool
+
+	wg sync.WaitGroup
+
+	mu     sync.Mutex
+	closed bool
+	subs   map[int]Submission
+	conns  map[int]*Conn
+
+	doneMu  sync.Mutex
+	outcome *RoundOutcome
+}
+
+// RoundOutcome summarizes the finished round on the auctioneer side.
+type RoundOutcome struct {
+	Results []Result
+	Revenue uint64
+	Voided  int
+}
+
+// NewAuctioneerServer starts the auctioneer for one round of exactly
+// bidders participants with first-price charging.
+func NewAuctioneerServer(params core.Params, bidders int, ttpAddr string, ln net.Listener, seed int64, log *slog.Logger) (*AuctioneerServer, error) {
+	return newAuctioneerServer(params, bidders, ttpAddr, ln, seed, log, false)
+}
+
+// NewSecondPriceAuctioneerServer is NewAuctioneerServer with clearing-price
+// (second-price) charging: the TTP unblinds each award-time runner-up's
+// sealed bid as the charge.
+func NewSecondPriceAuctioneerServer(params core.Params, bidders int, ttpAddr string, ln net.Listener, seed int64, log *slog.Logger) (*AuctioneerServer, error) {
+	return newAuctioneerServer(params, bidders, ttpAddr, ln, seed, log, true)
+}
+
+func newAuctioneerServer(params core.Params, bidders int, ttpAddr string, ln net.Listener, seed int64, log *slog.Logger, secondPrice bool) (*AuctioneerServer, error) {
+	if err := params.Validate(); err != nil {
+		return nil, err
+	}
+	if bidders < 1 {
+		return nil, fmt.Errorf("transport: need at least one bidder")
+	}
+	if log == nil {
+		log = slog.Default()
+	}
+	s := &AuctioneerServer{
+		params:      params,
+		bidders:     bidders,
+		ttpAddr:     ttpAddr,
+		ln:          ln,
+		log:         log,
+		rng:         rand.New(rand.NewSource(seed)),
+		secondPrice: secondPrice,
+		subs:        make(map[int]Submission, bidders),
+		conns:       make(map[int]*Conn, bidders),
+	}
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return s, nil
+}
+
+// Addr returns the listen address.
+func (s *AuctioneerServer) Addr() net.Addr { return s.ln.Addr() }
+
+// Close shuts the listener and waits for handlers.
+func (s *AuctioneerServer) Close() error {
+	s.mu.Lock()
+	s.closed = true
+	s.mu.Unlock()
+	err := s.ln.Close()
+	s.wg.Wait()
+	return err
+}
+
+// Wait blocks until the round completes and returns the outcome.
+func (s *AuctioneerServer) Wait() *RoundOutcome {
+	s.wg.Wait()
+	s.doneMu.Lock()
+	defer s.doneMu.Unlock()
+	return s.outcome
+}
+
+func (s *AuctioneerServer) acceptLoop() {
+	defer s.wg.Done()
+	var handlers sync.WaitGroup
+	for accepted := 0; accepted < s.bidders; accepted++ {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			s.mu.Lock()
+			closed := s.closed
+			s.mu.Unlock()
+			if !closed && !errors.Is(err, net.ErrClosed) {
+				s.log.Error("auctioneer accept", "err", err)
+			}
+			handlers.Wait()
+			return
+		}
+		handlers.Add(1)
+		go func() {
+			defer handlers.Done()
+			s.receiveSubmission(NewConnTimeout(conn, DefaultIdleTimeout))
+		}()
+	}
+	// Wait for all submission handlers, then run the round and answer
+	// every bidder.
+	handlers.Wait()
+	s.mu.Lock()
+	complete := len(s.subs) == s.bidders
+	s.mu.Unlock()
+	if !complete {
+		s.log.Error("auctioneer: round incomplete", "got", len(s.subs), "want", s.bidders)
+		s.failAll("round incomplete")
+		return
+	}
+	if err := s.runRound(); err != nil {
+		s.log.Error("auctioneer: run round", "err", err)
+		s.failAll(err.Error())
+	}
+}
+
+func (s *AuctioneerServer) receiveSubmission(c *Conn) {
+	var sub Submission
+	if err := c.Expect(KindSubmission, &sub); err != nil {
+		s.log.Error("auctioneer recv submission", "err", err)
+		c.Close()
+		return
+	}
+	s.mu.Lock()
+	reject := ""
+	switch {
+	case sub.BidderID < 0 || sub.BidderID >= s.bidders:
+		reject = "bidder id out of range"
+	default:
+		if _, dup := s.subs[sub.BidderID]; dup {
+			reject = "duplicate bidder id"
+		} else {
+			s.subs[sub.BidderID] = sub
+			s.conns[sub.BidderID] = c
+		}
+	}
+	s.mu.Unlock()
+	if reject != "" {
+		_ = c.Send(KindError, ErrorMsg{Reason: reject})
+		c.Close()
+		return
+	}
+	_ = c.Send(KindSubmissionAck, struct{}{})
+}
+
+func (s *AuctioneerServer) runRound() error {
+	locs := make([]*core.LocationSubmission, s.bidders)
+	bids := make([]*core.BidSubmission, s.bidders)
+	for id, sub := range s.subs {
+		locs[id], bids[id] = sub.Parts()
+	}
+	auc, err := core.NewAuctioneer(s.params, locs, bids)
+	if err != nil {
+		return err
+	}
+	var reqs []core.ChargeRequest
+	if s.secondPrice {
+		awards, err := auc.AllocateAwards(s.rng)
+		if err != nil {
+			return err
+		}
+		reqs = auc.ChargeRequestsSecondPrice(awards)
+	} else {
+		assignments, err := auc.Allocate(s.rng)
+		if err != nil {
+			return err
+		}
+		reqs = auc.ChargeRequests(assignments)
+	}
+	wireResults, err := SubmitCharges(s.ttpAddr, reqs)
+	if err != nil {
+		return fmt.Errorf("transport: settle with ttp: %w", err)
+	}
+
+	outcome := &RoundOutcome{}
+	results := make(map[int]Result, s.bidders)
+	for _, r := range wireResults {
+		res := Result{BidderID: r.Bidder, Channel: r.Channel}
+		switch {
+		case r.Err != "":
+			res.Voided = true
+			outcome.Voided++
+		case !r.Valid:
+			res.Voided = true
+			outcome.Voided++
+		default:
+			res.Won = true
+			res.Price = r.Price
+			outcome.Revenue += r.Price
+		}
+		results[r.Bidder] = res
+	}
+	for id, c := range s.conns {
+		res, ok := results[id]
+		if !ok {
+			res = Result{BidderID: id}
+		}
+		if err := c.Send(KindResult, res); err != nil {
+			s.log.Error("auctioneer send result", "bidder", id, "err", err)
+		}
+		c.Close()
+		outcome.Results = append(outcome.Results, res)
+	}
+	s.doneMu.Lock()
+	s.outcome = outcome
+	s.doneMu.Unlock()
+	return nil
+}
+
+func (s *AuctioneerServer) failAll(reason string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, c := range s.conns {
+		_ = c.Send(KindError, ErrorMsg{Reason: reason})
+		c.Close()
+	}
+}

@@ -1,0 +1,67 @@
+package transport
+
+import (
+	"fmt"
+	"math/rand"
+	"net"
+
+	"lppa/internal/core"
+	"lppa/internal/geo"
+)
+
+// BidderClient is one secondary user participating in a networked round.
+type BidderClient struct {
+	ID     int
+	Params core.Params
+	// Policy is the bidder's personal zero-disguise policy.
+	Policy core.DisguisePolicy
+}
+
+// Participate runs the bidder's side of one round: fetch the key ring from
+// the TTP, mask location and bids, submit to the auctioneer, and wait for
+// the result. It blocks until the round completes.
+func (b *BidderClient) Participate(ttpAddr, auctioneerAddr string, loc geo.Point, bids []uint64, rng *rand.Rand) (*Result, error) {
+	ring, err := FetchKeyRing(ttpAddr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: bidder %d: %w", b.ID, err)
+	}
+
+	locSub, err := core.NewLocationSubmission(b.Params, ring, loc)
+	if err != nil {
+		return nil, fmt.Errorf("transport: bidder %d location: %w", b.ID, err)
+	}
+	var sampler *core.DisguiseSampler
+	if b.Policy.P0 < 1 {
+		sampler, err = core.NewDisguiseSampler(b.Policy, b.Params.BMax)
+		if err != nil {
+			return nil, err
+		}
+	}
+	enc, err := core.NewBidEncoder(b.Params, ring, sampler, rng)
+	if err != nil {
+		return nil, err
+	}
+	bidSub, err := enc.Encode(bids, rng)
+	if err != nil {
+		return nil, fmt.Errorf("transport: bidder %d bids: %w", b.ID, err)
+	}
+
+	conn, err := net.Dial("tcp", auctioneerAddr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: bidder %d dial auctioneer: %w", b.ID, err)
+	}
+	c := NewConn(conn)
+	defer c.Close()
+	if err := c.Send(KindSubmission, NewSubmission(b.ID, locSub, bidSub)); err != nil {
+		return nil, err
+	}
+	var ack struct{}
+	if err := c.Expect(KindSubmissionAck, &ack); err != nil {
+		return nil, fmt.Errorf("transport: bidder %d submission rejected: %w", b.ID, err)
+	}
+	var res Result
+	if err := c.Expect(KindResult, &res); err != nil {
+		return nil, fmt.Errorf("transport: bidder %d await result: %w", b.ID, err)
+	}
+	return &res, nil
+}

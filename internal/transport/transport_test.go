@@ -1,0 +1,359 @@
+package transport
+
+import (
+	"io"
+	"log/slog"
+	"math/rand"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"lppa/internal/core"
+	"lppa/internal/geo"
+	"lppa/internal/mask"
+)
+
+func testParams() core.Params {
+	return core.Params{Channels: 4, Lambda: 2, MaxX: 49, MaxY: 49, BMax: 50}
+}
+
+func quietLogger() *slog.Logger {
+	return slog.New(slog.NewTextHandler(discard{}, &slog.HandlerOptions{Level: slog.LevelError + 4}))
+}
+
+type discard struct{}
+
+func (discard) Write(p []byte) (int, error) { return len(p), nil }
+
+func listen(t *testing.T) net.Listener {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ln
+}
+
+func TestWireSubmissionRoundTrip(t *testing.T) {
+	p := testParams()
+	ring, err := mask.DeriveKeyRing([]byte("wire"), p.Channels, 3, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	loc, err := core.NewLocationSubmission(p, ring, geo.Point{X: 7, Y: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc, err := core.NewBidEncoder(p, ring, nil, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bid, err := enc.Encode([]uint64{5, 0, 50, 17}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sub := NewSubmission(3, loc, bid)
+	gotLoc, gotBid := sub.Parts()
+	if gotLoc.XFamily.Len() != loc.XFamily.Len() || gotLoc.YRange.Len() != loc.YRange.Len() {
+		t.Error("location sets corrupted in wire round trip")
+	}
+	if len(gotBid.Channels) != len(bid.Channels) {
+		t.Fatal("channel count corrupted")
+	}
+	for r := range bid.Channels {
+		if gotBid.Channels[r].Family.Len() != bid.Channels[r].Family.Len() {
+			t.Errorf("channel %d family corrupted", r)
+		}
+		if !core.CompareGE(&gotBid.Channels[r], &bid.Channels[r]) ||
+			!core.CompareGE(&bid.Channels[r], &gotBid.Channels[r]) {
+			t.Errorf("channel %d comparability lost in round trip", r)
+		}
+	}
+}
+
+func TestKeyRingWireRoundTrip(t *testing.T) {
+	ring, err := mask.DeriveKeyRing([]byte("ring"), 3, 5, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := RingToWire(ring).ToRing()
+	if string(got.G0) != string(ring.G0) || string(got.GC) != string(ring.GC) {
+		t.Error("keys corrupted")
+	}
+	if got.RD != 5 || got.CR != 8 || got.Channels() != 3 {
+		t.Error("parameters corrupted")
+	}
+}
+
+func TestTTPServerServesKeyRing(t *testing.T) {
+	p := testParams()
+	srv, err := NewTTPServer(p, []byte("seed-a"), 3, 4, listen(t), quietLogger())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	ring, err := FetchKeyRing(srv.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ring.Channels() != p.Channels || ring.RD != 3 || ring.CR != 4 {
+		t.Errorf("fetched ring: channels=%d rd=%d cr=%d", ring.Channels(), ring.RD, ring.CR)
+	}
+	// Two fetches agree (same round, same ring).
+	ring2, err := FetchKeyRing(srv.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(ring.G0) != string(ring2.G0) {
+		t.Error("ring differs between fetches")
+	}
+}
+
+func TestTTPServerCharging(t *testing.T) {
+	p := testParams()
+	srv, err := NewTTPServer(p, []byte("seed-b"), 3, 4, listen(t), quietLogger())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	ring, err := FetchKeyRing(srv.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(2))
+	enc, err := core.NewBidEncoder(p, ring, nil, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sub, err := enc.Encode([]uint64{42, 0, 1, 50}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reqs := []core.ChargeRequest{
+		{Bidder: 0, Channel: 0, Sealed: sub.Channels[0].Sealed, Family: sub.Channels[0].Family.Digests()},
+		{Bidder: 1, Channel: 1, Sealed: sub.Channels[1].Sealed, Family: sub.Channels[1].Family.Digests()},
+	}
+	results, err := SubmitCharges(srv.Addr().String(), reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 2 {
+		t.Fatalf("results = %d", len(results))
+	}
+	if !results[0].Valid || results[0].Price != 42 {
+		t.Errorf("result 0 = %+v, want valid price 42", results[0])
+	}
+	if results[1].Valid {
+		t.Errorf("result 1 = %+v, want voided zero", results[1])
+	}
+}
+
+func TestFullNetworkedRound(t *testing.T) {
+	p := testParams()
+	const n = 6
+	log := quietLogger()
+
+	ttpSrv, err := NewTTPServer(p, []byte("round-seed"), 3, 4, listen(t), log)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ttpSrv.Close()
+
+	aucSrv, err := NewAuctioneerServer(p, n, ttpSrv.Addr().String(), listen(t), 7, log)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer aucSrv.Close()
+
+	// Six bidders: three clustered (conflicting), three spread out.
+	points := []geo.Point{{X: 10, Y: 10}, {X: 11, Y: 10}, {X: 10, Y: 11}, {X: 40, Y: 40}, {X: 5, Y: 45}, {X: 45, Y: 5}}
+	bids := [][]uint64{
+		{10, 0, 3, 7}, {20, 5, 0, 9}, {5, 8, 2, 0},
+		{50, 50, 50, 50}, {0, 0, 0, 1}, {30, 0, 40, 2},
+	}
+	results := make([]*Result, n)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			b := &BidderClient{ID: i, Params: p, Policy: core.DisguisePolicy{P0: 0.8, Decay: 0.9}}
+			results[i], errs[i] = b.Participate(
+				ttpSrv.Addr().String(), aucSrv.Addr().String(),
+				points[i], bids[i], rand.New(rand.NewSource(int64(100+i))))
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("bidder %d: %v", i, err)
+		}
+	}
+	outcome := aucSrv.Wait()
+	if outcome == nil {
+		t.Fatal("no outcome")
+	}
+	if len(outcome.Results) == 0 {
+		t.Fatal("no results distributed")
+	}
+	var revenue uint64
+	winners := 0
+	for i, res := range results {
+		if res == nil {
+			t.Fatalf("bidder %d got no result", i)
+		}
+		if res.Won {
+			winners++
+			revenue += res.Price
+			if bids[i][res.Channel] != res.Price {
+				t.Errorf("bidder %d charged %d but bid %d on channel %d",
+					i, res.Price, bids[i][res.Channel], res.Channel)
+			}
+		}
+	}
+	if winners == 0 {
+		t.Error("nobody won anything")
+	}
+	if revenue != outcome.Revenue {
+		t.Errorf("bidder-side revenue %d != auctioneer-side %d", revenue, outcome.Revenue)
+	}
+}
+
+func TestAuctioneerRejectsBadBidderID(t *testing.T) {
+	p := testParams()
+	log := quietLogger()
+	ttpSrv, err := NewTTPServer(p, []byte("x"), 3, 4, listen(t), log)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ttpSrv.Close()
+	aucSrv, err := NewAuctioneerServer(p, 2, ttpSrv.Addr().String(), listen(t), 1, log)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer aucSrv.Close()
+
+	b := &BidderClient{ID: 99, Params: p, Policy: core.DisguisePolicy{P0: 1}}
+	_, err = b.Participate(ttpSrv.Addr().String(), aucSrv.Addr().String(),
+		geo.Point{X: 1, Y: 1}, []uint64{1, 2, 3, 4}, rand.New(rand.NewSource(1)))
+	if err == nil {
+		t.Fatal("out-of-range bidder id accepted")
+	}
+}
+
+func TestConnExpectErrorSurfaced(t *testing.T) {
+	a, b := net.Pipe()
+	ca, cb := NewConn(a), NewConn(b)
+	defer ca.Close()
+	defer cb.Close()
+	go func() {
+		_ = ca.Send(KindError, ErrorMsg{Reason: "boom"})
+	}()
+	var ack struct{}
+	err := cb.Expect(KindSubmissionAck, &ack)
+	if err == nil {
+		t.Fatal("expected surfaced error")
+	}
+}
+
+func TestNewAuctioneerServerValidation(t *testing.T) {
+	if _, err := NewAuctioneerServer(core.Params{}, 1, "", listen(t), 1, quietLogger()); err == nil {
+		t.Error("bad params accepted")
+	}
+	if _, err := NewAuctioneerServer(testParams(), 0, "", listen(t), 1, quietLogger()); err == nil {
+		t.Error("zero bidders accepted")
+	}
+}
+
+func TestConnTimeoutOnStalledPeer(t *testing.T) {
+	ln := listen(t)
+	defer ln.Close()
+	done := make(chan error, 1)
+	go func() {
+		conn, err := ln.Accept()
+		if err != nil {
+			done <- err
+			return
+		}
+		c := NewConnTimeout(conn, 50*time.Millisecond)
+		defer c.Close()
+		_, err = c.RecvEnvelope() // peer never sends: must time out
+		done <- err
+	}()
+	client, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Fatal("stalled peer did not time out")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("handler hung despite timeout")
+	}
+}
+
+func TestConnTimeoutIgnoredWithoutDeadlineSupport(t *testing.T) {
+	// net.Pipe has deadline support, so use a bare io pipe wrapper that
+	// does not: the timeout must be silently skipped (no panic).
+	a, b := net.Pipe()
+	defer a.Close()
+	defer b.Close()
+	c := NewConnTimeout(struct{ io.ReadWriteCloser }{a}, time.Millisecond)
+	go func() {
+		peer := NewConn(b)
+		_ = peer.Send(KindSubmissionAck, struct{}{})
+	}()
+	var ack struct{}
+	if err := c.Expect(KindSubmissionAck, &ack); err != nil {
+		t.Fatalf("wrapped pipe without deadlines failed: %v", err)
+	}
+}
+
+func TestSecondPriceNetworkedRound(t *testing.T) {
+	p := testParams()
+	const n = 3
+	log := quietLogger()
+	ttpSrv, err := NewTTPServer(p, []byte("sp-round"), 3, 4, listen(t), log)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ttpSrv.Close()
+	aucSrv, err := NewSecondPriceAuctioneerServer(p, n, ttpSrv.Addr().String(), listen(t), 5, log)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer aucSrv.Close()
+
+	// Full conflict on one effective channel: classic Vickrey pricing.
+	points := []geo.Point{{X: 10, Y: 10}, {X: 10, Y: 11}, {X: 11, Y: 10}}
+	bids := [][]uint64{{30, 0, 0, 0}, {50, 0, 0, 0}, {45, 0, 0, 0}}
+	results := make([]*Result, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			b := &BidderClient{ID: i, Params: p, Policy: core.DisguisePolicy{P0: 1}}
+			results[i], _ = b.Participate(ttpSrv.Addr().String(), aucSrv.Addr().String(),
+				points[i], bids[i], rand.New(rand.NewSource(int64(i))))
+		}(i)
+	}
+	wg.Wait()
+	outcome := aucSrv.Wait()
+	if outcome == nil {
+		t.Fatal("no outcome")
+	}
+	// Bidder 1 wins channel 0 paying the runner-up's 45.
+	if results[1] == nil || !results[1].Won {
+		t.Fatalf("bidder 1 result = %+v", results[1])
+	}
+	if results[1].Channel != 0 || results[1].Price != 45 {
+		t.Errorf("winner pays %d on channel %d, want 45 on 0", results[1].Price, results[1].Channel)
+	}
+}

@@ -1,0 +1,160 @@
+package transport
+
+import (
+	"errors"
+	"fmt"
+	"log/slog"
+	"math/rand"
+	"net"
+	"sync"
+	"time"
+
+	"lppa/internal/core"
+	"lppa/internal/mask"
+	"lppa/internal/ttp"
+)
+
+// TTPServer serves the trusted third party over a listener: bidders fetch
+// the round's key ring, the auctioneer submits charge batches. The server
+// owns its accept goroutine; Close stops it and waits for in-flight
+// connections.
+type TTPServer struct {
+	params core.Params
+	ring   *mask.KeyRing
+	ttp    *ttp.TTP
+	ln     net.Listener
+	log    *slog.Logger
+	// IdleTimeout bounds each read/write on accepted connections
+	// (DefaultIdleTimeout when zero at construction).
+	idleTimeout time.Duration
+
+	wg     sync.WaitGroup
+	mu     sync.Mutex
+	closed bool
+}
+
+// NewTTPServer creates the TTP party and starts serving on ln. The key
+// ring is derived from seed for reproducible experiments; production
+// deployments pass a random seed.
+func NewTTPServer(params core.Params, seed []byte, rd, cr uint64, ln net.Listener, log *slog.Logger) (*TTPServer, error) {
+	ring, err := mask.DeriveKeyRing(seed, params.Channels, rd, cr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: ttp key ring: %w", err)
+	}
+	trusted, err := ttp.FromRing(params, ring, rand.New(rand.NewSource(int64(len(seed))+1)))
+	if err != nil {
+		return nil, err
+	}
+	if log == nil {
+		log = slog.Default()
+	}
+	s := &TTPServer{params: params, ring: ring, ttp: trusted, ln: ln, log: log, idleTimeout: DefaultIdleTimeout}
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return s, nil
+}
+
+// Addr returns the listen address.
+func (s *TTPServer) Addr() net.Addr { return s.ln.Addr() }
+
+// Close stops the server and waits for connection handlers to finish.
+func (s *TTPServer) Close() error {
+	s.mu.Lock()
+	s.closed = true
+	s.mu.Unlock()
+	err := s.ln.Close()
+	s.wg.Wait()
+	return err
+}
+
+func (s *TTPServer) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			s.mu.Lock()
+			closed := s.closed
+			s.mu.Unlock()
+			if !closed && !errors.Is(err, net.ErrClosed) {
+				s.log.Error("ttp accept", "err", err)
+			}
+			return
+		}
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			s.handle(NewConnTimeout(conn, s.idleTimeout))
+		}()
+	}
+}
+
+func (s *TTPServer) handle(c *Conn) {
+	defer c.Close()
+	for {
+		env, err := c.RecvEnvelope()
+		if err != nil {
+			return // peer closed or broke protocol; nothing to answer
+		}
+		switch env.Kind {
+		case KindKeyRingRequest:
+			var req struct{}
+			if err := c.RecvPayload(&req); err != nil {
+				return
+			}
+			if err := c.Send(KindKeyRingReply, RingToWire(s.ring)); err != nil {
+				s.log.Error("ttp send key ring", "err", err)
+				return
+			}
+		case KindChargeBatch:
+			var batch ChargeBatch
+			if err := c.RecvPayload(&batch); err != nil {
+				return
+			}
+			results := s.ttp.ProcessBatch(batch.Requests)
+			if err := c.Send(KindChargeReply, ChargeReply{Results: ChargeResultsToWire(results)}); err != nil {
+				s.log.Error("ttp send charges", "err", err)
+				return
+			}
+		default:
+			_ = c.Send(KindError, ErrorMsg{Reason: fmt.Sprintf("unexpected message kind %d", env.Kind)})
+			return
+		}
+	}
+}
+
+// FetchKeyRing retrieves the round key ring from a TTP server (bidder
+// side).
+func FetchKeyRing(addr string) (*mask.KeyRing, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: dial ttp: %w", err)
+	}
+	c := NewConn(conn)
+	defer c.Close()
+	if err := c.Send(KindKeyRingRequest, struct{}{}); err != nil {
+		return nil, err
+	}
+	var reply KeyRingReply
+	if err := c.Expect(KindKeyRingReply, &reply); err != nil {
+		return nil, err
+	}
+	return reply.ToRing(), nil
+}
+
+// SubmitCharges sends a charge batch to the TTP (auctioneer side).
+func SubmitCharges(addr string, reqs []core.ChargeRequest) ([]WireChargeResult, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: dial ttp: %w", err)
+	}
+	c := NewConn(conn)
+	defer c.Close()
+	if err := c.Send(KindChargeBatch, ChargeBatch{Requests: reqs}); err != nil {
+		return nil, err
+	}
+	var reply ChargeReply
+	if err := c.Expect(KindChargeReply, &reply); err != nil {
+		return nil, err
+	}
+	return reply.Results, nil
+}

@@ -1,0 +1,302 @@
+// Package transport deploys the LPPA parties over real connections: a TTP
+// server escrowing keys and adjudicating charges, an auctioneer server
+// collecting masked submissions and running the private auction, and a
+// bidder client. Messages are length-delimited gob; the same wire types
+// work over TCP and over in-memory pipes (tests).
+//
+// Trust boundaries are explicit: the auctioneer only ever sees wire types
+// containing masked digests and sealed ciphertexts; the key ring travels
+// only on the bidder↔TTP connection.
+package transport
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+	"time"
+
+	"lppa/internal/core"
+	"lppa/internal/mask"
+	"lppa/internal/ttp"
+)
+
+// Protocol version, checked in every hello.
+const protocolVersion = 1
+
+// MsgKind discriminates top-level messages.
+type MsgKind int
+
+// Message kinds. Start at 1 so the zero value is invalid (a decoding
+// error, not an accidental valid message).
+const (
+	KindKeyRingRequest MsgKind = iota + 1
+	KindKeyRingReply
+	KindSubmission
+	KindSubmissionAck
+	KindResult
+	KindChargeBatch
+	KindChargeReply
+	KindError
+)
+
+// Envelope frames every message with a version and kind.
+type Envelope struct {
+	Version int
+	Kind    MsgKind
+}
+
+// KeyRingReply carries the secret material from the TTP to a bidder.
+// It must never be sent to the auctioneer.
+type KeyRingReply struct {
+	G0 []byte
+	GB [][]byte
+	GC []byte
+	RD uint64
+	CR uint64
+}
+
+// RingToWire converts a key ring for transmission.
+func RingToWire(r *mask.KeyRing) KeyRingReply {
+	gb := make([][]byte, len(r.GB))
+	for i, k := range r.GB {
+		gb[i] = append([]byte(nil), k...)
+	}
+	return KeyRingReply{
+		G0: append([]byte(nil), r.G0...),
+		GB: gb,
+		GC: append([]byte(nil), r.GC...),
+		RD: r.RD,
+		CR: r.CR,
+	}
+}
+
+// ToRing converts the wire form back to a key ring.
+func (k KeyRingReply) ToRing() *mask.KeyRing {
+	gb := make([]mask.Key, len(k.GB))
+	for i, b := range k.GB {
+		gb[i] = mask.Key(b)
+	}
+	return &mask.KeyRing{G0: mask.Key(k.G0), GB: gb, GC: mask.Key(k.GC), RD: k.RD, CR: k.CR}
+}
+
+// DigestSet is the wire form of a mask.Set.
+type DigestSet []mask.Digest
+
+// SetToWire flattens a digest set.
+func SetToWire(s mask.Set) DigestSet { return s.Digests() }
+
+// ToSet rebuilds the mask.Set.
+func (d DigestSet) ToSet() mask.Set { return mask.NewSet(d) }
+
+// WireChannelBid is the wire form of core.ChannelBid.
+type WireChannelBid struct {
+	Family DigestSet
+	Range  DigestSet
+	Sealed []byte
+}
+
+// Submission is a bidder's complete round submission.
+type Submission struct {
+	BidderID int
+	XFamily  DigestSet
+	YFamily  DigestSet
+	XRange   DigestSet
+	YRange   DigestSet
+	Channels []WireChannelBid
+}
+
+// NewSubmission assembles the wire submission from protocol objects.
+func NewSubmission(id int, loc *core.LocationSubmission, bid *core.BidSubmission) Submission {
+	s := Submission{
+		BidderID: id,
+		XFamily:  SetToWire(loc.XFamily),
+		YFamily:  SetToWire(loc.YFamily),
+		XRange:   SetToWire(loc.XRange),
+		YRange:   SetToWire(loc.YRange),
+		Channels: make([]WireChannelBid, len(bid.Channels)),
+	}
+	for i := range bid.Channels {
+		cb := &bid.Channels[i]
+		s.Channels[i] = WireChannelBid{
+			Family: SetToWire(cb.Family),
+			Range:  SetToWire(cb.Range),
+			Sealed: append([]byte(nil), cb.Sealed...),
+		}
+	}
+	return s
+}
+
+// Parts reconstructs the protocol objects on the auctioneer side.
+func (s Submission) Parts() (*core.LocationSubmission, *core.BidSubmission) {
+	loc := &core.LocationSubmission{
+		XFamily: s.XFamily.ToSet(),
+		YFamily: s.YFamily.ToSet(),
+		XRange:  s.XRange.ToSet(),
+		YRange:  s.YRange.ToSet(),
+	}
+	bid := &core.BidSubmission{Channels: make([]core.ChannelBid, len(s.Channels))}
+	for i, wc := range s.Channels {
+		bid.Channels[i] = core.ChannelBid{
+			Family: wc.Family.ToSet(),
+			Range:  wc.Range.ToSet(),
+			Sealed: append([]byte(nil), wc.Sealed...),
+		}
+	}
+	return loc, bid
+}
+
+// Result tells a bidder how the round ended for it.
+type Result struct {
+	BidderID int
+	Won      bool
+	Channel  int
+	Price    uint64
+	// Voided reports that the bidder "won" with a zero (its disguise was
+	// caught); it possesses no spectrum and pays nothing.
+	Voided bool
+}
+
+// ChargeBatch is the auctioneer→TTP charging request.
+type ChargeBatch struct {
+	Requests []core.ChargeRequest
+}
+
+// WireChargeResult mirrors ttp.ChargeResult with the error flattened to a
+// string (gob cannot carry interface values).
+type WireChargeResult struct {
+	Bidder  int
+	Channel int
+	Valid   bool
+	Price   uint64
+	Err     string
+}
+
+// ChargeReply is the TTP's adjudication.
+type ChargeReply struct {
+	Results []WireChargeResult
+}
+
+// ChargeResultsToWire flattens TTP results for transmission.
+func ChargeResultsToWire(rs []ttp.ChargeResult) []WireChargeResult {
+	out := make([]WireChargeResult, len(rs))
+	for i, r := range rs {
+		out[i] = WireChargeResult{Bidder: r.Bidder, Channel: r.Channel, Valid: r.Valid, Price: r.Price}
+		if r.Err != nil {
+			out[i].Err = r.Err.Error()
+		}
+	}
+	return out
+}
+
+// ErrorMsg reports a protocol failure to the peer.
+type ErrorMsg struct {
+	Reason string
+}
+
+// deadliner is the optional deadline surface of net.Conn; the Conn
+// wrapper arms it when a timeout is configured so a stalled peer cannot
+// pin a handler goroutine forever.
+type deadliner interface {
+	SetReadDeadline(time.Time) error
+	SetWriteDeadline(time.Time) error
+}
+
+// Conn wraps a bidirectional stream with gob encoding of enveloped
+// messages. It is not safe for concurrent use.
+type Conn struct {
+	rw      io.ReadWriteCloser
+	enc     *gob.Encoder
+	dec     *gob.Decoder
+	timeout time.Duration
+}
+
+// NewConn wraps a stream.
+func NewConn(rw io.ReadWriteCloser) *Conn {
+	return &Conn{rw: rw, enc: gob.NewEncoder(rw), dec: gob.NewDecoder(rw)}
+}
+
+// NewConnTimeout wraps a stream with a per-operation I/O deadline. The
+// deadline applies to each Send/Recv individually (it is re-armed per
+// call), so long rounds are fine as long as the peer keeps making
+// progress. Streams without deadline support (e.g. in-memory pipes in
+// tests) ignore the timeout.
+func NewConnTimeout(rw io.ReadWriteCloser, timeout time.Duration) *Conn {
+	c := NewConn(rw)
+	c.timeout = timeout
+	return c
+}
+
+func (c *Conn) armRead() {
+	if c.timeout <= 0 {
+		return
+	}
+	if d, ok := c.rw.(deadliner); ok {
+		_ = d.SetReadDeadline(time.Now().Add(c.timeout))
+	}
+}
+
+func (c *Conn) armWrite() {
+	if c.timeout <= 0 {
+		return
+	}
+	if d, ok := c.rw.(deadliner); ok {
+		_ = d.SetWriteDeadline(time.Now().Add(c.timeout))
+	}
+}
+
+// Close closes the underlying stream.
+func (c *Conn) Close() error { return c.rw.Close() }
+
+// Send writes an enveloped message.
+func (c *Conn) Send(kind MsgKind, payload any) error {
+	c.armWrite()
+	if err := c.enc.Encode(Envelope{Version: protocolVersion, Kind: kind}); err != nil {
+		return fmt.Errorf("transport: send envelope: %w", err)
+	}
+	if err := c.enc.Encode(payload); err != nil {
+		return fmt.Errorf("transport: send payload: %w", err)
+	}
+	return nil
+}
+
+// RecvEnvelope reads the next envelope and validates the version.
+func (c *Conn) RecvEnvelope() (Envelope, error) {
+	c.armRead()
+	var env Envelope
+	if err := c.dec.Decode(&env); err != nil {
+		return env, fmt.Errorf("transport: recv envelope: %w", err)
+	}
+	if env.Version != protocolVersion {
+		return env, fmt.Errorf("transport: protocol version %d, want %d", env.Version, protocolVersion)
+	}
+	return env, nil
+}
+
+// RecvPayload decodes the message body into payload.
+func (c *Conn) RecvPayload(payload any) error {
+	c.armRead()
+	if err := c.dec.Decode(payload); err != nil {
+		return fmt.Errorf("transport: recv payload: %w", err)
+	}
+	return nil
+}
+
+// Expect reads an envelope and asserts its kind, then decodes the body.
+// A KindError body is surfaced as an error.
+func (c *Conn) Expect(kind MsgKind, payload any) error {
+	env, err := c.RecvEnvelope()
+	if err != nil {
+		return err
+	}
+	if env.Kind == KindError {
+		var em ErrorMsg
+		if err := c.RecvPayload(&em); err != nil {
+			return err
+		}
+		return fmt.Errorf("transport: peer error: %s", em.Reason)
+	}
+	if env.Kind != kind {
+		return fmt.Errorf("transport: got message kind %d, want %d", env.Kind, kind)
+	}
+	return c.RecvPayload(payload)
+}

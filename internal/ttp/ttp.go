@@ -1,0 +1,172 @@
+// Package ttp implements the periodically-available Trusted Third Party of
+// LPPA. The TTP generates and escrows all secret material (it is the only
+// party besides the bidders holding the keys), and at charging time opens
+// the winners' sealed bids, unblinds them, voids disguised zeros, verifies
+// that the winning price matches the masked prefixes used during the
+// auction, and returns first-price charges to the auctioneer.
+//
+// Batch processing (ProcessBatch) models the paper's section V.C.2: the
+// auctioneer accumulates several auctions' worth of charge requests and
+// submits them during one TTP online window.
+package ttp
+
+import (
+	"fmt"
+	"math/rand"
+
+	"lppa/internal/core"
+	"lppa/internal/mask"
+	"lppa/internal/prefix"
+)
+
+// TTP holds the escrowed key ring for one auction round.
+type TTP struct {
+	params Params
+	ring   *mask.KeyRing
+	sealer *mask.Sealer
+}
+
+// Params mirrors core.Params; aliased so callers pass one value to both.
+type Params = core.Params
+
+// New creates a TTP for the round's parameters, drawing a fresh key ring
+// from crypto/rand. rd and cr are the blinding parameters the TTP chooses
+// and keeps secret from the auctioneer.
+func New(params Params, rd, cr uint64, rng *rand.Rand) (*TTP, error) {
+	ring, err := mask.NewKeyRing(params.Channels, rd, cr)
+	if err != nil {
+		return nil, fmt.Errorf("ttp: key ring: %w", err)
+	}
+	return FromRing(params, ring, rng)
+}
+
+// FromRing creates a TTP around an existing key ring (experiments derive
+// rings deterministically).
+func FromRing(params Params, ring *mask.KeyRing, rng *rand.Rand) (*TTP, error) {
+	if err := params.Validate(); err != nil {
+		return nil, err
+	}
+	sealer, err := mask.NewSealer(ring.GC, rng)
+	if err != nil {
+		return nil, fmt.Errorf("ttp: sealer: %w", err)
+	}
+	return &TTP{params: params, ring: ring, sealer: sealer}, nil
+}
+
+// Ring exposes the key ring for distribution to bidders. In the deployed
+// system this happens over a secure channel the auctioneer cannot read;
+// in-process callers just share the pointer.
+func (t *TTP) Ring() *mask.KeyRing { return t.ring }
+
+// ChargeResult is the TTP's verdict on one awarded channel.
+type ChargeResult struct {
+	Bidder  int
+	Channel int
+	// Valid is false when the winning bid was a (possibly disguised)
+	// zero: the award is void and the channel goes unsold this round.
+	Valid bool
+	// Price is the first-price charge (the true bid) for valid awards.
+	Price uint64
+	// Err records a protocol violation: unopenable ciphertext or a
+	// price/prefix mismatch (a bidder showing one price to the auction
+	// and another to the cashier). Violations void the award.
+	Err error
+}
+
+// Process opens and adjudicates a single charge request.
+func (t *TTP) Process(req core.ChargeRequest) ChargeResult {
+	res := ChargeResult{Bidder: req.Bidder, Channel: req.Channel}
+	scaled, err := t.sealer.OpenValue(req.Sealed)
+	if err != nil {
+		res.Err = fmt.Errorf("ttp: open sealed bid: %w", err)
+		return res
+	}
+	displayed := scaled / t.ring.CR
+	if displayed <= t.ring.RD {
+		// A true zero (mapped into [0, rd]) won: notify the auctioneer
+		// the award is invalid (section V.B).
+		return res
+	}
+	price := displayed - t.ring.RD
+	if price > t.params.BMax {
+		res.Err = fmt.Errorf("ttp: unblinded price %d exceeds bmax %d", price, t.params.BMax)
+		return res
+	}
+	if err := t.verifyFamily(req.Channel, scaled, req.Family); err != nil {
+		res.Err = err
+		return res
+	}
+	if req.RunnerUpSealed != nil {
+		// Second-price charging: the winner pays the runner-up's true
+		// bid. A runner-up that unblinds to a zero (genuine or disguised)
+		// clears the channel for free — the winner faced no real
+		// competition.
+		ruScaled, err := t.sealer.OpenValue(req.RunnerUpSealed)
+		if err != nil {
+			res.Err = fmt.Errorf("ttp: open runner-up bid: %w", err)
+			return res
+		}
+		ruDisplayed := ruScaled / t.ring.CR
+		switch {
+		case ruDisplayed <= t.ring.RD:
+			price = 0
+		default:
+			price = ruDisplayed - t.ring.RD
+			if price > t.params.BMax {
+				res.Err = fmt.Errorf("ttp: runner-up price %d exceeds bmax %d", price, t.params.BMax)
+				return res
+			}
+		}
+	}
+	res.Valid = true
+	res.Price = price
+	return res
+}
+
+// verifyFamily checks that the masked prefix family submitted during the
+// auction is exactly the family of the sealed (true) value — i.e. the
+// bidder's auction-time ordering claim matches the price it is charged.
+// Disguised zeros never reach this check (they fail the rd test first).
+func (t *TTP) verifyFamily(channel int, scaled uint64, family []mask.Digest) error {
+	if channel < 0 || channel >= t.ring.Channels() {
+		return fmt.Errorf("ttp: channel %d out of range", channel)
+	}
+	masker, err := mask.NewMasker(t.ring.GB[channel])
+	if err != nil {
+		return fmt.Errorf("ttp: masker: %w", err)
+	}
+	w := prefix.WidthFor(t.params.ScaledMax(t.ring))
+	want := masker.MaskAll(prefix.Numericalized(prefix.Family(scaled, w)))
+	if len(family) != len(want) {
+		return fmt.Errorf("ttp: family has %d digests, want %d", len(family), len(want))
+	}
+	got := mask.NewSet(family)
+	for _, d := range want {
+		if !got.Contains(d) {
+			return fmt.Errorf("ttp: price/prefix mismatch: auction family does not match sealed price")
+		}
+	}
+	return nil
+}
+
+// ValidateAward reports whether a sealed bid is a genuine positive bid —
+// i.e. not a (possibly disguised) zero. The auctioneer consults this
+// during allocation so void awards can be skipped; the TTP reveals a
+// single bit and no price. Unopenable ciphertexts count as invalid.
+func (t *TTP) ValidateAward(sealed []byte) bool {
+	scaled, err := t.sealer.OpenValue(sealed)
+	if err != nil {
+		return false
+	}
+	return scaled/t.ring.CR > t.ring.RD
+}
+
+// ProcessBatch adjudicates a batch of requests in order (the paper's
+// batched TTP interaction).
+func (t *TTP) ProcessBatch(reqs []core.ChargeRequest) []ChargeResult {
+	out := make([]ChargeResult, len(reqs))
+	for i, req := range reqs {
+		out[i] = t.Process(req)
+	}
+	return out
+}

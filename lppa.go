@@ -1,0 +1,307 @@
+// Package lppa is a Go implementation of LPPA — the Location Privacy
+// Preserving Dynamic Spectrum Auction of Liu et al. (ICDCS 2013) — together
+// with the substrate it is evaluated on: an FCC-style TV-band coverage
+// simulator, truthful secondary-user bid models, the BCM and BPM
+// location-inference attacks, and a networked deployment of the three
+// protocol parties (bidders, auctioneer, TTP).
+//
+// # Quick start
+//
+// Generate a dataset, place bidders, and run one private auction round:
+//
+//	ds, _ := lppa.GenerateLA(42)
+//	area := ds.Areas[2]
+//	sc, _ := lppa.NewScenario(area, 32, 2)
+//	pop, _ := lppa.NewPopulation(area, 50, lppa.DefaultBidConfig(), rng)
+//	ring, _ := lppa.DeriveKeyRing([]byte("round-1"), sc.Params.Channels, 5, 8)
+//	res, _ := lppa.RunPrivate(sc.Params, ring, lppa.Points(pop),
+//	    sc.TruncatedBids(pop), lppa.DisguisePolicy{P0: 0.7, Decay: 0.95}, rng)
+//
+// See examples/ for complete programs and cmd/lppa-sim for the paper's
+// full evaluation suite.
+//
+// # Architecture
+//
+// The package is a facade over focused internal packages:
+//
+//   - internal/prefix, internal/mask — prefix membership verification and
+//     its keyed masking (the cryptographic heart of PPBS);
+//   - internal/geo, internal/radio, internal/dataset — grid geometry, RF
+//     propagation, and the synthetic Los Angeles coverage maps;
+//   - internal/bidder — secondary users and truthful bid vectors;
+//   - internal/core — the LPPA protocol proper (submissions, auctioneer,
+//     order-preserving comparisons);
+//   - internal/ttp — the trusted third party;
+//   - internal/auction, internal/conflict — Algorithm 3 and the
+//     interference graph;
+//   - internal/attack, internal/privacy — BCM/BPM and privacy metrics;
+//   - internal/round, internal/transport — in-process and TCP round
+//     orchestration;
+//   - internal/theory, internal/sim — the paper's theorems and the
+//     experiment harness.
+package lppa
+
+import (
+	"math/rand"
+
+	"lppa/internal/attack"
+	"lppa/internal/auction"
+	"lppa/internal/bidder"
+	"lppa/internal/core"
+	"lppa/internal/dataset"
+	"lppa/internal/geo"
+	"lppa/internal/mask"
+	"lppa/internal/privacy"
+	"lppa/internal/round"
+	"lppa/internal/sim"
+	"lppa/internal/theory"
+	"lppa/internal/transport"
+	"lppa/internal/ttp"
+)
+
+// Geometry and dataset types.
+type (
+	// Grid is the cell partition of an evaluation region.
+	Grid = geo.Grid
+	// Cell addresses one grid cell (row, column).
+	Cell = geo.Cell
+	// Point is a protocol coordinate pair.
+	Point = geo.Point
+	// CellSet is a set of grid cells (coverage maps, attack outputs).
+	CellSet = geo.CellSet
+	// Dataset is the four-area evaluation dataset.
+	Dataset = dataset.Dataset
+	// Area is one 75 km × 75 km evaluation region.
+	Area = dataset.Area
+	// DatasetConfig controls dataset generation.
+	DatasetConfig = dataset.Config
+	// AreaProfile parameterizes one area's RF character.
+	AreaProfile = dataset.AreaProfile
+)
+
+// Bidder-side types.
+type (
+	// SU is a secondary user.
+	SU = bidder.SU
+	// BidConfig controls valuation and bid quantization.
+	BidConfig = bidder.Config
+	// Population couples SUs with their bid vectors.
+	Population = bidder.Population
+)
+
+// Protocol types.
+type (
+	// Params are the public protocol parameters of one auction round.
+	Params = core.Params
+	// DisguisePolicy is a bidder's zero-disguise distribution.
+	DisguisePolicy = core.DisguisePolicy
+	// KeyRing is the TTP-escrowed secret material.
+	KeyRing = mask.KeyRing
+	// LocationSubmission is a masked location.
+	LocationSubmission = core.LocationSubmission
+	// BidSubmission is a masked bid vector.
+	BidSubmission = core.BidSubmission
+	// Auctioneer is the untrusted auction runner.
+	Auctioneer = core.Auctioneer
+	// TTP is the trusted third party.
+	TTP = ttp.TTP
+	// Assignment is one awarded (bidder, channel) pair.
+	Assignment = auction.Assignment
+	// Outcome summarizes an auction round.
+	Outcome = auction.Outcome
+	// RoundResult is the outcome of an in-process private round.
+	RoundResult = round.Result
+	// Series runs consecutive auctions with batched TTP charging.
+	Series = round.Series
+	// Batcher schedules multi-auction TTP settlement windows.
+	Batcher = round.Batcher
+)
+
+// Attack and metric types.
+type (
+	// BPMConfig tunes the Bid-Price Mining attack.
+	BPMConfig = attack.BPMConfig
+	// BPMResult is a BPM attack outcome.
+	BPMResult = attack.BPMResult
+	// CardinalityTable inverts basic-scheme range-set sizes to bids.
+	CardinalityTable = attack.CardinalityTable
+	// PrivacyReport holds per-victim privacy metrics.
+	PrivacyReport = privacy.Report
+	// PrivacyAggregate averages reports across victims.
+	PrivacyAggregate = privacy.Aggregate
+)
+
+// Networked deployment types.
+type (
+	// TTPServer serves the TTP over a listener.
+	TTPServer = transport.TTPServer
+	// AuctioneerServer runs one networked auction round.
+	AuctioneerServer = transport.AuctioneerServer
+	// BidderClient participates in a networked round.
+	BidderClient = transport.BidderClient
+	// Result is a bidder's networked round result.
+	Result = transport.Result
+)
+
+// Experiment harness types.
+type (
+	// Scenario bundles an area with derived protocol parameters.
+	Scenario = sim.Scenario
+	// Table is a rendered experiment result.
+	Table = sim.Table
+	// MultiRoundConfig drives the repeated-participation experiment.
+	MultiRoundConfig = sim.MultiRoundConfig
+	// MultiRoundPoint is the attack state after a number of rounds.
+	MultiRoundPoint = sim.MultiRoundPoint
+)
+
+// DefaultGrid returns the paper's geometry: 100×100 cells over 75 km.
+func DefaultGrid() Grid { return geo.DefaultGrid() }
+
+// GenerateLA synthesizes the four-area, 129-channel evaluation dataset.
+func GenerateLA(seed int64) (*Dataset, error) { return dataset.GenerateLA(seed) }
+
+// GenerateDataset synthesizes a dataset with custom geometry/profiles.
+func GenerateDataset(cfg DatasetConfig, seed int64) (*Dataset, error) {
+	return dataset.Generate(cfg, seed)
+}
+
+// DefaultDatasetConfig is the paper's dataset configuration.
+func DefaultDatasetConfig() DatasetConfig { return dataset.DefaultConfig() }
+
+// LoadOrGenerateDataset returns the dataset cached at path, generating and
+// caching it when absent or stale.
+func LoadOrGenerateDataset(path string, cfg DatasetConfig, seed int64) (*Dataset, error) {
+	return dataset.LoadOrGenerate(path, cfg, seed)
+}
+
+// DefaultBidConfig mirrors the paper's bid model (bmax 100, 20 % valuation
+// noise, 25 % sensing discrepancy).
+func DefaultBidConfig() BidConfig { return bidder.DefaultConfig() }
+
+// NewPopulation places n secondary users in area and computes their
+// truthful bids.
+func NewPopulation(area *Area, n int, cfg BidConfig, rng *rand.Rand) (*Population, error) {
+	return bidder.NewPopulation(area, n, cfg, rng)
+}
+
+// Points extracts protocol coordinates from a population.
+func Points(pop *Population) []Point { return sim.Points(pop) }
+
+// NewScenario derives protocol parameters for an auction over the first
+// channels channels of area, with interference half-range lambda cells.
+func NewScenario(area *Area, channels int, lambda uint64) (*Scenario, error) {
+	return sim.NewScenario(area, channels, lambda)
+}
+
+// DeriveKeyRing deterministically expands a seed into the round's secret
+// material (the TTP's role); use NewKeyRing for crypto/rand keys.
+func DeriveKeyRing(seed []byte, channels int, rd, cr uint64) (*KeyRing, error) {
+	return mask.DeriveKeyRing(seed, channels, rd, cr)
+}
+
+// NewKeyRing draws a fresh key ring from crypto/rand.
+func NewKeyRing(channels int, rd, cr uint64) (*KeyRing, error) {
+	return mask.NewKeyRing(channels, rd, cr)
+}
+
+// DefaultDisguise is a moderate zero-disguise policy.
+func DefaultDisguise() DisguisePolicy { return core.DefaultDisguise() }
+
+// NewLocationSubmission builds a bidder's masked location submission.
+func NewLocationSubmission(params Params, ring *KeyRing, pt Point) (*LocationSubmission, error) {
+	return core.NewLocationSubmission(params, ring, pt)
+}
+
+// Conflicts evaluates the masked conflict predicate between two location
+// submissions — the only location operation the auctioneer can perform.
+func Conflicts(a, b *LocationSubmission) bool { return core.Conflicts(a, b) }
+
+// RunPrivate executes a full LPPA round in-process (batch TTP charging,
+// the paper's design).
+func RunPrivate(params Params, ring *KeyRing, points []Point, bids [][]uint64,
+	policy DisguisePolicy, rng *rand.Rand) (*RoundResult, error) {
+	return round.RunPrivate(params, ring, points, bids, policy, rng)
+}
+
+// RunPrivateInteractive executes a round with per-award TTP validity
+// checks (the ablation design; see DESIGN.md §5).
+func RunPrivateInteractive(params Params, ring *KeyRing, points []Point, bids [][]uint64,
+	policy DisguisePolicy, rng *rand.Rand) (*RoundResult, error) {
+	return round.RunPrivateInteractive(params, ring, points, bids, policy, rng)
+}
+
+// NewSeries builds a multi-auction runner with batched TTP charging
+// (section V.C.2).
+func NewSeries(params Params, ring *KeyRing, maxRequests, maxRounds int, rng *rand.Rand) (*Series, error) {
+	return round.NewSeries(params, ring, maxRequests, maxRounds, rng)
+}
+
+// RunPlainBaseline runs the non-private reference auction.
+func RunPlainBaseline(points []Point, bids [][]uint64, lambda uint64, rng *rand.Rand) (*Outcome, error) {
+	return round.RunPlainBaseline(points, bids, lambda, rng)
+}
+
+// RunPrivateSecondPrice executes a private round with second-price
+// (clearing-price) charging — the paper's future-work direction
+// implemented end to end (winners pay the award-time runner-up's bid,
+// unblinded by the TTP).
+func RunPrivateSecondPrice(params Params, ring *KeyRing, points []Point, bids [][]uint64,
+	policy DisguisePolicy, rng *rand.Rand) (*RoundResult, error) {
+	return round.RunPrivateSecondPrice(params, ring, points, bids, policy, rng)
+}
+
+// BCM runs the Bid-Channels Mining attack for an observed channel set.
+func BCM(area *Area, channels []int) (*CellSet, error) { return attack.BCM(area, channels) }
+
+// BCMFromBids runs BCM on a plaintext bid vector (Algorithm 1).
+func BCMFromBids(area *Area, bids []uint64) (*CellSet, error) {
+	return attack.BCMFromBids(area, bids)
+}
+
+// BCMRobust runs the noise-tolerant BCM variant used against LPPA
+// transcripts: it keeps the cells consistent with the most observations.
+func BCMRobust(area *Area, channels []int) (*CellSet, int, error) {
+	return attack.BCMRobust(area, channels)
+}
+
+// BPM runs the Bid-Price Mining attack (Algorithm 2).
+func BPM(area *Area, p *CellSet, bids []uint64, cfg BPMConfig) (*BPMResult, error) {
+	return attack.BPM(area, p, bids, cfg)
+}
+
+// TopFractionChannels extracts per-user observed channels from per-channel
+// bid rankings (the attacker's move against LPPA transcripts).
+func TopFractionChannels(rankings [][]int, n int, frac float64) ([][]int, error) {
+	return attack.TopFractionChannels(rankings, n, frac)
+}
+
+// NewCardinalityTable precomputes the section IV.C.1 cardinality-leak
+// inversion against the basic bid scheme.
+func NewCardinalityTable(bmax uint64) (*CardinalityTable, error) {
+	return attack.NewCardinalityTable(bmax)
+}
+
+// EvaluatePrivacy computes the four privacy metrics for one attack output.
+func EvaluatePrivacy(p *CellSet, truth Cell) PrivacyReport { return privacy.Evaluate(p, truth) }
+
+// SummarizePrivacy aggregates per-victim reports.
+func SummarizePrivacy(reports []PrivacyReport) PrivacyAggregate { return privacy.Summarize(reports) }
+
+// Theorem1 returns the closed-form probability that no zero bid wins
+// (paper equation 4), under replacement distribution d (index r = value,
+// d[r] = p_r).
+func Theorem1(d []float64, bN, m int) (float64, error) { return theory.Theorem1(theory.Dist(d), bN, m) }
+
+// UniformDisguiseDist is Theorem 3's best-protection distribution.
+func UniformDisguiseDist(bmax int) []float64 { return theory.UniformDist(bmax) }
+
+// DefaultMultiRoundConfig is a moderate repeated-participation setting.
+func DefaultMultiRoundConfig() MultiRoundConfig { return sim.DefaultMultiRoundConfig() }
+
+// MultiRound runs the repeated-participation experiment of section V.C.3:
+// the linked attacker accumulates observations across rounds; the ID-mixing
+// defence confines it to single rounds.
+func MultiRound(area *Area, cfg MultiRoundConfig, seed int64) ([]MultiRoundPoint, error) {
+	return sim.MultiRound(area, cfg, seed)
+}

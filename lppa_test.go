@@ -1,0 +1,160 @@
+package lppa_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"lppa"
+)
+
+// TestFacadeEndToEnd exercises the public API exactly as the README's
+// quickstart does: dataset → population → private round → attack →
+// metrics.
+func TestFacadeEndToEnd(t *testing.T) {
+	ds, err := lppa.GenerateDataset(lppa.DatasetConfig{
+		Grid:     lppa.Grid{Rows: 20, Cols: 20, SideMeters: 75_000},
+		Channels: 10,
+		Profiles: nil, // filled below
+	}, 1)
+	if err == nil {
+		t.Fatal("expected error for missing profiles")
+	}
+	cfg := lppa.DefaultDatasetConfig()
+	cfg.Grid = lppa.Grid{Rows: 20, Cols: 20, SideMeters: 75_000}
+	cfg.Channels = 10
+	ds, err = lppa.GenerateDataset(cfg, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	area := ds.Areas[2]
+
+	sc, err := lppa.NewScenario(area, 8, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(2))
+	pop, err := lppa.NewPopulation(area, 15, lppa.DefaultBidConfig(), rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ring, err := lppa.DeriveKeyRing([]byte("facade"), sc.Params.Channels, 3, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := lppa.RunPrivate(sc.Params, ring, lppa.Points(pop), sc.TruncatedBids(pop),
+		lppa.DisguisePolicy{P0: 0.8, Decay: 0.9}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Violations != 0 {
+		t.Errorf("violations = %d", res.Violations)
+	}
+
+	// Attack the plaintext baseline for comparison.
+	reports := make([]lppa.PrivacyReport, 0, pop.N())
+	for i, su := range pop.SUs {
+		p, err := lppa.BCMFromBids(area, pop.Bids[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		reports = append(reports, lppa.EvaluatePrivacy(p, su.Cell))
+	}
+	agg := lppa.SummarizePrivacy(reports)
+	if agg.Victims != 15 {
+		t.Errorf("victims = %d", agg.Victims)
+	}
+	if agg.FailureRate != 0 {
+		t.Errorf("honest-bid BCM should never fail, failure = %f", agg.FailureRate)
+	}
+}
+
+func TestFacadeTheorem(t *testing.T) {
+	d := lppa.UniformDisguiseDist(50)
+	pf, err := lppa.Theorem1(d, 30, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pf <= 0 || pf >= 1 {
+		t.Errorf("p_f = %f out of (0,1)", pf)
+	}
+}
+
+func TestFacadeBaseline(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	points := []lppa.Point{{X: 1, Y: 1}, {X: 30, Y: 30}}
+	bids := [][]uint64{{5, 0}, {7, 9}}
+	out, err := lppa.RunPlainBaseline(points, bids, 2, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Revenue == 0 {
+		t.Error("no revenue")
+	}
+}
+
+// TestFacadeWrapperCoverage exercises the remaining thin wrappers so the
+// facade is fully smoke-tested.
+func TestFacadeWrapperCoverage(t *testing.T) {
+	if lppa.DefaultGrid().NumCells() != 10000 {
+		t.Error("DefaultGrid wrong")
+	}
+	if lppa.DefaultDisguise().Validate() != nil {
+		t.Error("DefaultDisguise invalid")
+	}
+	ring, err := lppa.NewKeyRing(2, 3, 4)
+	if err != nil || ring.Channels() != 2 {
+		t.Fatalf("NewKeyRing: %v", err)
+	}
+	params := lppa.Params{Channels: 2, Lambda: 2, MaxX: 20, MaxY: 20, BMax: 50}
+	sub, err := lppa.NewLocationSubmission(params, ring, lppa.Point{X: 5, Y: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !lppa.Conflicts(sub, sub) {
+		t.Error("self-conflict must hold")
+	}
+	if _, err := lppa.NewSeries(params, ring, 10, 10, rand.New(rand.NewSource(1))); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := lppa.NewCardinalityTable(50); err != nil {
+		t.Fatal(err)
+	}
+
+	// Second-price and interactive variants through the facade.
+	points := []lppa.Point{{X: 1, Y: 1}, {X: 15, Y: 15}}
+	bids := [][]uint64{{10, 20}, {30, 5}}
+	if _, err := lppa.RunPrivateSecondPrice(params, ring, points, bids, lppa.DisguisePolicy{P0: 1}, rand.New(rand.NewSource(2))); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := lppa.RunPrivateInteractive(params, ring, points, bids, lppa.DisguisePolicy{P0: 1}, rand.New(rand.NewSource(3))); err != nil {
+		t.Fatal(err)
+	}
+
+	// Attack wrappers on a tiny dataset.
+	cfg := lppa.DefaultDatasetConfig()
+	cfg.Grid = lppa.Grid{Rows: 12, Cols: 12, SideMeters: 75_000}
+	cfg.Channels = 6
+	ds, err := lppa.GenerateDataset(cfg, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	area := ds.Areas[0]
+	if _, _, err := lppa.BCMRobust(area, []int{0, 1}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := lppa.BCM(area, []int{0}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := lppa.TopFractionChannels([][]int{{0}}, 1, 0.5); err != nil {
+		t.Fatal(err)
+	}
+	mr := lppa.DefaultMultiRoundConfig()
+	mr.Bidders, mr.Channels, mr.Rounds = 4, 6, 2
+	if _, err := lppa.MultiRound(area, mr, 3); err != nil {
+		t.Fatal(err)
+	}
+	path := t.TempDir() + "/ds.gob"
+	if _, err := lppa.LoadOrGenerateDataset(path, cfg, 2); err != nil {
+		t.Fatal(err)
+	}
+}
