@@ -3,7 +3,7 @@
 GO ?= go
 CACHE ?= /tmp/lppa-ds.gob
 
-.PHONY: all build test race cover bench fuzz experiments examples clean
+.PHONY: all build test race cover bench bench-json fuzz experiments examples clean
 
 all: build test
 
@@ -22,6 +22,13 @@ cover:
 
 bench:
 	$(GO) test -bench=. -benchmem
+
+# Machine-readable snapshot of the parallel-pipeline benchmarks (committed
+# as BENCH_PR1.json; see EXPERIMENTS.md for the narrative numbers).
+bench-json:
+	$(GO) test -run=NONE -benchmem \
+		-bench='ZeroAllocMask|ParallelMaskAll|ParallelConflictGraph|ParallelPrivateRound|RankMemoAllocation|MaskDigest|PrivateConflictGraph' \
+		. | $(GO) run ./cmd/benchjson > BENCH_PR1.json
 
 # Short fuzz pass over every fuzz target (CI smoke; extend -fuzztime locally).
 fuzz:

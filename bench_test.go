@@ -924,6 +924,150 @@ func BenchmarkAblationPricingRule(b *testing.B) {
 	})
 }
 
+// --- Parallel-pipeline benchmarks ---------------------------------------
+
+// BenchmarkZeroAllocMask pins the resettable-HMAC fast path: steady-state
+// masking must not allocate (the -benchmem column is the acceptance
+// criterion, 0 allocs/op).
+func BenchmarkZeroAllocMask(b *testing.B) {
+	m, err := mask.NewMasker(make(mask.Key, 32))
+	if err != nil {
+		b.Fatal(err)
+	}
+	m.Mask(0) // prime the lazy HMAC internals
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Mask(uint64(i))
+	}
+}
+
+// BenchmarkParallelMaskAll sweeps worker counts over a batch of prefix
+// families (64 bidders × 16 values), the shape the submission encoders
+// produce.
+func BenchmarkParallelMaskAll(b *testing.B) {
+	m, err := mask.NewMasker(make(mask.Key, 32))
+	if err != nil {
+		b.Fatal(err)
+	}
+	batches := make([][]uint64, 64)
+	for i := range batches {
+		batches[i] = make([]uint64, 16)
+		for j := range batches[i] {
+			batches[i][j] = uint64(i*16 + j)
+		}
+	}
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers-%d", workers), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				m.ParallelMaskAll(batches, workers)
+			}
+		})
+	}
+}
+
+// BenchmarkParallelConflictGraph sweeps worker counts over the masked
+// conflict-graph build at n = 200 submissions (the acceptance-criterion
+// scale; on multi-core hosts workers-4 should be ≥ 2× workers-1).
+func BenchmarkParallelConflictGraph(b *testing.B) {
+	p := core.Params{Channels: 1, Lambda: 2, MaxX: 99, MaxY: 99, BMax: 100}
+	ring, err := mask.DeriveKeyRing([]byte("pgraph"), 1, 5, 8)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(7))
+	const n = 200
+	pts := make([]geo.Point, n)
+	for i := range pts {
+		pts[i] = geo.Point{X: uint64(rng.Intn(100)), Y: uint64(rng.Intn(100))}
+	}
+	subs, err := core.NewLocationSubmissions(p, ring, pts, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers-%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				core.BuildConflictGraphParallel(subs, workers)
+			}
+		})
+	}
+}
+
+// BenchmarkParallelPrivateRound sweeps worker counts over the full
+// deterministic parallel round (encoding + graph + allocation + charging).
+func BenchmarkParallelPrivateRound(b *testing.B) {
+	ds := benchDataset(b)
+	area := ds.Areas[2]
+	pop := benchPopulation(b, area, 30)
+	sc, err := sim.NewScenario(area, 32, 2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ring, err := mask.DeriveKeyRing([]byte("pround"), sc.Params.Channels, 5, 8)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers-%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := round.RunPrivateOpts(sc.Params, ring, sim.Points(pop), pop.Bids,
+					core.DefaultDisguise(), rand.New(rand.NewSource(int64(i))),
+					round.Options{Workers: workers}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkRankMemoAllocation isolates the allocation-lean comparator: the
+// same Algorithm 3 run answered by the per-column rank memo versus direct
+// masked set intersections on every comparison.
+func BenchmarkRankMemoAllocation(b *testing.B) {
+	p := core.Params{Channels: 8, Lambda: 2, MaxX: 99, MaxY: 99, BMax: 100}
+	ring, err := mask.DeriveKeyRing([]byte("memo"), p.Channels, 5, 8)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(11))
+	const n = 60
+	pts := make([]geo.Point, n)
+	bids := make([][]uint64, n)
+	for i := range pts {
+		pts[i] = geo.Point{X: uint64(rng.Intn(100)), Y: uint64(rng.Intn(100))}
+		bids[i] = make([]uint64, p.Channels)
+		for r := range bids[i] {
+			bids[i][r] = uint64(rng.Intn(101))
+		}
+	}
+	locs, err := core.NewLocationSubmissions(p, ring, pts, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	subs := make([]*core.BidSubmission, n)
+	for i := range subs {
+		enc, err := core.NewBidEncoder(p, ring, nil, rng)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if subs[i], err = enc.Encode(bids[i], rng); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		auc, err := core.NewAuctioneer(p, locs, subs)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := auc.Allocate(rand.New(rand.NewSource(int64(i)))); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkAblationPlacementDensity compares uniform against clustered
 // bidder placement: clustered populations have dense conflict graphs, so
 // spectrum reuse collapses and satisfaction falls — the stress case for

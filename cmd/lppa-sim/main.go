@@ -21,6 +21,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strconv"
 	"strings"
 
@@ -50,10 +51,16 @@ func run(args []string) error {
 		tiny       = fs.Bool("tiny", false, "20x20-cell, 12-channel dataset for CI smoke runs")
 		trials     = fs.Int("trials", 3, "independent trials per fig5ef cell (mean ± 95% CI)")
 		format     = fs.String("format", "text", "table output: text|csv")
+		workers    = fs.Int("workers", runtime.GOMAXPROCS(0), "goroutines for submission encoding and conflict graphs (1 = legacy serial driver)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	effectiveWorkers := *workers
+	if effectiveWorkers < 1 {
+		effectiveWorkers = runtime.GOMAXPROCS(0)
+	}
+	fmt.Fprintf(os.Stderr, "workers: %d (GOMAXPROCS %d)\n", effectiveWorkers, runtime.GOMAXPROCS(0))
 	switch *format {
 	case "text":
 		render = func(t *sim.Table) error { return t.Render(os.Stdout) }
@@ -89,13 +96,13 @@ func run(args []string) error {
 		case "fig4c":
 			return runFig4C(ds, *victims, *seed)
 		case "fig5ad":
-			return runFig5AD(ds, *n, *channels, *seed, *quick)
+			return runFig5AD(ds, *n, *channels, *seed, *quick, effectiveWorkers)
 		case "fig5ef":
 			pops, err := parseInts(*bidders)
 			if err != nil {
 				return err
 			}
-			return runFig5EF(ds, pops, *channels, *seed, *trials, *quick)
+			return runFig5EF(ds, pops, *channels, *seed, *trials, *quick, effectiveWorkers)
 		case "multiround":
 			return runMultiRound(ds, *seed, *quick)
 		case "basicleak":
@@ -170,10 +177,11 @@ func runFig4C(ds *dataset.Dataset, victims int, seed int64) error {
 	return render(sim.Fig4CTable(points))
 }
 
-func runFig5AD(ds *dataset.Dataset, n, channels int, seed int64, quick bool) error {
+func runFig5AD(ds *dataset.Dataset, n, channels int, seed int64, quick bool, workers int) error {
 	cfg := sim.DefaultFig5Config()
 	cfg.Bidders = n
 	cfg.Channels = channels
+	cfg.Workers = workers
 	if quick {
 		cfg.Bidders = 25
 		cfg.Channels = 30
@@ -187,10 +195,11 @@ func runFig5AD(ds *dataset.Dataset, n, channels int, seed int64, quick bool) err
 	return render(sim.Fig5ADTable(points, baseline))
 }
 
-func runFig5EF(ds *dataset.Dataset, pops []int, channels int, seed int64, trials int, quick bool) error {
+func runFig5EF(ds *dataset.Dataset, pops []int, channels int, seed int64, trials int, quick bool, workers int) error {
 	cfg := sim.DefaultFig5Config()
 	cfg.Channels = channels
 	cfg.Trials = trials
+	cfg.Workers = workers
 	if quick {
 		cfg.Trials = 1
 		cfg.Channels = 30

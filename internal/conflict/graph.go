@@ -9,6 +9,7 @@ package conflict
 import (
 	"fmt"
 	"math/bits"
+	"sync"
 
 	"lppa/internal/geo"
 )
@@ -146,5 +147,65 @@ func BuildFromPredicate(n int, pred func(i, j int) bool) *Graph {
 			}
 		}
 	}
+	return g
+}
+
+// BuildFromPredicateParallel is BuildFromPredicate with the O(n²) predicate
+// sweep sharded across at most workers goroutines. The result is bit-for-bit
+// identical to the serial build for every worker count: each adjacency bit
+// has a fixed position determined only by (i, j), so scheduling cannot
+// reorder anything observable.
+//
+// Phase 1 evaluates the upper triangle: worker w owns rows i ≡ w (mod
+// workers) — row striding balances load, since row i costs n−i−1 predicate
+// calls — and sets bit j in row i for each conflicting j > i. Rows are
+// disjoint, so phase 1 is race-free. After a barrier, phase 2 mirrors the
+// lower triangle against an immutable snapshot of the phase-1 bits: the
+// owner of row j reads bit j of snapshot row i for every i < j and sets
+// bit i in row j. (Reading the live array instead would race at word
+// granularity: bit j of row i can share a word with the lower-triangle
+// bits row i's own phase-2 owner writes.) pred must be safe for concurrent
+// calls with distinct (i, j); it is only called for i < j, once per pair,
+// exactly as in the serial build.
+func BuildFromPredicateParallel(n int, pred func(i, j int) bool, workers int) *Graph {
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		return BuildFromPredicate(n, pred)
+	}
+	g := NewGraph(n)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := w; i < n; i += workers {
+				row := g.adj[i*g.words : (i+1)*g.words]
+				for j := i + 1; j < n; j++ {
+					if pred(i, j) {
+						row[j/64] |= 1 << (j % 64)
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	upper := append([]uint64(nil), g.adj...)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for j := w; j < n; j += workers {
+				row := g.adj[j*g.words : (j+1)*g.words]
+				for i := 0; i < j; i++ {
+					if upper[i*g.words+j/64]&(1<<(j%64)) != 0 {
+						row[i/64] |= 1 << (i % 64)
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
 	return g
 }

@@ -1,0 +1,57 @@
+package conflict
+
+import (
+	"math/rand"
+	"testing"
+
+	"lppa/internal/geo"
+)
+
+// TestBuildFromPredicateParallelMatchesSerial asserts the parallel build is
+// bit-for-bit identical to the serial build across node counts (straddling
+// the 64-bit word boundaries), edge densities, and worker counts.
+func TestBuildFromPredicateParallelMatchesSerial(t *testing.T) {
+	for _, n := range []int{0, 1, 2, 17, 63, 64, 65, 130, 200} {
+		for _, density := range []float64{0, 0.1, 0.5, 1} {
+			rng := rand.New(rand.NewSource(int64(n)*1000 + int64(density*10)))
+			// Precompute the predicate matrix so concurrent calls are safe
+			// and every build sees the same relation.
+			edge := make([][]bool, n)
+			for i := range edge {
+				edge[i] = make([]bool, n)
+				for j := i + 1; j < n; j++ {
+					edge[i][j] = rng.Float64() < density
+				}
+			}
+			pred := func(i, j int) bool { return edge[i][j] }
+			want := BuildFromPredicate(n, pred)
+			for _, workers := range []int{0, 1, 2, 3, 7, 16} {
+				got := BuildFromPredicateParallel(n, pred, workers)
+				if !got.Equal(want) {
+					t.Errorf("n=%d density=%.1f workers=%d: parallel graph differs from serial", n, density, workers)
+				}
+			}
+		}
+	}
+}
+
+// TestBuildFromPredicateParallelGeo repeats the equivalence check with the
+// real interference predicate over random points, for several λ.
+func TestBuildFromPredicateParallelGeo(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	const n = 120
+	points := make([]geo.Point, n)
+	for i := range points {
+		points[i] = geo.Point{X: uint64(rng.Intn(100)), Y: uint64(rng.Intn(100))}
+	}
+	for _, lambda := range []uint64{1, 2, 5} {
+		pred := func(i, j int) bool { return geo.Conflict(points[i], points[j], lambda) }
+		want := BuildPlain(points, lambda)
+		for _, workers := range []int{2, 4, 8} {
+			got := BuildFromPredicateParallel(n, pred, workers)
+			if !got.Equal(want) {
+				t.Errorf("lambda=%d workers=%d: parallel graph differs from BuildPlain", lambda, workers)
+			}
+		}
+	}
+}

@@ -14,11 +14,25 @@ import (
 // submissions; every method corresponds to an operation the protocol
 // legitimately grants it (and which a curious auctioneer may also abuse —
 // the transcript methods are what the attack experiments consume).
+//
+// An Auctioneer is not safe for concurrent use: the conflict graph and the
+// per-column comparison memo are built lazily on first use. Submissions
+// are immutable once handed to NewAuctioneer, so neither cache is ever
+// invalidated.
 type Auctioneer struct {
-	params Params
-	locs   []*LocationSubmission
-	bids   []*BidSubmission
-	graph  *conflict.Graph
+	params  Params
+	locs    []*LocationSubmission
+	bids    []*BidSubmission
+	graph   *conflict.Graph
+	workers int
+
+	// Per-column comparison memo, built lazily by columnRank: rankOrder[r]
+	// is all bidders sorted by descending masked bid (ties in index
+	// order), rank[r][i] the dense rank of bidder i (equal masked bids
+	// share a rank). One O(n log n) pass of masked set intersections per
+	// column replaces the O(n) re-intersections of every later scan.
+	rank      [][]int
+	rankOrder [][]int
 }
 
 // NewAuctioneer collects one location and one bid submission per bidder.
@@ -44,19 +58,92 @@ func NewAuctioneer(params Params, locs []*LocationSubmission, bids []*BidSubmiss
 // N reports the number of bidders.
 func (a *Auctioneer) N() int { return len(a.bids) }
 
+// SetWorkers bounds the goroutines used for conflict-graph construction.
+// w ≤ 1 keeps the build serial. The graph is bit-for-bit identical for
+// every worker count, so this knob never changes auction results.
+func (a *Auctioneer) SetWorkers(w int) { a.workers = w }
+
 // ConflictGraph lazily builds and returns the masked-submission conflict
 // graph.
 func (a *Auctioneer) ConflictGraph() *conflict.Graph {
 	if a.graph == nil {
-		a.graph = BuildConflictGraph(a.locs)
+		if a.workers > 1 {
+			a.graph = BuildConflictGraphParallel(a.locs, a.workers)
+		} else {
+			a.graph = BuildConflictGraph(a.locs)
+		}
 	}
 	return a.graph
 }
 
-// GE reports whether bidder i's masked bid on channel r is at least
-// bidder j's.
-func (a *Auctioneer) GE(r, i, j int) bool {
+// rawGE evaluates the masked comparison directly: one Family ∩ Range set
+// intersection.
+func (a *Auctioneer) rawGE(r, i, j int) bool {
 	return CompareGE(&a.bids[i].Channels[r], &a.bids[j].Channels[r])
+}
+
+// columnRank builds (once) and returns the dense rank memo of column r.
+// Masked comparison is order-preserving — CompareGE(i, j) ⟺ the hidden
+// blinded value of i is ≥ j's — so each column admits a total preorder and
+// a single stable sort captures every pairwise outcome. Submissions are
+// immutable after NewAuctioneer, hence the memo never needs invalidation.
+func (a *Auctioneer) columnRank(r int) []int {
+	if r < 0 || r >= a.params.Channels {
+		panic(fmt.Sprintf("core: channel %d out of range [0,%d)", r, a.params.Channels))
+	}
+	if a.rank == nil {
+		a.rank = make([][]int, a.params.Channels)
+		a.rankOrder = make([][]int, a.params.Channels)
+	}
+	if a.rank[r] == nil {
+		n := a.N()
+		order := make([]int, n)
+		for i := range order {
+			order[i] = i
+		}
+		sort.SliceStable(order, func(x, y int) bool {
+			i, j := order[x], order[y]
+			// Strictly greater: GE(i,j) && !GE(j,i). Ties keep index order.
+			return a.rawGE(r, i, j) && !a.rawGE(r, j, i)
+		})
+		rank := make([]int, n)
+		rk := 0
+		for x, i := range order {
+			if x > 0 {
+				prev := order[x-1]
+				if !(a.rawGE(r, i, prev) && a.rawGE(r, prev, i)) {
+					rk = x // strictly below prev: new rank group
+				}
+			}
+			rank[i] = rk
+		}
+		a.rank[r] = rank
+		a.rankOrder[r] = order
+	}
+	return a.rank[r]
+}
+
+// GE reports whether bidder i's masked bid on channel r is at least
+// bidder j's. Answers come from the per-column rank memo, so repeated
+// column scans (the allocator revisits each column every epoch) cost one
+// comparison instead of one masked set intersection.
+func (a *Auctioneer) GE(r, i, j int) bool {
+	rank := a.columnRank(r)
+	return rank[i] <= rank[j]
+}
+
+// fullPresent builds the all-true presence matrix in two allocations (one
+// flat backing array, one row index) instead of n+1.
+func fullPresent(n, k int) [][]bool {
+	flat := make([]bool, n*k)
+	for i := range flat {
+		flat[i] = true
+	}
+	present := make([][]bool, n)
+	for i := range present {
+		present[i] = flat[i*k : (i+1)*k : (i+1)*k]
+	}
+	return present
 }
 
 // Allocate runs the private spectrum allocation (Algorithm 3 over masked
@@ -65,14 +152,7 @@ func (a *Auctioneer) GE(r, i, j int) bool {
 // and later be voided by the TTP.
 func (a *Auctioneer) Allocate(rng *rand.Rand) ([]auction.Assignment, error) {
 	n, k := a.N(), a.params.Channels
-	present := make([][]bool, n)
-	for i := range present {
-		present[i] = make([]bool, k)
-		for r := range present[i] {
-			present[i][r] = true
-		}
-	}
-	return auction.Allocate(n, k, present, a.ConflictGraph(), a.GE, rng)
+	return auction.Allocate(n, k, fullPresent(n, k), a.ConflictGraph(), a.GE, rng)
 }
 
 // SealedBid returns the opaque TTP ciphertext of bidder i's bid on
@@ -87,34 +167,17 @@ func (a *Auctioneer) SealedBid(i, r int) []byte {
 // winner's neighborhood without expelling the bidder.
 func (a *Auctioneer) AllocateWithValidity(valid auction.Validity, rng *rand.Rand) (awarded, voided []auction.Assignment, err error) {
 	n, k := a.N(), a.params.Channels
-	present := make([][]bool, n)
-	for i := range present {
-		present[i] = make([]bool, k)
-		for r := range present[i] {
-			present[i][r] = true
-		}
-	}
-	return auction.AllocateWithValidity(n, k, present, a.ConflictGraph(), a.GE, valid, rng)
+	return auction.AllocateWithValidity(n, k, fullPresent(n, k), a.ConflictGraph(), a.GE, valid, rng)
 }
 
 // RankChannel returns all bidders ordered by descending masked bid on
 // channel r. This is transcript information a curious auctioneer can
 // always compute (order-preserving masking), and it feeds the Fig. 5
-// t-largest BCM attack.
+// t-largest BCM attack. The ordering comes straight from the per-column
+// memo (built on first use); callers get a private copy.
 func (a *Auctioneer) RankChannel(r int) []int {
-	if r < 0 || r >= a.params.Channels {
-		panic(fmt.Sprintf("core: channel %d out of range [0,%d)", r, a.params.Channels))
-	}
-	order := make([]int, a.N())
-	for i := range order {
-		order[i] = i
-	}
-	sort.SliceStable(order, func(x, y int) bool {
-		i, j := order[x], order[y]
-		// Strictly greater: GE(i,j) && !GE(j,i). Ties keep index order.
-		return a.GE(r, i, j) && !a.GE(r, j, i)
-	})
-	return order
+	a.columnRank(r)
+	return append([]int(nil), a.rankOrder[r]...)
 }
 
 // Rankings returns RankChannel for every channel.
@@ -142,18 +205,32 @@ type ChargeRequest struct {
 }
 
 // ChargeRequests assembles the TTP batch for a set of assignments
-// (section V.C.2: batching reduces TTP online time).
+// (section V.C.2: batching reduces TTP online time). All sealed copies and
+// family digests share two flat backing arrays — one allocation each for
+// the whole batch instead of two per request; full-capacity subslices keep
+// the requests append-isolated from one another.
 func (a *Auctioneer) ChargeRequests(assignments []auction.Assignment) []ChargeRequest {
-	reqs := make([]ChargeRequest, 0, len(assignments))
+	sealedTotal, famTotal := 0, 0
 	for _, as := range assignments {
 		cb := &a.bids[as.Bidder].Channels[as.Channel]
-		fam := cb.Family.Digests()
-		reqs = append(reqs, ChargeRequest{
+		sealedTotal += len(cb.Sealed)
+		famTotal += cb.Family.Len()
+	}
+	sealedBuf := make([]byte, 0, sealedTotal)
+	famBuf := make([]mask.Digest, 0, famTotal)
+	reqs := make([]ChargeRequest, len(assignments))
+	for idx, as := range assignments {
+		cb := &a.bids[as.Bidder].Channels[as.Channel]
+		s0 := len(sealedBuf)
+		sealedBuf = append(sealedBuf, cb.Sealed...)
+		f0 := len(famBuf)
+		famBuf = cb.Family.AppendDigests(famBuf)
+		reqs[idx] = ChargeRequest{
 			Bidder:  as.Bidder,
 			Channel: as.Channel,
-			Sealed:  append([]byte(nil), cb.Sealed...),
-			Family:  fam,
-		})
+			Sealed:  sealedBuf[s0:len(sealedBuf):len(sealedBuf)],
+			Family:  famBuf[f0:len(famBuf):len(famBuf)],
+		}
 	}
 	return reqs
 }
@@ -162,34 +239,46 @@ func (a *Auctioneer) ChargeRequests(assignments []auction.Assignment) []ChargeRe
 // charging.
 func (a *Auctioneer) AllocateAwards(rng *rand.Rand) ([]auction.Award, error) {
 	n, k := a.N(), a.params.Channels
-	present := make([][]bool, n)
-	for i := range present {
-		present[i] = make([]bool, k)
-		for r := range present[i] {
-			present[i][r] = true
-		}
-	}
-	awards, _, err := auction.AllocateAwards(n, k, present, a.ConflictGraph(), a.GE, nil, rng)
+	awards, _, err := auction.AllocateAwards(n, k, fullPresent(n, k), a.ConflictGraph(), a.GE, nil, rng)
 	return awards, err
 }
 
 // ChargeRequestsSecondPrice assembles a second-price TTP batch: each
 // request carries the winner's sealed bid (validity + price/prefix
-// verification) and the runner-up's sealed bid (the clearing price).
+// verification) and the runner-up's sealed bid (the clearing price). Like
+// ChargeRequests, winner and runner-up sealed copies share one flat buffer
+// and family digests another, so the batch costs two allocations instead
+// of three per award.
 func (a *Auctioneer) ChargeRequestsSecondPrice(awards []auction.Award) []ChargeRequest {
-	reqs := make([]ChargeRequest, 0, len(awards))
+	sealedTotal, famTotal := 0, 0
 	for _, aw := range awards {
 		cb := &a.bids[aw.Bidder].Channels[aw.Channel]
-		req := ChargeRequest{
+		sealedTotal += len(cb.Sealed)
+		famTotal += cb.Family.Len()
+		if aw.RunnerUp >= 0 {
+			sealedTotal += len(a.bids[aw.RunnerUp].Channels[aw.Channel].Sealed)
+		}
+	}
+	sealedBuf := make([]byte, 0, sealedTotal)
+	famBuf := make([]mask.Digest, 0, famTotal)
+	reqs := make([]ChargeRequest, len(awards))
+	for idx, aw := range awards {
+		cb := &a.bids[aw.Bidder].Channels[aw.Channel]
+		s0 := len(sealedBuf)
+		sealedBuf = append(sealedBuf, cb.Sealed...)
+		f0 := len(famBuf)
+		famBuf = cb.Family.AppendDigests(famBuf)
+		reqs[idx] = ChargeRequest{
 			Bidder:  aw.Bidder,
 			Channel: aw.Channel,
-			Sealed:  append([]byte(nil), cb.Sealed...),
-			Family:  cb.Family.Digests(),
+			Sealed:  sealedBuf[s0:len(sealedBuf):len(sealedBuf)],
+			Family:  famBuf[f0:len(famBuf):len(famBuf)],
 		}
 		if aw.RunnerUp >= 0 {
-			req.RunnerUpSealed = append([]byte(nil), a.bids[aw.RunnerUp].Channels[aw.Channel].Sealed...)
+			r0 := len(sealedBuf)
+			sealedBuf = append(sealedBuf, a.bids[aw.RunnerUp].Channels[aw.Channel].Sealed...)
+			reqs[idx].RunnerUpSealed = sealedBuf[r0:len(sealedBuf):len(sealedBuf)]
 		}
-		reqs = append(reqs, req)
 	}
 	return reqs
 }

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"sync"
 
 	"lppa/internal/conflict"
 	"lppa/internal/geo"
@@ -23,15 +24,21 @@ type LocationSubmission struct {
 // integer coordinates the submitted range is [loc − (2λ−1), loc + (2λ−1)],
 // clamped to the coordinate domain.
 func NewLocationSubmission(params Params, ring *mask.KeyRing, pt geo.Point) (*LocationSubmission, error) {
+	masker, err := mask.NewMasker(ring.G0)
+	if err != nil {
+		return nil, fmt.Errorf("core: location masker: %w", err)
+	}
+	return newLocationSubmission(params, masker, pt)
+}
+
+// newLocationSubmission is NewLocationSubmission against a caller-owned
+// masker, so batch encoders can amortize the HMAC state across bidders.
+func newLocationSubmission(params Params, masker *mask.Masker, pt geo.Point) (*LocationSubmission, error) {
 	if err := params.Validate(); err != nil {
 		return nil, err
 	}
 	if pt.X > params.MaxX || pt.Y > params.MaxY {
 		return nil, fmt.Errorf("core: point (%d,%d) outside domain (%d,%d)", pt.X, pt.Y, params.MaxX, params.MaxY)
-	}
-	masker, err := mask.NewMasker(ring.G0)
-	if err != nil {
-		return nil, fmt.Errorf("core: location masker: %w", err)
 	}
 	delta := 2*params.Lambda - 1
 	wx, wy := params.CoordWidthX(), params.CoordWidthY()
@@ -45,6 +52,52 @@ func NewLocationSubmission(params Params, ring *mask.KeyRing, pt geo.Point) (*Lo
 		XRange:  masker.MaskSet(prefix.Numericalized(prefix.Cover(xlo, xhi, wx))),
 		YRange:  masker.MaskSet(prefix.Numericalized(prefix.Cover(ylo, yhi, wy))),
 	}, nil
+}
+
+// NewLocationSubmissions builds the masked location submissions for a
+// whole population, sharding bidders across at most workers goroutines
+// (≤ 1 runs serially). Location masking draws no randomness, so the result
+// is identical to calling NewLocationSubmission per point in order, for
+// every worker count. Each worker reuses one masker across its bidders.
+func NewLocationSubmissions(params Params, ring *mask.KeyRing, pts []geo.Point, workers int) ([]*LocationSubmission, error) {
+	masker, err := mask.NewMasker(ring.G0)
+	if err != nil {
+		return nil, fmt.Errorf("core: location masker: %w", err)
+	}
+	out := make([]*LocationSubmission, len(pts))
+	workers = mask.Workers(workers, len(pts))
+	if workers <= 1 {
+		for i, pt := range pts {
+			if out[i], err = newLocationSubmission(params, masker, pt); err != nil {
+				return nil, fmt.Errorf("core: bidder %d location: %w", i, err)
+			}
+		}
+		return out, nil
+	}
+	errs := make([]error, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			local := masker.Clone()
+			for i := w; i < len(pts); i += workers {
+				sub, err := newLocationSubmission(params, local, pts[i])
+				if err != nil {
+					errs[w] = fmt.Errorf("core: bidder %d location: %w", i, err)
+					return
+				}
+				out[i] = sub
+			}
+		}(w)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
 }
 
 // Conflicts evaluates the masked conflict predicate between two
@@ -62,4 +115,15 @@ func BuildConflictGraph(subs []*LocationSubmission) *conflict.Graph {
 	return conflict.BuildFromPredicate(len(subs), func(i, j int) bool {
 		return Conflicts(subs[i], subs[j])
 	})
+}
+
+// BuildConflictGraphParallel is BuildConflictGraph with the O(n²) pairwise
+// predicate sharded across at most workers goroutines. Masked submissions
+// are read-only during evaluation and digest-set intersection is a pure
+// lookup, so concurrent predicate calls are safe; the resulting graph is
+// bit-for-bit identical to the serial build for every worker count.
+func BuildConflictGraphParallel(subs []*LocationSubmission, workers int) *conflict.Graph {
+	return conflict.BuildFromPredicateParallel(len(subs), func(i, j int) bool {
+		return Conflicts(subs[i], subs[j])
+	}, mask.Workers(workers, len(subs)))
 }

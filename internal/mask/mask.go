@@ -16,6 +16,7 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"hash"
 	"math/rand"
 )
 
@@ -51,10 +52,19 @@ func (k Key) Validate() error {
 }
 
 // Masker computes digests of numericalized prefixes under a fixed key.
-// A Masker is cheap to construct; it is not safe for concurrent use because
-// it reuses an internal buffer.
+//
+// Concurrency contract: a Masker keeps a resettable HMAC state and reuses
+// internal encoding and digest buffers across calls, so the steady-state
+// Mask path performs no heap allocation. That state makes a single Masker
+// NOT safe for concurrent use: goroutines must not share one. Use Clone to
+// obtain an independent Masker over the same key for each goroutine (the
+// worker-pool paths, e.g. ParallelMaskAll, do exactly that). Construction
+// is still cheap — one HMAC key schedule.
 type Masker struct {
 	key Key
+	mac hash.Hash         // resettable HMAC-SHA256 state
+	buf [8]byte           // fixed-width message encoding, reused
+	sum [sha256.Size]byte // full HMAC output scratch, reused
 }
 
 // NewMasker returns a Masker for the given key.
@@ -62,7 +72,13 @@ func NewMasker(key Key) (*Masker, error) {
 	if err := key.Validate(); err != nil {
 		return nil, err
 	}
-	return &Masker{key: key}, nil
+	return &Masker{key: key, mac: hmac.New(sha256.New, key)}, nil
+}
+
+// Clone returns an independent Masker over the same key, for per-goroutine
+// use. Digests from a clone are identical to the original's.
+func (m *Masker) Clone() *Masker {
+	return &Masker{key: m.key, mac: hmac.New(sha256.New, m.key)}
 }
 
 // Mask returns H_g(v) = HMAC_g(O(v)): the digest of a numericalized prefix
@@ -70,12 +86,12 @@ func NewMasker(key Key) (*Masker, error) {
 // prefixes have identical message length (the paper requires random padding
 // digests to be indistinguishable by length).
 func (m *Masker) Mask(numericalized uint64) Digest {
-	mac := hmac.New(sha256.New, m.key)
-	var buf [8]byte
-	binary.BigEndian.PutUint64(buf[:], numericalized)
-	mac.Write(buf[:])
+	m.mac.Reset()
+	binary.BigEndian.PutUint64(m.buf[:], numericalized)
+	m.mac.Write(m.buf[:])
+	sum := m.mac.Sum(m.sum[:0])
 	var d Digest
-	copy(d[:], mac.Sum(nil))
+	copy(d[:], sum)
 	return d
 }
 
@@ -122,11 +138,18 @@ func (s *Set) Add(d Digest) {
 
 // Digests returns the members in unspecified order.
 func (s Set) Digests() []Digest {
-	out := make([]Digest, 0, len(s.members))
+	return s.AppendDigests(make([]Digest, 0, len(s.members)))
+}
+
+// AppendDigests appends the members to dst (in unspecified order) and
+// returns the extended slice. Batch assemblers (e.g. the auctioneer's
+// charge-request builder) use it to collect many sets into one flat
+// allocation.
+func (s Set) AppendDigests(dst []Digest) []Digest {
 	for d := range s.members {
-		out = append(out, d)
+		dst = append(dst, d)
 	}
-	return out
+	return dst
 }
 
 // Intersects reports whether s and other share at least one digest. This is

@@ -8,6 +8,7 @@ import (
 	"lppa/internal/bidder"
 	"lppa/internal/core"
 	"lppa/internal/dataset"
+	"lppa/internal/geo"
 	"lppa/internal/mask"
 	"lppa/internal/privacy"
 	"lppa/internal/round"
@@ -34,6 +35,23 @@ type Fig5Config struct {
 	// Trials repeats each (N, 1−p0) cell with fresh populations and keys
 	// and reports mean ± 95 % CI (1 when zero).
 	Trials int
+	// Workers > 1 runs the private rounds through the deterministic
+	// parallel pipeline (round.RunPrivateOpts): concurrent submission
+	// encoding and conflict-graph construction, identical results for any
+	// worker count. 0 or 1 keeps the legacy serial driver, whose rng
+	// consumption order (and hence exact tables) predates the parallel
+	// path.
+	Workers int
+}
+
+// runPrivate dispatches one private round through the serial or parallel
+// driver according to cfg.Workers.
+func (cfg Fig5Config) runPrivate(params core.Params, ring *mask.KeyRing, pts []geo.Point, bids [][]uint64,
+	policy core.DisguisePolicy, rng *rand.Rand) (*round.Result, error) {
+	if cfg.Workers > 1 {
+		return round.RunPrivateOpts(params, ring, pts, bids, policy, rng, round.Options{Workers: cfg.Workers})
+	}
+	return round.RunPrivate(params, ring, pts, bids, policy, rng)
 }
 
 // DefaultFig5Config mirrors the paper's setup in Area 3.
@@ -108,7 +126,7 @@ func Fig5AD(area *dataset.Area, cfg Fig5Config, seed int64) ([]Fig5Point, Fig5Ba
 			return nil, baseline, err
 		}
 		policy := core.DisguisePolicy{P0: 1 - zr, Decay: cfg.Decay}
-		res, err := round.RunPrivate(sc.Params, ring, Points(pop), bids, policy, rand.New(rand.NewSource(seed+int64(zi)*101)))
+		res, err := cfg.runPrivate(sc.Params, ring, Points(pop), bids, policy, rand.New(rand.NewSource(seed+int64(zi)*101)))
 		if err != nil {
 			return nil, baseline, err
 		}
@@ -238,7 +256,7 @@ func Fig5EF(area *dataset.Area, cfg Fig5Config, populations []int, seed int64) (
 				if err != nil {
 					return nil, err
 				}
-				batch, err := round.RunPrivate(sc.Params, ring, pts, bids, policy, rand.New(rand.NewSource(tSeed+3)))
+				batch, err := cfg.runPrivate(sc.Params, ring, pts, bids, policy, rand.New(rand.NewSource(tSeed+3)))
 				if err != nil {
 					return nil, err
 				}
