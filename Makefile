@@ -3,7 +3,7 @@
 GO ?= go
 CACHE ?= /tmp/lppa-ds.gob
 
-.PHONY: all build test race cover bench bench-json fuzz experiments examples clean
+.PHONY: all build test race cover bench bench-json bench-compare alloc-guard fuzz experiments examples clean
 
 all: build test
 
@@ -23,12 +23,25 @@ cover:
 bench:
 	$(GO) test -bench=. -benchmem
 
-# Machine-readable snapshot of the parallel-pipeline benchmarks (committed
-# as BENCH_PR1.json; see EXPERIMENTS.md for the narrative numbers).
+# Machine-readable snapshot of the auctioneer-path benchmarks. Each PR
+# writes its own file (BENCH_PR1.json was the parallel-pipeline snapshot;
+# this PR adds the interning benchmarks and writes BENCH_PR2.json) so
+# bench-compare can diff across PRs. See EXPERIMENTS.md for the narrative.
 bench-json:
 	$(GO) test -run=NONE -benchmem \
-		-bench='ZeroAllocMask|ParallelMaskAll|ParallelConflictGraph|ParallelPrivateRound|RankMemoAllocation|MaskDigest|PrivateConflictGraph' \
-		. | $(GO) run ./cmd/benchjson > BENCH_PR1.json
+		-bench='ZeroAllocMask|ParallelMaskAll|ParallelConflictGraph|ParallelPrivateRound|RankMemoAllocation|MaskDigest|PrivateConflictGraph|InternedIntersect|ConflictGraphN300|RankMemoN300' \
+		. | $(GO) run ./cmd/benchjson > BENCH_PR2.json
+
+# Diff ns/op and allocs/op between the two most recent committed snapshots.
+bench-compare:
+	$(GO) run ./cmd/benchjson -compare BENCH_PR1.json BENCH_PR2.json
+
+# Fail if the zero-allocation benchmarks report any allocations: the masked
+# comparison and interned intersection hot paths must stay allocation-free.
+alloc-guard:
+	$(GO) test -run=NONE -benchtime=1x -benchmem \
+		-bench='ZeroAllocMask|InternedIntersect' . \
+		| awk '/^Benchmark/ { a = $$(NF-1); if (a+0 != 0) { print "allocs/op regression: " $$0; bad = 1 } print } END { exit bad }'
 
 # Short fuzz pass over every fuzz target (CI smoke; extend -fuzztime locally).
 fuzz:

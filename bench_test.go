@@ -1110,3 +1110,147 @@ func BenchmarkAblationPlacementDensity(b *testing.B) {
 		})
 	})
 }
+
+// --- Interned-set benchmarks (PR 2) -------------------------------------
+
+// BenchmarkInternedIntersect pins the interned fast path at the set shapes
+// the protocol produces (family ≈ w+1 IDs vs padded cover = 2w−2 IDs) plus
+// the skewed shape that triggers galloping. Acceptance criterion: the
+// -benchmem column must read 0 allocs/op on every sub-benchmark (the CI
+// alloc guard fails otherwise).
+func BenchmarkInternedIntersect(b *testing.B) {
+	m, err := mask.NewMasker(make(mask.Key, 32))
+	if err != nil {
+		b.Fatal(err)
+	}
+	mkSet := func(dict *mask.Dict, lo, n uint64) mask.IntSet {
+		vs := make([]uint64, n)
+		for i := range vs {
+			vs[i] = lo + uint64(i)
+		}
+		return dict.InternSet(m.MaskSet(vs))
+	}
+	dict := mask.NewDict()
+	family := mkSet(dict, 0, 11)        // w+1 at w=10
+	coverHit := mkSet(dict, 5, 18)      // 2w−2, overlaps family
+	coverMiss := mkSet(dict, 1000, 18)  // disjoint: Bloom/merge reject
+	large := mkSet(dict, 2000, 400)     // gallop fixture
+	probe := mkSet(dict, 2399, 3)       // tiny, hits large's last ID
+	cases := []struct {
+		name string
+		a, b mask.IntSet
+	}{
+		{"family-vs-cover-hit", family, coverHit},
+		{"family-vs-cover-miss", family, coverMiss},
+		{"gallop-skewed", probe, large},
+	}
+	for _, tc := range cases {
+		b.Run(tc.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				tc.a.Intersects(tc.b)
+			}
+		})
+	}
+}
+
+// conflictSubsN300 builds the N=300 masked population both conflict-graph
+// representation benchmarks share.
+func conflictSubsN300(b *testing.B) []*core.LocationSubmission {
+	b.Helper()
+	p := core.Params{Channels: 1, Lambda: 2, MaxX: 99, MaxY: 99, BMax: 100}
+	ring, err := mask.DeriveKeyRing([]byte("graph300"), 1, 5, 8)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(7))
+	const n = 300
+	pts := make([]geo.Point, n)
+	for i := range pts {
+		pts[i] = geo.Point{X: uint64(rng.Intn(100)), Y: uint64(rng.Intn(100))}
+	}
+	subs, err := core.NewLocationSubmissions(p, ring, pts, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return subs
+}
+
+// BenchmarkConflictGraphN300 is the acceptance-criterion conflict-graph
+// build at N=300, single worker: the map-based predicate (PR 1's
+// representation) against the interned build (dictionary + Bloom
+// quick-reject + sorted-ID merges, including its ingest/interning cost).
+func BenchmarkConflictGraphN300(b *testing.B) {
+	subs := conflictSubsN300(b)
+	b.Run("map-sets", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			conflict.BuildFromPredicate(len(subs), func(i, j int) bool {
+				return core.Conflicts(subs[i], subs[j])
+			})
+		}
+	})
+	b.Run("interned", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			core.BuildConflictGraph(subs)
+		}
+	})
+}
+
+// rankMemoRoundN300 builds the N=300, k=4 bid matrix the rank-memo
+// representation benchmarks share.
+func rankMemoRoundN300(b *testing.B) (core.Params, []*core.LocationSubmission, []*core.BidSubmission) {
+	b.Helper()
+	p := core.Params{Channels: 4, Lambda: 2, MaxX: 99, MaxY: 99, BMax: 100}
+	ring, err := mask.DeriveKeyRing([]byte("memo300"), p.Channels, 5, 8)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(11))
+	const n = 300
+	pts := make([]geo.Point, n)
+	bids := make([][]uint64, n)
+	for i := range pts {
+		pts[i] = geo.Point{X: uint64(rng.Intn(100)), Y: uint64(rng.Intn(100))}
+		bids[i] = make([]uint64, p.Channels)
+		for r := range bids[i] {
+			bids[i][r] = uint64(rng.Intn(101))
+		}
+	}
+	locs, err := core.NewLocationSubmissions(p, ring, pts, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	subs := make([]*core.BidSubmission, n)
+	for i := range subs {
+		enc, err := core.NewBidEncoder(p, ring, nil, rng)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if subs[i], err = enc.Encode(bids[i], rng); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return p, locs, subs
+}
+
+// BenchmarkRankMemoN300 is the acceptance-criterion rank-memo build at
+// N=300: a fresh auctioneer per iteration sorts every column into the
+// dense-rank memo (Rankings touches all k columns), with the O(n log n)
+// masked comparisons answered by map-set walks versus interned merges.
+func BenchmarkRankMemoN300(b *testing.B) {
+	p, locs, subs := rankMemoRoundN300(b)
+	run := func(b *testing.B, disable bool) {
+		for i := 0; i < b.N; i++ {
+			auc, err := core.NewAuctioneer(p, locs, subs)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if disable {
+				auc.DisableInterning()
+			}
+			auc.Rankings()
+		}
+	}
+	b.Run("map-sets", func(b *testing.B) { run(b, true) })
+	b.Run("interned", func(b *testing.B) { run(b, false) })
+}

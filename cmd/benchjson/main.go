@@ -4,13 +4,15 @@
 //
 // Usage:
 //
-//	go test -bench='Parallel|ZeroAlloc' -benchmem -run=NONE . | go run ./cmd/benchjson > BENCH_PR1.json
+//	go test -bench='Parallel|ZeroAlloc' -benchmem -run=NONE . | go run ./cmd/benchjson > BENCH_PR2.json
+//	go run ./cmd/benchjson -compare BENCH_PR1.json BENCH_PR2.json
 //
 // Each benchmark line becomes one record carrying the name, iteration
 // count, ns/op, and any further `value unit` metric pairs (B/op,
 // allocs/op, and b.ReportMetric extras). Context lines (goos, goarch,
-// cpu, pkg) are captured once at the top level. The tool uses only the
-// standard library.
+// cpu, pkg) are captured once at the top level. With -compare, two
+// previously emitted documents are diffed on ns/op and allocs/op for the
+// benchmarks they share. The tool uses only the standard library.
 package main
 
 import (
@@ -18,6 +20,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"os"
+	"sort"
 	"strconv"
 	"strings"
 )
@@ -40,10 +43,90 @@ type Document struct {
 }
 
 func main() {
-	if err := run(os.Stdin, os.Stdout); err != nil {
+	var err error
+	if len(os.Args) == 4 && os.Args[1] == "-compare" {
+		err = compare(os.Args[2], os.Args[3], os.Stdout)
+	} else {
+		err = run(os.Stdin, os.Stdout)
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)
 	}
+}
+
+// compare prints a table diffing ns/op and allocs/op between two committed
+// benchmark documents, keyed on benchmark name (GOMAXPROCS suffix and all).
+// Benchmarks present in only one document are listed but not diffed.
+func compare(oldPath, newPath string, out *os.File) error {
+	load := func(path string) (map[string]Result, error) {
+		raw, err := os.ReadFile(path)
+		if err != nil {
+			return nil, err
+		}
+		var doc Document
+		if err := json.Unmarshal(raw, &doc); err != nil {
+			return nil, fmt.Errorf("%s: %w", path, err)
+		}
+		m := make(map[string]Result, len(doc.Results))
+		for _, r := range doc.Results {
+			m[r.Name] = r
+		}
+		return m, nil
+	}
+	oldRes, err := load(oldPath)
+	if err != nil {
+		return err
+	}
+	newRes, err := load(newPath)
+	if err != nil {
+		return err
+	}
+	names := make([]string, 0, len(oldRes)+len(newRes))
+	for n := range oldRes {
+		names = append(names, n)
+	}
+	for n := range newRes {
+		if _, dup := oldRes[n]; !dup {
+			names = append(names, n)
+		}
+	}
+	sort.Strings(names)
+	fmt.Fprintf(out, "%-55s %14s %14s %8s %12s\n",
+		"benchmark", "old ns/op", "new ns/op", "delta", "allocs/op")
+	for _, n := range names {
+		o, haveOld := oldRes[n]
+		w, haveNew := newRes[n]
+		switch {
+		case !haveNew:
+			fmt.Fprintf(out, "%-55s %14.1f %14s %8s %12s\n", n, o.NsPerOp, "-", "-", "-")
+		case !haveOld:
+			fmt.Fprintf(out, "%-55s %14s %14.1f %8s %12s\n", n, "-", w.NsPerOp, "new", allocsCell(o, w))
+		default:
+			delta := "n/a"
+			if o.NsPerOp > 0 {
+				delta = fmt.Sprintf("%+.1f%%", 100*(w.NsPerOp-o.NsPerOp)/o.NsPerOp)
+			}
+			fmt.Fprintf(out, "%-55s %14.1f %14.1f %8s %12s\n", n, o.NsPerOp, w.NsPerOp, delta, allocsCell(o, w))
+		}
+	}
+	return nil
+}
+
+// allocsCell renders the allocs/op transition ("old→new", or the single
+// value when unchanged or only one side reports it).
+func allocsCell(o, w Result) string {
+	ov, oOK := o.Metrics["allocs/op"]
+	wv, wOK := w.Metrics["allocs/op"]
+	switch {
+	case oOK && wOK && ov != wv:
+		return fmt.Sprintf("%.0f→%.0f", ov, wv)
+	case wOK:
+		return fmt.Sprintf("%.0f", wv)
+	case oOK:
+		return fmt.Sprintf("%.0f", ov)
+	}
+	return "-"
 }
 
 func run(in *os.File, out *os.File) error {

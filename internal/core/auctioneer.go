@@ -26,11 +26,18 @@ type Auctioneer struct {
 	graph   *conflict.Graph
 	workers int
 
+	// noIntern forces every masked set operation back onto the map-based
+	// mask.Set representation (ablation and equivalence tests; results are
+	// identical either way by construction).
+	noIntern bool
+
 	// Per-column comparison memo, built lazily by columnRank: rankOrder[r]
 	// is all bidders sorted by descending masked bid (ties in index
 	// order), rank[r][i] the dense rank of bidder i (equal masked bids
 	// share a rank). One O(n log n) pass of masked set intersections per
-	// column replaces the O(n) re-intersections of every later scan.
+	// column replaces the O(n) re-intersections of every later scan. The
+	// sort itself runs on interned sets (intern.go) unless noIntern is
+	// set; the memo it leaves behind is representation-independent.
 	rank      [][]int
 	rankOrder [][]int
 }
@@ -63,13 +70,29 @@ func (a *Auctioneer) N() int { return len(a.bids) }
 // every worker count, so this knob never changes auction results.
 func (a *Auctioneer) SetWorkers(w int) { a.workers = w }
 
+// DisableInterning switches the auctioneer back to map-based digest sets
+// for every masked operation (ablation benchmarks and equivalence tests).
+// Call it before the first ConflictGraph/GE/Allocate use; the lazily
+// built caches are representation-independent, so flipping it later has
+// no effect on answers already memoized.
+func (a *Auctioneer) DisableInterning() { a.noIntern = true }
+
 // ConflictGraph lazily builds and returns the masked-submission conflict
 // graph.
 func (a *Auctioneer) ConflictGraph() *conflict.Graph {
 	if a.graph == nil {
-		if a.workers > 1 {
+		switch {
+		case a.noIntern && a.workers > 1:
+			a.graph = conflict.BuildFromPredicateParallel(len(a.locs), func(i, j int) bool {
+				return Conflicts(a.locs[i], a.locs[j])
+			}, a.workers)
+		case a.noIntern:
+			a.graph = conflict.BuildFromPredicate(len(a.locs), func(i, j int) bool {
+				return Conflicts(a.locs[i], a.locs[j])
+			})
+		case a.workers > 1:
 			a.graph = BuildConflictGraphParallel(a.locs, a.workers)
-		} else {
+		default:
 			a.graph = BuildConflictGraph(a.locs)
 		}
 	}
@@ -97,6 +120,16 @@ func (a *Auctioneer) columnRank(r int) []int {
 	}
 	if a.rank[r] == nil {
 		n := a.N()
+		// ge evaluates the masked comparison on the interned column (the
+		// fast path; the column slice is local and garbage once the memo
+		// stands) or on the map-based sets under noIntern. Both agree on
+		// every pair — CompareGE outcomes depend only on digest equality,
+		// which interning preserves exactly.
+		ge := a.rawGE
+		if !a.noIntern {
+			col := internColumn(a.bids, r)
+			ge = func(r, i, j int) bool { return col[i].ge(&col[j]) }
+		}
 		order := make([]int, n)
 		for i := range order {
 			order[i] = i
@@ -104,14 +137,14 @@ func (a *Auctioneer) columnRank(r int) []int {
 		sort.SliceStable(order, func(x, y int) bool {
 			i, j := order[x], order[y]
 			// Strictly greater: GE(i,j) && !GE(j,i). Ties keep index order.
-			return a.rawGE(r, i, j) && !a.rawGE(r, j, i)
+			return ge(r, i, j) && !ge(r, j, i)
 		})
 		rank := make([]int, n)
 		rk := 0
 		for x, i := range order {
 			if x > 0 {
 				prev := order[x-1]
-				if !(a.rawGE(r, i, prev) && a.rawGE(r, prev, i)) {
+				if !(ge(r, i, prev) && ge(r, prev, i)) {
 					rk = x // strictly below prev: new rank group
 				}
 			}

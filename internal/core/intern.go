@@ -1,0 +1,79 @@
+package core
+
+import "lppa/internal/mask"
+
+// Auctioneer-side interning (DESIGN.md §5b): on ingest the auctioneer maps
+// every 16-byte digest it receives to a dense uint32 ID and evaluates all
+// masked set operations on sorted-ID slices with a Bloom quick reject,
+// instead of walking 16-byte-keyed maps. The map-based mask.Set stays the
+// bidder-side encoding and wire type — interning is a private view of the
+// same digests, so no protocol byte changes and every predicate outcome is
+// identical by construction (pinned by the representation-equivalence
+// tests). Dictionaries live for one auction: submissions are immutable
+// after NewAuctioneer, so interned sets are never invalidated.
+
+// internedLocation is the compact form of one LocationSubmission. All four
+// sets of all bidders share one Dict, so cross-bidder intersections
+// compare IDs meaningfully.
+type internedLocation struct {
+	xFamily, yFamily, xRange, yRange mask.IntSet
+}
+
+// internLocations interns a whole population under one fresh dictionary.
+func internLocations(subs []*LocationSubmission) []internedLocation {
+	var dict *mask.Dict
+	if len(subs) > 0 {
+		s := subs[0]
+		dict = mask.NewDictCap(len(subs) * (s.XFamily.Len() + s.YFamily.Len() + s.XRange.Len() + s.YRange.Len()))
+	} else {
+		dict = mask.NewDict()
+	}
+	out := make([]internedLocation, len(subs))
+	for i, s := range subs {
+		out[i] = internedLocation{
+			xFamily: dict.InternSet(s.XFamily),
+			yFamily: dict.InternSet(s.YFamily),
+			xRange:  dict.InternSet(s.XRange),
+			yRange:  dict.InternSet(s.YRange),
+		}
+	}
+	return out
+}
+
+// conflicts is Conflicts on the interned representation: i's coordinate
+// families must intersect j's range covers on both axes.
+func (a *internedLocation) conflicts(b *internedLocation) bool {
+	return a.xFamily.Intersects(b.xRange) && a.yFamily.Intersects(b.yRange)
+}
+
+// internedChannelBid is the compact form of one ChannelBid. One Dict
+// serves one bid column: digests under different per-channel keys never
+// need to be compared, so per-column dictionaries keep IDs dense.
+type internedChannelBid struct {
+	family, rng mask.IntSet
+}
+
+// internColumn interns column r of a bid matrix under a fresh dictionary.
+func internColumn(bids []*BidSubmission, r int) []internedChannelBid {
+	var dict *mask.Dict
+	if len(bids) > 0 {
+		cb := &bids[0].Channels[r]
+		dict = mask.NewDictCap(len(bids) * (cb.Family.Len() + cb.Range.Len()))
+	} else {
+		dict = mask.NewDict()
+	}
+	out := make([]internedChannelBid, len(bids))
+	for i, b := range bids {
+		cb := &b.Channels[r]
+		out[i] = internedChannelBid{
+			family: dict.InternSet(cb.Family),
+			rng:    dict.InternSet(cb.Range),
+		}
+	}
+	return out
+}
+
+// ge is CompareGE on the interned representation.
+func (a *internedChannelBid) ge(b *internedChannelBid) bool {
+	return a.family.Intersects(b.rng)
+}

@@ -1,0 +1,95 @@
+package core
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"lppa/internal/conflict"
+)
+
+// TestConflictGraphRepresentationEquivalence pins the tentpole soundness
+// claim: the interned conflict graph (Bloom quick reject + sorted-ID
+// merges) is bit-identical to evaluating the map-based Conflicts predicate
+// directly, across populations, λ, and worker counts.
+func TestConflictGraphRepresentationEquivalence(t *testing.T) {
+	for _, lambda := range []uint64{1, 2, 4} {
+		p := Params{Channels: 1, Lambda: lambda, MaxX: 99, MaxY: 99, BMax: 100}
+		ring := testRing(t, p, 5, 8)
+		for _, n := range []int{2, 30, 90} {
+			pts := randomPoints(p, n, int64(lambda)*53+int64(n))
+			subs, err := NewLocationSubmissions(p, ring, pts, 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := conflict.BuildFromPredicate(n, func(i, j int) bool {
+				return Conflicts(subs[i], subs[j])
+			})
+			if got := BuildConflictGraph(subs); !got.Equal(want) {
+				t.Errorf("lambda=%d n=%d: interned serial graph differs from map-based", lambda, n)
+			}
+			for _, workers := range []int{2, 4} {
+				if got := BuildConflictGraphParallel(subs, workers); !got.Equal(want) {
+					t.Errorf("lambda=%d n=%d workers=%d: interned parallel graph differs from map-based", lambda, n, workers)
+				}
+			}
+		}
+	}
+}
+
+// TestAuctioneerRepresentationEquivalence runs the same round through an
+// interned and a map-based auctioneer (several seeds) and demands
+// identical transcripts and identical full allocations: the interned
+// representation may never change an auction outcome.
+func TestAuctioneerRepresentationEquivalence(t *testing.T) {
+	p := testParams()
+	for _, seed := range []int64{3, 11, 29} {
+		interned, _, _ := randomRound(t, p, 25, seed)
+		mapped, _, _ := randomRound(t, p, 25, seed)
+		mapped.DisableInterning()
+
+		if !interned.ConflictGraph().Equal(mapped.ConflictGraph()) {
+			t.Errorf("seed=%d: conflict graphs differ between representations", seed)
+		}
+		for r := 0; r < p.Channels; r++ {
+			for i := 0; i < interned.N(); i++ {
+				for j := 0; j < interned.N(); j++ {
+					if interned.GE(r, i, j) != mapped.GE(r, i, j) {
+						t.Fatalf("seed=%d r=%d: GE(%d,%d) differs between representations", seed, r, i, j)
+					}
+				}
+			}
+		}
+		if !reflect.DeepEqual(interned.Rankings(), mapped.Rankings()) {
+			t.Errorf("seed=%d: rankings differ between representations", seed)
+		}
+		a1, err := interned.Allocate(rand.New(rand.NewSource(seed * 7)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		a2, err := mapped.Allocate(rand.New(rand.NewSource(seed * 7)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(a1, a2) {
+			t.Errorf("seed=%d: allocations differ between representations", seed)
+		}
+	}
+}
+
+// TestGEMemoMatchesRawUnderInterning extends the memo-correctness anchor
+// to the interned build: every memoized GE answer must equal the direct
+// map-based masked intersection rawGE evaluates.
+func TestGEMemoMatchesRawUnderInterning(t *testing.T) {
+	p := testParams()
+	auc, _, _ := randomRound(t, p, 20, 47)
+	for r := 0; r < p.Channels; r++ {
+		for i := 0; i < auc.N(); i++ {
+			for j := 0; j < auc.N(); j++ {
+				if got, want := auc.GE(r, i, j), auc.rawGE(r, i, j); got != want {
+					t.Fatalf("r=%d: interned memo GE(%d,%d)=%v, raw=%v", r, i, j, got, want)
+				}
+			}
+		}
+	}
+}

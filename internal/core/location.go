@@ -110,20 +110,25 @@ func Conflicts(a, b *LocationSubmission) bool {
 
 // BuildConflictGraph constructs the interference graph from masked
 // submissions only — the auctioneer-side half of the Private Location
-// Submission protocol.
+// Submission protocol. The O(n) interning pass up front turns each of the
+// O(n²) predicate evaluations into sorted-ID merges behind a Bloom quick
+// reject (intern.go); the graph is identical to evaluating Conflicts
+// directly, pinned by the representation-equivalence tests.
 func BuildConflictGraph(subs []*LocationSubmission) *conflict.Graph {
+	iloc := internLocations(subs)
 	return conflict.BuildFromPredicate(len(subs), func(i, j int) bool {
-		return Conflicts(subs[i], subs[j])
+		return iloc[i].conflicts(&iloc[j])
 	})
 }
 
 // BuildConflictGraphParallel is BuildConflictGraph with the O(n²) pairwise
-// predicate sharded across at most workers goroutines. Masked submissions
-// are read-only during evaluation and digest-set intersection is a pure
-// lookup, so concurrent predicate calls are safe; the resulting graph is
+// predicate sharded across at most workers goroutines. Interning happens
+// once, serially, before the sweep; the interned sets are immutable and
+// read concurrently without synchronization, so the resulting graph is
 // bit-for-bit identical to the serial build for every worker count.
 func BuildConflictGraphParallel(subs []*LocationSubmission, workers int) *conflict.Graph {
+	iloc := internLocations(subs)
 	return conflict.BuildFromPredicateParallel(len(subs), func(i, j int) bool {
-		return Conflicts(subs[i], subs[j])
+		return iloc[i].conflicts(&iloc[j])
 	}, mask.Workers(workers, len(subs)))
 }

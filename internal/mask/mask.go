@@ -11,6 +11,7 @@
 package mask
 
 import (
+	"bytes"
 	"crypto/hmac"
 	"crypto/sha256"
 	"encoding/binary"
@@ -18,6 +19,7 @@ import (
 	"fmt"
 	"hash"
 	"math/rand"
+	"sort"
 )
 
 // DigestSize is the size of a masked prefix digest in bytes. Digests are
@@ -106,15 +108,26 @@ func (m *Masker) MaskAll(vs []uint64) []Digest {
 
 // Set is an unordered collection of digests supporting O(1) membership.
 // The zero value is an empty set ready to use.
+//
+// Alongside the membership map the set keeps its members in a flat
+// insertion-order slice, so bulk consumers (the auctioneer's interner,
+// batch assemblers, wire encoders) can scan members sequentially instead
+// of paying Go map iteration per element. The two views always hold the
+// same members; Add and PadTo maintain both.
 type Set struct {
 	members map[Digest]struct{}
+	order   []Digest
 }
 
 // NewSet builds a Set from digests, dropping duplicates.
 func NewSet(ds []Digest) Set {
-	s := Set{members: make(map[Digest]struct{}, len(ds))}
+	s := Set{members: make(map[Digest]struct{}, len(ds)), order: make([]Digest, 0, len(ds))}
 	for _, d := range ds {
+		if _, dup := s.members[d]; dup {
+			continue
+		}
 		s.members[d] = struct{}{}
+		s.order = append(s.order, d)
 	}
 	return s
 }
@@ -133,7 +146,11 @@ func (s *Set) Add(d Digest) {
 	if s.members == nil {
 		s.members = make(map[Digest]struct{})
 	}
+	if _, dup := s.members[d]; dup {
+		return
+	}
 	s.members[d] = struct{}{}
+	s.order = append(s.order, d)
 }
 
 // Digests returns the members in unspecified order.
@@ -146,10 +163,25 @@ func (s Set) Digests() []Digest {
 // charge-request builder) use it to collect many sets into one flat
 // allocation.
 func (s Set) AppendDigests(dst []Digest) []Digest {
-	for d := range s.members {
-		dst = append(dst, d)
-	}
-	return dst
+	return append(dst, s.order...)
+}
+
+// SortedDigests returns the members in lexicographic byte order. Wire
+// encoders use it so serialized sets are byte-stable across runs (map
+// iteration order is randomized per process); sorting reveals nothing an
+// unordered dump would not, since digests are already key-dependent
+// pseudorandom values.
+func (s Set) SortedDigests() []Digest {
+	ds := s.Digests()
+	SortDigests(ds)
+	return ds
+}
+
+// SortDigests sorts ds in place in lexicographic byte order.
+func SortDigests(ds []Digest) {
+	sort.Slice(ds, func(i, j int) bool {
+		return bytes.Compare(ds[i][:], ds[j][:]) < 0
+	})
 }
 
 // Intersects reports whether s and other share at least one digest. This is
@@ -185,7 +217,11 @@ func (s *Set) PadTo(target int, rng *rand.Rand) {
 		for i := range d {
 			d[i] = byte(rng.Intn(256))
 		}
+		if _, dup := s.members[d]; dup {
+			continue
+		}
 		s.members[d] = struct{}{}
+		s.order = append(s.order, d)
 	}
 }
 

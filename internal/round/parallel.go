@@ -21,6 +21,11 @@ type Options struct {
 	// For a fixed rng seed the round result is identical for every value:
 	// see the determinism note on RunPrivateOpts.
 	Workers int
+	// DisableInterning makes the auctioneer evaluate masked set operations
+	// on the map-based mask.Set representation instead of interned ID
+	// slices (DESIGN.md §5b). Ablation/testing knob: for a fixed seed the
+	// round result is identical either way.
+	DisableInterning bool
 }
 
 // RunPrivateOpts executes the full LPPA protocol like RunPrivate, but with
@@ -70,6 +75,9 @@ func RunPrivateOpts(params core.Params, ring *mask.KeyRing, points []geo.Point, 
 		return nil, err
 	}
 	auc.SetWorkers(workers)
+	if opts.DisableInterning {
+		auc.DisableInterning()
+	}
 	assignments, err := auc.Allocate(rng)
 	if err != nil {
 		return nil, err

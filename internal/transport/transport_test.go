@@ -1,6 +1,8 @@
 package transport
 
 import (
+	"bytes"
+	"encoding/gob"
 	"io"
 	"log/slog"
 	"math/rand"
@@ -355,5 +357,58 @@ func TestSecondPriceNetworkedRound(t *testing.T) {
 	}
 	if results[1].Channel != 0 || results[1].Price != 45 {
 		t.Errorf("winner pays %d on channel %d, want 45 on 0", results[1].Price, results[1].Channel)
+	}
+}
+
+// TestSetToWireByteStable pins the transcript byte-stability fix: the same
+// logical submission must serialize to identical gob bytes on every
+// encoding (Go randomizes map iteration, so an unordered digest dump would
+// flap between runs and break Theorem-4 byte accounting and golden
+// transcripts).
+func TestSetToWireByteStable(t *testing.T) {
+	p := testParams()
+	ring, err := mask.DeriveKeyRing([]byte("wire-stable"), p.Channels, 3, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	loc, err := core.NewLocationSubmission(p, ring, geo.Point{X: 11, Y: 23})
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := SetToWire(loc.XRange)
+	for trial := 0; trial < 50; trial++ {
+		again := SetToWire(loc.XRange)
+		if len(again) != len(first) {
+			t.Fatalf("trial %d: wire set length changed", trial)
+		}
+		for i := range first {
+			if again[i] != first[i] {
+				t.Fatalf("trial %d: digest order changed at position %d", trial, i)
+			}
+		}
+	}
+
+	// Full-submission check through gob, the actual wire encoder.
+	encode := func() []byte {
+		rng := rand.New(rand.NewSource(5))
+		enc, err := core.NewBidEncoder(p, ring, nil, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bid, err := enc.Encode([]uint64{5, 0, 50, 17}, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := gob.NewEncoder(&buf).Encode(NewSubmission(1, loc, bid)); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	want := encode()
+	for trial := 0; trial < 10; trial++ {
+		if !bytes.Equal(encode(), want) {
+			t.Fatalf("trial %d: identical submissions serialized to different bytes", trial)
+		}
 	}
 }

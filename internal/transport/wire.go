@@ -82,8 +82,12 @@ func (k KeyRingReply) ToRing() *mask.KeyRing {
 // DigestSet is the wire form of a mask.Set.
 type DigestSet []mask.Digest
 
-// SetToWire flattens a digest set.
-func SetToWire(s mask.Set) DigestSet { return s.Digests() }
+// SetToWire flattens a digest set in lexicographic byte order, so the
+// serialized transcript is byte-stable across runs (Go randomizes map
+// iteration per process; an unordered dump would make Theorem-4 byte
+// accounting and golden transcripts flap). Sorting pseudorandom digests
+// reveals nothing beyond membership, which the set already exposes.
+func SetToWire(s mask.Set) DigestSet { return s.SortedDigests() }
 
 // ToSet rebuilds the mask.Set.
 func (d DigestSet) ToSet() mask.Set { return mask.NewSet(d) }
