@@ -3,7 +3,7 @@
 GO ?= go
 CACHE ?= /tmp/lppa-ds.gob
 
-.PHONY: all build test race cover bench bench-json bench-compare alloc-guard fuzz experiments examples clean
+.PHONY: all build test race cover bench bench-json bench-compare alloc-guard fuzz experiments examples metrics-snapshot clean
 
 all: build test
 
@@ -24,17 +24,24 @@ bench:
 	$(GO) test -bench=. -benchmem
 
 # Machine-readable snapshot of the auctioneer-path benchmarks. Each PR
-# writes its own file (BENCH_PR1.json was the parallel-pipeline snapshot;
-# this PR adds the interning benchmarks and writes BENCH_PR2.json) so
+# writes its own file (BENCH_PR1.json parallel pipeline, BENCH_PR2.json
+# interning, BENCH_PR3.json the unified Run API with a nil registry) so
 # bench-compare can diff across PRs. See EXPERIMENTS.md for the narrative.
 bench-json:
 	$(GO) test -run=NONE -benchmem \
 		-bench='ZeroAllocMask|ParallelMaskAll|ParallelConflictGraph|ParallelPrivateRound|RankMemoAllocation|MaskDigest|PrivateConflictGraph|InternedIntersect|ConflictGraphN300|RankMemoN300' \
-		. | $(GO) run ./cmd/benchjson > BENCH_PR2.json
+		. | $(GO) run ./cmd/benchjson > BENCH_PR3.json
 
 # Diff ns/op and allocs/op between the two most recent committed snapshots.
 bench-compare:
-	$(GO) run ./cmd/benchjson -compare BENCH_PR1.json BENCH_PR2.json
+	$(GO) run ./cmd/benchjson -compare BENCH_PR2.json BENCH_PR3.json
+
+# Per-phase/per-layer cost profile of one instrumented N=300 private
+# round, as the observability registry's JSON snapshot. CI uploads it next
+# to the BENCH_*.json artifacts.
+metrics-snapshot:
+	$(GO) run ./cmd/lppa-sim -experiment round -n 300 -cache $(CACHE) \
+		-metrics-out METRICS_ROUND.json
 
 # Fail if the zero-allocation benchmarks report any allocations: the masked
 # comparison and interned intersection hot paths must stay allocation-free.

@@ -20,6 +20,7 @@ import (
 	"log/slog"
 	"math/rand"
 	"net"
+	"net/http"
 	"os"
 	"strconv"
 	"strings"
@@ -27,6 +28,7 @@ import (
 	"time"
 
 	"lppa"
+	"lppa/internal/obs"
 	"lppa/internal/transport"
 )
 
@@ -57,6 +59,7 @@ func run(args []string) error {
 		pricing  = fs.String("pricing", "first", "charging rule: first|second")
 		seedStr  = fs.String("secret", "lppa-net-demo-secret", "TTP key-derivation secret")
 		seed     = fs.Int64("seed", 42, "randomness seed")
+		metrics  = fs.String("metrics-addr", "", "serve metrics over HTTP on this address (GET /metrics = Prometheus text, other paths = JSON); keeps serving after the round until killed")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -75,16 +78,21 @@ func run(args []string) error {
 		return fmt.Errorf("unknown pricing rule %q", *pricing)
 	}
 	log := slog.New(slog.NewTextHandler(os.Stderr, nil))
+	reg, err := serveMetrics(*metrics, log)
+	if err != nil {
+		return err
+	}
 
 	switch *role {
 	case "demo":
-		return runDemo(params, *bidders, *seedStr, *p0, *seed, secondPrice, log)
+		return runDemo(params, *bidders, *seedStr, *p0, *seed, secondPrice, log, reg)
 	case "ttp":
 		ln, err := net.Listen("tcp", *listen)
 		if err != nil {
 			return err
 		}
-		srv, err := transport.NewTTPServer(params, []byte(*seedStr), 5, 8, ln, log)
+		srv, err := transport.NewTTPServerWithConfig(params, []byte(*seedStr), 5, 8, ln,
+			transport.Config{Logger: log, Metrics: reg})
 		if err != nil {
 			return err
 		}
@@ -98,11 +106,8 @@ func run(args []string) error {
 		if err != nil {
 			return err
 		}
-		newSrv := transport.NewAuctioneerServer
-		if secondPrice {
-			newSrv = transport.NewSecondPriceAuctioneerServer
-		}
-		srv, err := newSrv(params, *bidders, *ttpAddr, ln, *seed, log)
+		srv, err := transport.NewAuctioneerServerWithConfig(params, *bidders, *ttpAddr, ln, *seed,
+			transport.Config{Logger: log, Metrics: reg, SecondPrice: secondPrice})
 		if err != nil {
 			return err
 		}
@@ -112,7 +117,11 @@ func run(args []string) error {
 			return fmt.Errorf("round failed")
 		}
 		printOutcome(outcome)
-		return srv.Close()
+		if err := srv.Close(); err != nil {
+			return err
+		}
+		lingerForScrape(reg)
+		return nil
 	case "bidder":
 		if *ttpAddr == "" || *aucAddr == "" {
 			return fmt.Errorf("bidder needs -ttp and -auctioneer")
@@ -134,12 +143,44 @@ func run(args []string) error {
 	}
 }
 
-func runDemo(params lppa.Params, n int, secret string, p0 float64, seed int64, secondPrice bool, log *slog.Logger) error {
+// serveMetrics starts the optional HTTP metrics endpoint and returns the
+// registry every party in this process records into (nil when disabled).
+func serveMetrics(addr string, log *slog.Logger) (*obs.Registry, error) {
+	if addr == "" {
+		return nil, nil
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("metrics listener: %w", err)
+	}
+	reg := obs.NewRegistry()
+	fmt.Printf("metrics on http://%s/metrics\n", ln.Addr())
+	go func() {
+		if err := http.Serve(ln, reg.Handler()); err != nil {
+			log.Error("metrics server", "err", err)
+		}
+	}()
+	return reg, nil
+}
+
+// lingerForScrape keeps a finished process alive when metrics are enabled so
+// the round's snapshot stays scrapeable; without -metrics-addr it returns
+// immediately.
+func lingerForScrape(reg *obs.Registry) {
+	if reg == nil {
+		return
+	}
+	fmt.Println("round done; serving metrics until killed")
+	select {}
+}
+
+func runDemo(params lppa.Params, n int, secret string, p0 float64, seed int64, secondPrice bool, log *slog.Logger, reg *obs.Registry) error {
 	lnTTP, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		return err
 	}
-	ttpSrv, err := transport.NewTTPServer(params, []byte(secret), 5, 8, lnTTP, log)
+	ttpSrv, err := transport.NewTTPServerWithConfig(params, []byte(secret), 5, 8, lnTTP,
+		transport.Config{Logger: log, Metrics: reg})
 	if err != nil {
 		return err
 	}
@@ -149,11 +190,8 @@ func runDemo(params lppa.Params, n int, secret string, p0 float64, seed int64, s
 	if err != nil {
 		return err
 	}
-	newSrv := transport.NewAuctioneerServer
-	if secondPrice {
-		newSrv = transport.NewSecondPriceAuctioneerServer
-	}
-	aucSrv, err := newSrv(params, n, ttpSrv.Addr().String(), lnAuc, seed, log)
+	aucSrv, err := transport.NewAuctioneerServerWithConfig(params, n, ttpSrv.Addr().String(), lnAuc, seed,
+		transport.Config{Logger: log, Metrics: reg, SecondPrice: secondPrice})
 	if err != nil {
 		return err
 	}
@@ -197,6 +235,7 @@ func runDemo(params lppa.Params, n int, secret string, p0 float64, seed int64, s
 		printResult(*res)
 	}
 	printOutcome(outcome)
+	lingerForScrape(reg)
 	return nil
 }
 

@@ -12,9 +12,11 @@
 //
 // Experiments: coverage, fig4a (covers 4b too), fig4c, fig5ad, fig5ef,
 // multiround (§V.C.3), basicleak (§IV.C.1), pricing (second-price future
-// work), theorems, all. The -cache flag persists the generated dataset so
-// repeat runs start instantly; -format csv emits machine-readable tables;
-// -tiny and -quick shrink everything for smoke runs.
+// work), theorems, round (one instrumented private round), all. The -cache
+// flag persists the generated dataset so repeat runs start instantly;
+// -format csv emits machine-readable tables; -tiny and -quick shrink
+// everything for smoke runs. -metrics-out dumps the observability
+// registry's JSON snapshot for the instrumented experiments.
 package main
 
 import (
@@ -27,6 +29,7 @@ import (
 
 	"lppa/internal/dataset"
 	"lppa/internal/geo"
+	"lppa/internal/obs"
 	"lppa/internal/sim"
 )
 
@@ -40,7 +43,7 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("lppa-sim", flag.ContinueOnError)
 	var (
-		experiment = fs.String("experiment", "all", "coverage|fig4a|fig4c|fig5ad|fig5ef|multiround|basicleak|pricing|theorems|all")
+		experiment = fs.String("experiment", "all", "coverage|fig4a|fig4c|fig5ad|fig5ef|multiround|basicleak|pricing|theorems|round|all")
 		seed       = fs.Int64("seed", 42, "experiment seed (dataset + auctions)")
 		cache      = fs.String("cache", "", "dataset cache path (optional)")
 		victims    = fs.Int("victims", 60, "victims per attack configuration")
@@ -52,6 +55,7 @@ func run(args []string) error {
 		trials     = fs.Int("trials", 3, "independent trials per fig5ef cell (mean ± 95% CI)")
 		format     = fs.String("format", "text", "table output: text|csv")
 		workers    = fs.Int("workers", runtime.GOMAXPROCS(0), "goroutines for submission encoding and conflict graphs (1 = legacy serial driver)")
+		metricsOut = fs.String("metrics-out", "", "write a JSON metrics snapshot of the instrumented experiments (round, fig5ad, fig5ef) to this file; - for stdout")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -87,6 +91,11 @@ func run(args []string) error {
 		}
 	}
 
+	var reg *obs.Registry
+	if *metricsOut != "" {
+		reg = obs.NewRegistry()
+	}
+
 	runOne := func(name string) error {
 		switch name {
 		case "coverage":
@@ -96,13 +105,15 @@ func run(args []string) error {
 		case "fig4c":
 			return runFig4C(ds, *victims, *seed)
 		case "fig5ad":
-			return runFig5AD(ds, *n, *channels, *seed, *quick, effectiveWorkers)
+			return runFig5AD(ds, *n, *channels, *seed, *quick, effectiveWorkers, reg)
 		case "fig5ef":
 			pops, err := parseInts(*bidders)
 			if err != nil {
 				return err
 			}
-			return runFig5EF(ds, pops, *channels, *seed, *trials, *quick, effectiveWorkers)
+			return runFig5EF(ds, pops, *channels, *seed, *trials, *quick, effectiveWorkers, reg)
+		case "round":
+			return runRound(ds, *n, *channels, *seed, effectiveWorkers, reg)
 		case "multiround":
 			return runMultiRound(ds, *seed, *quick)
 		case "basicleak":
@@ -122,9 +133,62 @@ func run(args []string) error {
 				return fmt.Errorf("%s: %w", name, err)
 			}
 		}
+		return writeMetrics(reg, *metricsOut)
+	}
+	if err := runOne(*experiment); err != nil {
+		return err
+	}
+	return writeMetrics(reg, *metricsOut)
+}
+
+// writeMetrics dumps the registry snapshot collected by the instrumented
+// experiments to path (stdout when "-"). No-op when metrics were disabled.
+func writeMetrics(reg *obs.Registry, path string) error {
+	if reg == nil {
 		return nil
 	}
-	return runOne(*experiment)
+	if path == "-" {
+		return reg.WriteJSON(os.Stdout)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("metrics snapshot: %w", err)
+	}
+	if err := reg.WriteJSON(f); err != nil {
+		f.Close()
+		return fmt.Errorf("metrics snapshot: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "metrics snapshot written to %s\n", path)
+	return nil
+}
+
+// runRound executes one instrumented private round (Area 3, population n)
+// and prints its headline numbers; with -metrics-out the full per-phase and
+// per-layer profile lands in the snapshot.
+func runRound(ds *dataset.Dataset, n, channels int, seed int64, workers int, reg *obs.Registry) error {
+	cfg := sim.DefaultFig5Config()
+	cfg.Bidders = n
+	cfg.Channels = channels
+	cfg.Workers = workers
+	cfg.Metrics = reg
+	res, err := sim.MetricsRound(ds.Areas[2], cfg, seed)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("## Instrumented private round (Area 3, N=%d, k=%d, workers=%d)\n\n", n, min(channels, ds.Areas[2].NumChannels()), workers)
+	fmt.Printf("awards: %d, revenue: %d, satisfaction: %.3f, voided: %d, submission bytes: %d\n",
+		len(res.Outcome.Assignments), res.Outcome.Revenue, res.Outcome.Satisfaction(), res.Voided, res.SubmissionBytes)
+	return nil
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
 }
 
 // render writes experiment tables in the selected format.
@@ -177,11 +241,12 @@ func runFig4C(ds *dataset.Dataset, victims int, seed int64) error {
 	return render(sim.Fig4CTable(points))
 }
 
-func runFig5AD(ds *dataset.Dataset, n, channels int, seed int64, quick bool, workers int) error {
+func runFig5AD(ds *dataset.Dataset, n, channels int, seed int64, quick bool, workers int, reg *obs.Registry) error {
 	cfg := sim.DefaultFig5Config()
 	cfg.Bidders = n
 	cfg.Channels = channels
 	cfg.Workers = workers
+	cfg.Metrics = reg
 	if quick {
 		cfg.Bidders = 25
 		cfg.Channels = 30
@@ -195,11 +260,12 @@ func runFig5AD(ds *dataset.Dataset, n, channels int, seed int64, quick bool, wor
 	return render(sim.Fig5ADTable(points, baseline))
 }
 
-func runFig5EF(ds *dataset.Dataset, pops []int, channels int, seed int64, trials int, quick bool, workers int) error {
+func runFig5EF(ds *dataset.Dataset, pops []int, channels int, seed int64, trials int, quick bool, workers int, reg *obs.Registry) error {
 	cfg := sim.DefaultFig5Config()
 	cfg.Channels = channels
 	cfg.Trials = trials
 	cfg.Workers = workers
+	cfg.Metrics = reg
 	if quick {
 		cfg.Trials = 1
 		cfg.Channels = 30

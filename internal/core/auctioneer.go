@@ -40,6 +40,11 @@ type Auctioneer struct {
 	// set; the memo it leaves behind is representation-independent.
 	rank      [][]int
 	rankOrder [][]int
+
+	// ob, when non-nil, routes lazy cache builds and memo lookups through
+	// their counted twins (observe.go). Nil — the default — keeps every
+	// hot path on the exact unobserved code.
+	ob *aucObs
 }
 
 // NewAuctioneer collects one location and one bid submission per bidder.
@@ -82,6 +87,8 @@ func (a *Auctioneer) DisableInterning() { a.noIntern = true }
 func (a *Auctioneer) ConflictGraph() *conflict.Graph {
 	if a.graph == nil {
 		switch {
+		case a.ob != nil:
+			a.graph = a.buildGraphObserved()
 		case a.noIntern && a.workers > 1:
 			a.graph = conflict.BuildFromPredicateParallel(len(a.locs), func(i, j int) bool {
 				return Conflicts(a.locs[i], a.locs[j])
@@ -126,9 +133,19 @@ func (a *Auctioneer) columnRank(r int) []int {
 		// every pair — CompareGE outcomes depend only on digest equality,
 		// which interning preserves exactly.
 		ge := a.rawGE
-		if !a.noIntern {
-			col := internColumn(a.bids, r)
-			ge = func(r, i, j int) bool { return col[i].ge(&col[j]) }
+		var st mask.IntersectStats
+		if a.noIntern {
+			if a.ob != nil {
+				ge = func(r, i, j int) bool { st.Calls++; return a.rawGE(r, i, j) }
+			}
+		} else {
+			col, total, distinct := internColumn(a.bids, r)
+			if a.ob != nil {
+				a.ob.noteIntern(total, distinct)
+				ge = func(r, i, j int) bool { return col[i].geCounted(&col[j], &st) }
+			} else {
+				ge = func(r, i, j int) bool { return col[i].ge(&col[j]) }
+			}
 		}
 		order := make([]int, n)
 		for i := range order {
@@ -152,6 +169,10 @@ func (a *Auctioneer) columnRank(r int) []int {
 		}
 		a.rank[r] = rank
 		a.rankOrder[r] = order
+		if a.ob != nil {
+			a.ob.rankBuilds.Inc()
+			a.ob.flushStats(&st)
+		}
 	}
 	return a.rank[r]
 }
@@ -185,7 +206,7 @@ func fullPresent(n, k int) [][]bool {
 // and later be voided by the TTP.
 func (a *Auctioneer) Allocate(rng *rand.Rand) ([]auction.Assignment, error) {
 	n, k := a.N(), a.params.Channels
-	return auction.Allocate(n, k, fullPresent(n, k), a.ConflictGraph(), a.GE, rng)
+	return auction.Allocate(n, k, fullPresent(n, k), a.ConflictGraph(), a.geFunc(), rng)
 }
 
 // SealedBid returns the opaque TTP ciphertext of bidder i's bid on
@@ -200,7 +221,7 @@ func (a *Auctioneer) SealedBid(i, r int) []byte {
 // winner's neighborhood without expelling the bidder.
 func (a *Auctioneer) AllocateWithValidity(valid auction.Validity, rng *rand.Rand) (awarded, voided []auction.Assignment, err error) {
 	n, k := a.N(), a.params.Channels
-	return auction.AllocateWithValidity(n, k, fullPresent(n, k), a.ConflictGraph(), a.GE, valid, rng)
+	return auction.AllocateWithValidity(n, k, fullPresent(n, k), a.ConflictGraph(), a.geFunc(), valid, rng)
 }
 
 // RankChannel returns all bidders ordered by descending masked bid on
@@ -272,7 +293,7 @@ func (a *Auctioneer) ChargeRequests(assignments []auction.Assignment) []ChargeRe
 // charging.
 func (a *Auctioneer) AllocateAwards(rng *rand.Rand) ([]auction.Award, error) {
 	n, k := a.N(), a.params.Channels
-	awards, _, err := auction.AllocateAwards(n, k, fullPresent(n, k), a.ConflictGraph(), a.GE, nil, rng)
+	awards, _, err := auction.AllocateAwards(n, k, fullPresent(n, k), a.ConflictGraph(), a.geFunc(), nil, rng)
 	return awards, err
 }
 

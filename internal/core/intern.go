@@ -20,7 +20,11 @@ type internedLocation struct {
 }
 
 // internLocations interns a whole population under one fresh dictionary.
-func internLocations(subs []*LocationSubmission) []internedLocation {
+// It also reports how many digests passed through the dictionary and how
+// many were distinct (dictionary misses) — the difference is the intern
+// hit count the observability layer exports. Callers that do not observe
+// ignore both.
+func internLocations(subs []*LocationSubmission) (out []internedLocation, total, distinct int) {
 	var dict *mask.Dict
 	if len(subs) > 0 {
 		s := subs[0]
@@ -28,8 +32,9 @@ func internLocations(subs []*LocationSubmission) []internedLocation {
 	} else {
 		dict = mask.NewDict()
 	}
-	out := make([]internedLocation, len(subs))
+	out = make([]internedLocation, len(subs))
 	for i, s := range subs {
+		total += s.XFamily.Len() + s.YFamily.Len() + s.XRange.Len() + s.YRange.Len()
 		out[i] = internedLocation{
 			xFamily: dict.InternSet(s.XFamily),
 			yFamily: dict.InternSet(s.YFamily),
@@ -37,13 +42,19 @@ func internLocations(subs []*LocationSubmission) []internedLocation {
 			yRange:  dict.InternSet(s.YRange),
 		}
 	}
-	return out
+	return out, total, dict.Len()
 }
 
 // conflicts is Conflicts on the interned representation: i's coordinate
 // families must intersect j's range covers on both axes.
 func (a *internedLocation) conflicts(b *internedLocation) bool {
 	return a.xFamily.Intersects(b.xRange) && a.yFamily.Intersects(b.yRange)
+}
+
+// conflictsCounted is conflicts with intersection tallies (observed
+// conflict-graph builds only; the uncounted path stays untouched).
+func (a *internedLocation) conflictsCounted(b *internedLocation, st *mask.IntersectStats) bool {
+	return a.xFamily.IntersectsCounted(b.xRange, st) && a.yFamily.IntersectsCounted(b.yRange, st)
 }
 
 // internedChannelBid is the compact form of one ChannelBid. One Dict
@@ -54,7 +65,9 @@ type internedChannelBid struct {
 }
 
 // internColumn interns column r of a bid matrix under a fresh dictionary.
-func internColumn(bids []*BidSubmission, r int) []internedChannelBid {
+// Like internLocations it reports digest throughput and distinct count
+// for the observability layer.
+func internColumn(bids []*BidSubmission, r int) (out []internedChannelBid, total, distinct int) {
 	var dict *mask.Dict
 	if len(bids) > 0 {
 		cb := &bids[0].Channels[r]
@@ -62,18 +75,25 @@ func internColumn(bids []*BidSubmission, r int) []internedChannelBid {
 	} else {
 		dict = mask.NewDict()
 	}
-	out := make([]internedChannelBid, len(bids))
+	out = make([]internedChannelBid, len(bids))
 	for i, b := range bids {
 		cb := &b.Channels[r]
+		total += cb.Family.Len() + cb.Range.Len()
 		out[i] = internedChannelBid{
 			family: dict.InternSet(cb.Family),
 			rng:    dict.InternSet(cb.Range),
 		}
 	}
-	return out
+	return out, total, dict.Len()
 }
 
 // ge is CompareGE on the interned representation.
 func (a *internedChannelBid) ge(b *internedChannelBid) bool {
 	return a.family.Intersects(b.rng)
+}
+
+// geCounted is ge with intersection tallies (observed rank-memo builds
+// only).
+func (a *internedChannelBid) geCounted(b *internedChannelBid, st *mask.IntersectStats) bool {
+	return a.family.IntersectsCounted(b.rng, st)
 }

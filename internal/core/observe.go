@@ -1,0 +1,118 @@
+package core
+
+import (
+	"sync/atomic"
+
+	"lppa/internal/conflict"
+	"lppa/internal/mask"
+	"lppa/internal/obs"
+)
+
+// Observability wiring for the auctioneer (DESIGN.md §5c). The unobserved
+// hot paths — ConflictGraph's four-way build, columnRank's interned sort,
+// GE's memo lookup — stay byte-identical to before: attaching a registry
+// swaps in counted twins of the same operations, and every predicate
+// outcome is unchanged because the counted mask operations delegate to the
+// uncounted ones.
+
+// aucObs holds the auctioneer's counter handles, resolved once in
+// SetObserver so the observed paths never take the registry lock.
+type aucObs struct {
+	comparisons   *obs.Counter // masked set intersections evaluated
+	bloomRejects  *obs.Counter // of those, decided by the Bloom pre-check
+	rankMemoHits  *obs.Counter // GE answers served from a built column memo
+	rankBuilds    *obs.Counter // column memos built
+	internDigests *obs.Counter // digests pushed through intern dictionaries
+	internHits    *obs.Counter // of those, already present (dedup wins)
+	internMisses  *obs.Counter // of those, first sightings (distinct digests)
+}
+
+// SetObserver attaches a metrics registry to the auctioneer. Call it
+// before the first ConflictGraph/GE/Allocate use — the lazily built caches
+// are counted only while being built. A nil registry detaches (the
+// default), leaving every hot path exactly as fast as an unobserved run.
+func (a *Auctioneer) SetObserver(reg *obs.Registry) {
+	if reg == nil {
+		a.ob = nil
+		return
+	}
+	a.ob = &aucObs{
+		comparisons:   reg.Counter("lppa_auctioneer_comparisons_total"),
+		bloomRejects:  reg.Counter("lppa_auctioneer_bloom_rejects_total"),
+		rankMemoHits:  reg.Counter("lppa_auctioneer_rank_memo_hits_total"),
+		rankBuilds:    reg.Counter("lppa_auctioneer_rank_builds_total"),
+		internDigests: reg.Counter("lppa_intern_digests_total"),
+		internHits:    reg.Counter("lppa_intern_hits_total"),
+		internMisses:  reg.Counter("lppa_intern_misses_total"),
+	}
+}
+
+// noteIntern folds one dictionary's ingest into the intern metrics: total
+// digests passed through, of which distinct were first sightings (misses)
+// and the rest were dedup hits.
+func (o *aucObs) noteIntern(total, distinct int) {
+	o.internDigests.Add(uint64(total))
+	o.internHits.Add(uint64(total - distinct))
+	o.internMisses.Add(uint64(distinct))
+}
+
+// flushStats folds a finished intersection tally into the registry.
+func (o *aucObs) flushStats(st *mask.IntersectStats) {
+	o.comparisons.Add(st.Calls)
+	o.bloomRejects.Add(st.BloomRejects)
+}
+
+// buildGraphObserved is the counted twin of ConflictGraph's build switch.
+// Tallies accumulate in atomics (the parallel sweep shares the predicate
+// across workers) and land in the registry once, after the build. The
+// graph itself is bit-for-bit the unobserved one: counted predicates
+// delegate to the same intersections.
+func (a *Auctioneer) buildGraphObserved() *conflict.Graph {
+	var calls, rejects atomic.Uint64
+	var pred func(i, j int) bool
+	if a.noIntern {
+		pred = func(i, j int) bool {
+			n := uint64(1)
+			ok := a.locs[i].XFamily.Intersects(a.locs[j].XRange)
+			if ok {
+				n++
+				ok = a.locs[i].YFamily.Intersects(a.locs[j].YRange)
+			}
+			calls.Add(n)
+			return ok
+		}
+	} else {
+		iloc, total, distinct := internLocations(a.locs)
+		a.ob.noteIntern(total, distinct)
+		pred = func(i, j int) bool {
+			var st mask.IntersectStats
+			ok := iloc[i].conflictsCounted(&iloc[j], &st)
+			calls.Add(st.Calls)
+			rejects.Add(st.BloomRejects)
+			return ok
+		}
+	}
+	var g *conflict.Graph
+	if a.workers > 1 {
+		g = conflict.BuildFromPredicateParallel(len(a.locs), pred, mask.Workers(a.workers, len(a.locs)))
+	} else {
+		g = conflict.BuildFromPredicate(len(a.locs), pred)
+	}
+	a.ob.comparisons.Add(calls.Load())
+	a.ob.bloomRejects.Add(rejects.Load())
+	return g
+}
+
+// geFunc returns the comparator handed to the allocator: GE itself when
+// unobserved (no wrapper, no branch in the hot loop), or a thin wrapper
+// that counts each rank-memo lookup.
+func (a *Auctioneer) geFunc() func(r, i, j int) bool {
+	if a.ob == nil {
+		return a.GE
+	}
+	hits := a.ob.rankMemoHits
+	return func(r, i, j int) bool {
+		hits.Inc()
+		return a.GE(r, i, j)
+	}
+}

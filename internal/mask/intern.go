@@ -242,6 +242,28 @@ func (s IntSet) Intersects(other IntSet) bool {
 	return false
 }
 
+// IntersectStats tallies counted masked-set intersections: how many were
+// evaluated and how many the Bloom signature pre-check decided alone.
+// The auctioneer's observed paths (core.Auctioneer.SetObserver) aggregate
+// these into an obs.Registry; the uncounted Intersects stays the hot path
+// so disabled observability costs nothing.
+type IntersectStats struct {
+	Calls        uint64
+	BloomRejects uint64
+}
+
+// IntersectsCounted is Intersects, additionally tallying the call — and,
+// when the signature AND alone proves disjointness, the quick reject —
+// into st.
+func (s IntSet) IntersectsCounted(other IntSet, st *IntersectStats) bool {
+	st.Calls++
+	if s.sig&other.sig == 0 {
+		st.BloomRejects++
+		return false
+	}
+	return s.Intersects(other)
+}
+
 // gallop returns the smallest index ≥ lo with b[index] ≥ v (len(b) if
 // none): exponential probing from lo narrows a window that a binary search
 // then resolves, so successive calls with ascending v scan b in amortized

@@ -1,0 +1,197 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// This file renders a Registry two ways: the Prometheus text exposition
+// format (for scraping) and an expvar-style JSON snapshot (for one-shot
+// dumps, e.g. lppa-sim -metrics-out). Both walk the same sorted view, so
+// output is deterministic for a given metric state — the golden tests
+// rely on that.
+
+// HistogramSnapshot is the JSON form of one histogram series. Buckets are
+// cumulative, like the Prometheus exposition; the upper bound is a string
+// so "+Inf" survives JSON encoding.
+type HistogramSnapshot struct {
+	Count   uint64        `json:"count"`
+	Sum     float64       `json:"sum"`
+	Buckets []BucketCount `json:"buckets"`
+}
+
+// BucketCount is one cumulative histogram bucket.
+type BucketCount struct {
+	LE    string `json:"le"`
+	Count uint64 `json:"count"`
+}
+
+// Snapshot is a point-in-time copy of every metric, keyed by
+// name{labels}.
+type Snapshot struct {
+	Counters   map[string]uint64            `json:"counters"`
+	Gauges     map[string]int64             `json:"gauges"`
+	Histograms map[string]HistogramSnapshot `json:"histograms"`
+}
+
+// formatBound renders a bucket upper bound the way Prometheus does.
+func formatBound(b float64) string {
+	return strconv.FormatFloat(b, 'g', -1, 64)
+}
+
+// sortedFamilies returns the families sorted by name, each with its
+// series keys sorted, under the registry lock.
+func (r *Registry) sortedFamilies() []*family {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	fams := make([]*family, 0, len(r.families))
+	for _, f := range r.families {
+		fams = append(fams, f)
+	}
+	sort.Slice(fams, func(i, j int) bool { return fams[i].name < fams[j].name })
+	return fams
+}
+
+// sortedSeries returns a family's series keys in sorted order.
+func (f *family) sortedSeries() []string {
+	keys := make([]string, 0, len(f.series))
+	for k := range f.series {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// Snapshot copies the current value of every metric. Safe to call
+// concurrently with updates; a nil registry yields empty (non-nil) maps.
+func (r *Registry) Snapshot() Snapshot {
+	snap := Snapshot{
+		Counters:   map[string]uint64{},
+		Gauges:     map[string]int64{},
+		Histograms: map[string]HistogramSnapshot{},
+	}
+	for _, f := range r.sortedFamilies() {
+		for _, key := range f.sortedSeries() {
+			s := f.series[key]
+			full := f.name + key
+			switch f.kind {
+			case kindCounter:
+				snap.Counters[full] = s.c.Value()
+			case kindGauge:
+				snap.Gauges[full] = s.g.Value()
+			case kindHistogram:
+				hs := HistogramSnapshot{Count: s.h.Count(), Sum: s.h.Sum()}
+				cum := uint64(0)
+				for i := range f.bounds {
+					cum += s.h.counts[i].Load()
+					hs.Buckets = append(hs.Buckets, BucketCount{LE: formatBound(f.bounds[i]), Count: cum})
+				}
+				cum += s.h.counts[len(f.bounds)].Load()
+				hs.Buckets = append(hs.Buckets, BucketCount{LE: "+Inf", Count: cum})
+				snap.Histograms[full] = hs
+			}
+		}
+	}
+	return snap
+}
+
+// WriteJSON writes the indented JSON snapshot.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r.Snapshot())
+}
+
+// promLabels renders a label set plus one extra label (for histogram le)
+// in exposition syntax.
+func promLabels(labels []Label, extra ...Label) string {
+	all := append(append([]Label(nil), labels...), extra...)
+	if len(all) == 0 {
+		return ""
+	}
+	sort.SliceStable(all, func(i, j int) bool { return all[i].Key < all[j].Key })
+	parts := make([]string, len(all))
+	for i, l := range all {
+		parts[i] = fmt.Sprintf("%s=%q", l.Key, l.Value)
+	}
+	return "{" + strings.Join(parts, ",") + "}"
+}
+
+// WritePrometheus writes every metric in the Prometheus text exposition
+// format (version 0.0.4): a # TYPE line per family, then one line per
+// series; histograms expand to cumulative _bucket series plus _sum and
+// _count. A nil registry writes nothing.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	for _, f := range r.sortedFamilies() {
+		var typ string
+		switch f.kind {
+		case kindCounter:
+			typ = "counter"
+		case kindGauge:
+			typ = "gauge"
+		case kindHistogram:
+			typ = "histogram"
+		}
+		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", f.name, typ); err != nil {
+			return err
+		}
+		for _, key := range f.sortedSeries() {
+			s := f.series[key]
+			switch f.kind {
+			case kindCounter:
+				if _, err := fmt.Fprintf(w, "%s%s %d\n", f.name, promLabels(s.labels), s.c.Value()); err != nil {
+					return err
+				}
+			case kindGauge:
+				if _, err := fmt.Fprintf(w, "%s%s %d\n", f.name, promLabels(s.labels), s.g.Value()); err != nil {
+					return err
+				}
+			case kindHistogram:
+				cum := uint64(0)
+				for i := range f.bounds {
+					cum += s.h.counts[i].Load()
+					if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n",
+						f.name, promLabels(s.labels, L("le", formatBound(f.bounds[i]))), cum); err != nil {
+						return err
+					}
+				}
+				cum += s.h.counts[len(f.bounds)].Load()
+				if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", f.name, promLabels(s.labels, L("le", "+Inf")), cum); err != nil {
+					return err
+				}
+				if _, err := fmt.Fprintf(w, "%s_sum%s %s\n", f.name, promLabels(s.labels),
+					strconv.FormatFloat(s.h.Sum(), 'g', -1, 64)); err != nil {
+					return err
+				}
+				if _, err := fmt.Fprintf(w, "%s_count%s %d\n", f.name, promLabels(s.labels), s.h.Count()); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// Handler serves the registry over HTTP: /metrics (or any path ending in
+// /metrics) answers in Prometheus text format, every other path answers
+// with the JSON snapshot — so one listener covers both a Prometheus
+// scrape target and a curl-able debug endpoint.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		if strings.HasSuffix(req.URL.Path, "/metrics") {
+			w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+			_ = r.WritePrometheus(w)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		_ = r.WriteJSON(w)
+	})
+}

@@ -1,0 +1,61 @@
+package obs
+
+import "time"
+
+// PhaseTimer traces one run as a sequence of named, non-overlapping
+// phases (encode → conflict graph → allocation → charging for an auction
+// round). Each phase's wall time lands in one series of a shared
+// histogram family, labelled phase="<name>", so exporters render the
+// whole phase model under a single metric name.
+//
+// The nil PhaseTimer (from a nil Registry) is a no-op that never reads
+// the clock, so untimed runs stay byte-identical in behavior and pay
+// nothing.
+type PhaseTimer struct {
+	reg    *Registry
+	metric string
+	bounds []float64
+	phase  string
+	hist   *Histogram
+	start  time.Time
+}
+
+// PhaseTimer returns a timer recording into the named histogram family.
+// bounds nil means DurationBuckets. A nil registry returns the nil
+// (no-op) timer.
+func (r *Registry) PhaseTimer(metric string, bounds []float64) *PhaseTimer {
+	if r == nil {
+		return nil
+	}
+	return &PhaseTimer{reg: r, metric: metric, bounds: bounds}
+}
+
+// Phase ends the current phase (observing its duration) and starts the
+// named one.
+func (t *PhaseTimer) Phase(name string) {
+	if t == nil {
+		return
+	}
+	now := time.Now()
+	t.flush(now)
+	t.phase = name
+	t.hist = t.reg.Histogram(t.metric, t.bounds, L("phase", name))
+	t.start = now
+}
+
+// Stop ends the current phase, if any. The timer can be restarted with
+// Phase afterwards.
+func (t *PhaseTimer) Stop() {
+	if t == nil {
+		return
+	}
+	t.flush(time.Now())
+	t.phase, t.hist = "", nil
+}
+
+func (t *PhaseTimer) flush(now time.Time) {
+	if t.phase == "" {
+		return
+	}
+	t.hist.Observe(now.Sub(t.start).Seconds())
+}

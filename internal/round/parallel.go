@@ -5,114 +5,51 @@ import (
 	"math/rand"
 	"sync"
 
-	"lppa/internal/auction"
 	"lppa/internal/core"
 	"lppa/internal/geo"
 	"lppa/internal/mask"
-	"lppa/internal/ttp"
 )
 
 // Options tunes how a private round executes without touching protocol
 // semantics.
+//
+// Deprecated: Options only parameterizes the deprecated RunPrivateOpts;
+// use Run with WithWorkers / WithoutInterning.
 type Options struct {
 	// Workers bounds the goroutines used for submission encoding and
 	// conflict-graph construction. 0 means one worker per available CPU
 	// (runtime.GOMAXPROCS); 1 pins everything to the calling goroutine.
-	// For a fixed rng seed the round result is identical for every value:
-	// see the determinism note on RunPrivateOpts.
 	Workers int
 	// DisableInterning makes the auctioneer evaluate masked set operations
 	// on the map-based mask.Set representation instead of interned ID
-	// slices (DESIGN.md §5b). Ablation/testing knob: for a fixed seed the
-	// round result is identical either way.
+	// slices (DESIGN.md §5b).
 	DisableInterning bool
 }
 
 // RunPrivateOpts executes the full LPPA protocol like RunPrivate, but with
 // deterministic parallel submission encoding and conflict-graph
-// construction.
+// construction. See WithWorkers for the determinism contract (identical
+// results for every worker count; different stream than the serial path).
 //
-// Determinism: the round rng is consumed serially up front — one draw for
-// the TTP, then one encoding seed per bidder in index order. Each bidder's
-// location and bid submissions are produced from its own seed, so the
-// worker pool can encode bidders in any schedule without perturbing any
-// byte of any submission; the conflict-graph build is bit-identical in
-// parallel by construction; and the seeded allocation order (Algorithm 3's
-// channel shuffles and tie breaks) runs strictly serially on the round rng
-// afterwards, whose state at that point depends only on n. Consequence:
-// results are identical for every Workers value, but differ from
-// RunPrivate for the same seed, because RunPrivate threads one rng through
-// all bidders sequentially. Pick one entry point per experiment.
+// Deprecated: use Run with WithWorkers (and WithoutInterning for the
+// ablation).
 func RunPrivateOpts(params core.Params, ring *mask.KeyRing, points []geo.Point, bids [][]uint64,
 	policy core.DisguisePolicy, rng *rand.Rand, opts Options) (*Result, error) {
-	n := len(points)
-	if n == 0 {
-		return nil, fmt.Errorf("round: no bidders")
-	}
-	if len(bids) != n {
-		return nil, fmt.Errorf("round: %d points, %d bid vectors", n, len(bids))
-	}
-
-	trusted, err := ttp.FromRing(params, ring, rand.New(rand.NewSource(rng.Int63())))
-	if err != nil {
-		return nil, err
-	}
-	var sampler *core.DisguiseSampler
-	if policy.P0 < 1 {
-		if sampler, err = core.NewDisguiseSampler(policy, params.BMax); err != nil {
-			return nil, err
-		}
-	}
-
-	workers := mask.Workers(opts.Workers, n)
-	locs, subs, bytesTotal, err := encodeSubmissions(params, ring, points, bids, sampler, rng, workers)
-	if err != nil {
-		return nil, err
-	}
-
-	auc, err := core.NewAuctioneer(params, locs, subs)
-	if err != nil {
-		return nil, err
-	}
-	auc.SetWorkers(workers)
+	o := []Option{WithWorkers(opts.Workers)}
 	if opts.DisableInterning {
-		auc.DisableInterning()
+		o = append(o, WithoutInterning())
 	}
-	assignments, err := auc.Allocate(rng)
-	if err != nil {
-		return nil, err
-	}
-	results := trusted.ProcessBatch(auc.ChargeRequests(assignments))
-
-	out := &auction.Outcome{
-		Assignments: assignments,
-		Charges:     make([]uint64, len(assignments)),
-		Bidders:     n,
-	}
-	res := &Result{Outcome: out, Auctioneer: auc, SubmissionBytes: bytesTotal}
-	for i, r := range results {
-		switch {
-		case r.Err != nil:
-			res.Violations++
-		case !r.Valid:
-			res.Voided++
-		default:
-			out.Charges[i] = r.Price
-			out.Revenue += r.Price
-			out.SatisfiedBidders++
-		}
-	}
-	return res, nil
+	return Run(params, ring, Input{Points: points, Bids: bids, Policy: policy, Rng: rng}, o...)
 }
 
 // encodeSubmissions produces every bidder's location and bid submission.
 // Encoding seeds are drawn from rng serially in bidder order before any
 // goroutine starts; bidder i's submissions then depend only on seeds[i],
 // so the striped worker pool yields byte-identical results for every
-// worker count. The shared sampler is safe: DisguiseSampler.Sample only
-// reads the precomputed CDF.
+// worker count. Shared samplers (bidders with equal policies) are safe:
+// DisguiseSampler.Sample only reads the precomputed CDF.
 func encodeSubmissions(params core.Params, ring *mask.KeyRing, points []geo.Point, bids [][]uint64,
-	sampler *core.DisguiseSampler, rng *rand.Rand, workers int) ([]*core.LocationSubmission, []*core.BidSubmission, int, error) {
+	samplers []*core.DisguiseSampler, rng *rand.Rand, workers int) ([]*core.LocationSubmission, []*core.BidSubmission, int, error) {
 	n := len(points)
 	seeds := make([]int64, n)
 	for i := range seeds {
@@ -130,7 +67,7 @@ func encodeSubmissions(params core.Params, ring *mask.KeyRing, points []geo.Poin
 	bytesPer := make([]int, n)
 	errs := make([]error, n)
 	encodeOne := func(i int, rngI *rand.Rand) {
-		enc, err := core.NewBidEncoder(params, ring, sampler, rngI)
+		enc, err := core.NewBidEncoder(params, ring, samplers[i], rngI)
 		if err != nil {
 			errs[i] = fmt.Errorf("round: bidder %d encoder: %w", i, err)
 			return

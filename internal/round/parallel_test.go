@@ -92,8 +92,12 @@ func TestEncodeSubmissionsWorkerInvariance(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	samplers := make([]*core.DisguiseSampler, len(points))
+	for i := range samplers {
+		samplers[i] = sampler
+	}
 	encode := func(workers int) ([]*core.LocationSubmission, []*core.BidSubmission, int) {
-		locs, subs, bytes, err := encodeSubmissions(p, ring, points, bids, sampler, rand.New(rand.NewSource(99)), workers)
+		locs, subs, bytes, err := encodeSubmissions(p, ring, points, bids, samplers, rand.New(rand.NewSource(99)), workers)
 		if err != nil {
 			t.Fatal(err)
 		}

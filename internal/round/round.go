@@ -2,10 +2,15 @@
 // the LPPA auctioneer, and the TTP together for the private protocol, and
 // runs the plaintext baseline for comparison. The experiment drivers and
 // examples build on this package.
+//
+// Run is the single entry point; functional options select the execution
+// pipeline (WithWorkers), disguise shape (WithPolicies), charging design
+// (WithInteractiveCharging, WithSecondPrice), and observability
+// (WithObserver). The RunPrivate* functions are deprecated wrappers kept
+// for compatibility; each is bit-identical to the Run call it documents.
 package round
 
 import (
-	"fmt"
 	"math/rand"
 
 	"lppa/internal/auction"
@@ -13,7 +18,6 @@ import (
 	"lppa/internal/core"
 	"lppa/internal/geo"
 	"lppa/internal/mask"
-	"lppa/internal/ttp"
 )
 
 // Result is the outcome of one private round.
@@ -35,181 +39,31 @@ type Result struct {
 	SubmissionBytes int
 }
 
-// RunPrivate executes the full LPPA protocol in-process:
+// RunPrivate executes the full LPPA protocol in-process with one disguise
+// policy for all bidders.
 //
-//  1. The TTP generates the key ring (from seed material via the caller's
-//     ring) and distributes it to bidders.
-//  2. Every bidder builds a masked location submission and an advanced
-//     masked bid submission under its disguise policy.
-//  3. The auctioneer builds the conflict graph and allocates channels over
-//     masked data (Algorithm 3).
-//  4. The TTP adjudicates the winners' charges; voided awards are dropped.
-//
-// points and bids are indexed by bidder; policy applies to all bidders
-// (per-bidder policies are supported through RunPrivateWithPolicies).
+// Deprecated: use Run. RunPrivate(p, ring, pts, bids, policy, rng) is
+// exactly Run(p, ring, Input{pts, bids, policy, rng}).
 func RunPrivate(params core.Params, ring *mask.KeyRing, points []geo.Point, bids [][]uint64,
 	policy core.DisguisePolicy, rng *rand.Rand) (*Result, error) {
-	policies := make([]core.DisguisePolicy, len(points))
-	for i := range policies {
-		policies[i] = policy
-	}
-	return RunPrivateWithPolicies(params, ring, points, bids, policies, rng)
+	return Run(params, ring, Input{Points: points, Bids: bids, Policy: policy, Rng: rng})
 }
 
-// RunPrivateWithPolicies is RunPrivate with a per-bidder disguise policy
-// (the paper lets each user pick its own privacy/performance tradeoff).
+// RunPrivateWithPolicies is RunPrivate with a per-bidder disguise policy.
+//
+// Deprecated: use Run with WithPolicies.
 func RunPrivateWithPolicies(params core.Params, ring *mask.KeyRing, points []geo.Point, bids [][]uint64,
 	policies []core.DisguisePolicy, rng *rand.Rand) (*Result, error) {
-	n := len(points)
-	if n == 0 {
-		return nil, fmt.Errorf("round: no bidders")
-	}
-	if len(bids) != n || len(policies) != n {
-		return nil, fmt.Errorf("round: %d points, %d bid vectors, %d policies", n, len(bids), len(policies))
-	}
-
-	trusted, err := ttp.FromRing(params, ring, rand.New(rand.NewSource(rng.Int63())))
-	if err != nil {
-		return nil, err
-	}
-
-	locs := make([]*core.LocationSubmission, n)
-	subs := make([]*core.BidSubmission, n)
-	bytesTotal := 0
-	for i := 0; i < n; i++ {
-		loc, err := core.NewLocationSubmission(params, ring, points[i])
-		if err != nil {
-			return nil, fmt.Errorf("round: bidder %d location: %w", i, err)
-		}
-		locs[i] = loc
-
-		var sampler *core.DisguiseSampler
-		if policies[i].P0 < 1 {
-			sampler, err = core.NewDisguiseSampler(policies[i], params.BMax)
-			if err != nil {
-				return nil, fmt.Errorf("round: bidder %d disguise: %w", i, err)
-			}
-		}
-		enc, err := core.NewBidEncoder(params, ring, sampler, rng)
-		if err != nil {
-			return nil, fmt.Errorf("round: bidder %d encoder: %w", i, err)
-		}
-		sub, err := enc.Encode(bids[i], rng)
-		if err != nil {
-			return nil, fmt.Errorf("round: bidder %d bids: %w", i, err)
-		}
-		subs[i] = sub
-		bytesTotal += core.SubmissionBytes(sub) + core.LocationBytes(loc)
-	}
-
-	auc, err := core.NewAuctioneer(params, locs, subs)
-	if err != nil {
-		return nil, err
-	}
-	// Batch charging (the paper's section V.C.2): the allocation completes
-	// blindly, then the TTP adjudicates all winners at once. A zero that
-	// won is voided after the fact — the award already consumed the
-	// bidder's row and the channel slot, which is exactly the performance
-	// cost Fig. 5(e)(f) charts. (RunPrivateInteractive implements the
-	// alternative per-award TTP check as an ablation.)
-	assignments, err := auc.Allocate(rng)
-	if err != nil {
-		return nil, err
-	}
-	results := trusted.ProcessBatch(auc.ChargeRequests(assignments))
-
-	out := &auction.Outcome{
-		Assignments: assignments,
-		Charges:     make([]uint64, len(assignments)),
-		Bidders:     n,
-	}
-	res := &Result{Outcome: out, Auctioneer: auc, SubmissionBytes: bytesTotal}
-	for i, r := range results {
-		switch {
-		case r.Err != nil:
-			res.Violations++
-		case !r.Valid:
-			res.Voided++
-		default:
-			out.Charges[i] = r.Price
-			out.Revenue += r.Price
-			out.SatisfiedBidders++
-		}
-	}
-	return res, nil
+	return Run(params, ring, Input{Points: points, Bids: bids, Rng: rng}, WithPolicies(policies))
 }
 
 // RunPrivateInteractive is RunPrivate with an interactive TTP: every
-// prospective award is validity-checked before it stands, so a (possibly
-// disguised) zero that tops a column wastes only that channel in the
-// winner's neighborhood instead of the bidder's whole participation. This
-// trades much more TTP online time (one round trip per award attempt) for
-// auction performance; the ablation benchmarks compare the two designs.
+// prospective award is validity-checked before it stands.
+//
+// Deprecated: use Run with WithInteractiveCharging.
 func RunPrivateInteractive(params core.Params, ring *mask.KeyRing, points []geo.Point, bids [][]uint64,
 	policy core.DisguisePolicy, rng *rand.Rand) (*Result, error) {
-	n := len(points)
-	if n == 0 {
-		return nil, fmt.Errorf("round: no bidders")
-	}
-	if len(bids) != n {
-		return nil, fmt.Errorf("round: %d points, %d bid vectors", n, len(bids))
-	}
-	trusted, err := ttp.FromRing(params, ring, rand.New(rand.NewSource(rng.Int63())))
-	if err != nil {
-		return nil, err
-	}
-	locs := make([]*core.LocationSubmission, n)
-	subs := make([]*core.BidSubmission, n)
-	bytesTotal := 0
-	var sampler *core.DisguiseSampler
-	if policy.P0 < 1 {
-		sampler, err = core.NewDisguiseSampler(policy, params.BMax)
-		if err != nil {
-			return nil, err
-		}
-	}
-	for i := 0; i < n; i++ {
-		if locs[i], err = core.NewLocationSubmission(params, ring, points[i]); err != nil {
-			return nil, fmt.Errorf("round: bidder %d location: %w", i, err)
-		}
-		enc, err := core.NewBidEncoder(params, ring, sampler, rng)
-		if err != nil {
-			return nil, err
-		}
-		if subs[i], err = enc.Encode(bids[i], rng); err != nil {
-			return nil, fmt.Errorf("round: bidder %d bids: %w", i, err)
-		}
-		bytesTotal += core.SubmissionBytes(subs[i]) + core.LocationBytes(locs[i])
-	}
-	auc, err := core.NewAuctioneer(params, locs, subs)
-	if err != nil {
-		return nil, err
-	}
-	validity := func(i, r int) bool { return trusted.ValidateAward(auc.SealedBid(i, r)) }
-	assignments, voided, err := auc.AllocateWithValidity(validity, rng)
-	if err != nil {
-		return nil, err
-	}
-	results := trusted.ProcessBatch(auc.ChargeRequests(assignments))
-	out := &auction.Outcome{
-		Assignments: assignments,
-		Charges:     make([]uint64, len(assignments)),
-		Bidders:     n,
-	}
-	res := &Result{Outcome: out, Auctioneer: auc, SubmissionBytes: bytesTotal, Voided: len(voided)}
-	for i, r := range results {
-		switch {
-		case r.Err != nil:
-			res.Violations++
-		case !r.Valid:
-			res.Voided++
-		default:
-			out.Charges[i] = r.Price
-			out.Revenue += r.Price
-			out.SatisfiedBidders++
-		}
-	}
-	return res, nil
+	return Run(params, ring, Input{Points: points, Bids: bids, Policy: policy, Rng: rng}, WithInteractiveCharging())
 }
 
 // RunPlainBaseline runs the non-private reference auction on the same

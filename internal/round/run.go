@@ -1,0 +1,405 @@
+package round
+
+import (
+	"fmt"
+	"math/rand"
+
+	"lppa/internal/auction"
+	"lppa/internal/core"
+	"lppa/internal/geo"
+	"lppa/internal/mask"
+	"lppa/internal/obs"
+	"lppa/internal/ttp"
+)
+
+// Input bundles one round's bidder-side inputs: where the bidders are,
+// what they bid, how they disguise, and the randomness driving the round.
+type Input struct {
+	// Points and Bids are indexed by bidder.
+	Points []geo.Point
+	Bids   [][]uint64
+	// Policy is the disguise policy applied to every bidder. WithPolicies
+	// overrides it per bidder.
+	Policy core.DisguisePolicy
+	// Rng drives every random choice of the round: the TTP's key material
+	// seed, bid encoding, and the allocator's channel shuffles and tie
+	// breaks. Fixing the seed fixes the round (see WithWorkers for how
+	// parallel encoding keeps that true).
+	Rng *rand.Rand
+}
+
+// Option tunes how Run executes. Options compose; conflicting charging
+// modes are rejected by Run.
+type Option func(*runConfig) error
+
+type runConfig struct {
+	workers     int
+	seeded      bool
+	policies    []core.DisguisePolicy
+	interactive bool
+	secondPrice bool
+	noIntern    bool
+	reg         *obs.Registry
+}
+
+// WithWorkers bounds the goroutines used for submission encoding and
+// conflict-graph construction. n == 0 means one worker per available CPU;
+// n == 1 pins the seeded pipeline to the calling goroutine.
+//
+// Passing this option — with any n — switches Run onto the seeded
+// encoding pipeline: the round rng is consumed serially up front (one TTP
+// draw, then one encoding seed per bidder in index order), so results are
+// identical for every n but differ from the optionless serial path at the
+// same seed, which threads one rng through all bidders sequentially. Pick
+// one shape per experiment.
+func WithWorkers(n int) Option {
+	return func(c *runConfig) error {
+		if n < 0 {
+			return fmt.Errorf("round: negative worker count %d", n)
+		}
+		c.workers = n
+		c.seeded = true
+		return nil
+	}
+}
+
+// WithPolicies gives each bidder its own disguise policy (the paper lets
+// every user pick its own privacy/performance tradeoff), overriding
+// Input.Policy. The slice must have one entry per bidder.
+func WithPolicies(policies []core.DisguisePolicy) Option {
+	return func(c *runConfig) error {
+		c.policies = policies
+		return nil
+	}
+}
+
+// WithInteractiveCharging switches the TTP to the interactive design:
+// every prospective award is validity-checked before it stands, so a
+// (possibly disguised) zero that tops a column wastes only that channel in
+// the winner's neighborhood instead of the bidder's whole participation.
+// Trades much more TTP online time for auction performance.
+func WithInteractiveCharging() Option {
+	return func(c *runConfig) error {
+		c.interactive = true
+		return nil
+	}
+}
+
+// WithSecondPrice switches charging to second price: the auctioneer
+// additionally forwards each award-time runner-up's sealed bid and the TTP
+// charges the winner that value.
+func WithSecondPrice() Option {
+	return func(c *runConfig) error {
+		c.secondPrice = true
+		return nil
+	}
+}
+
+// WithObserver records the round into reg: per-phase wall time under
+// lppa_round_phase_seconds, round totals (winners, revenue, voided,
+// violations, submission bytes, masked digests), and the auctioneer's
+// comparison/interning counters (core.Auctioneer.SetObserver). A nil
+// registry is the same as omitting the option; results are bit-identical
+// either way.
+func WithObserver(reg *obs.Registry) Option {
+	return func(c *runConfig) error {
+		c.reg = reg
+		return nil
+	}
+}
+
+// WithoutInterning makes the auctioneer evaluate masked set operations on
+// the map-based mask.Set representation instead of interned ID slices
+// (DESIGN.md §5b). Ablation/testing knob: results are identical either
+// way.
+func WithoutInterning() Option {
+	return func(c *runConfig) error {
+		c.noIntern = true
+		return nil
+	}
+}
+
+// roundObs caches the round-level metric handles for one Run.
+type roundObs struct {
+	rounds, winners, revenue, voided, violations *obs.Counter
+	bytes, digests                               *obs.Counter
+	workers                                      *obs.Gauge
+}
+
+func newRoundObs(reg *obs.Registry) *roundObs {
+	if reg == nil {
+		return nil
+	}
+	return &roundObs{
+		rounds:     reg.Counter("lppa_rounds_total"),
+		winners:    reg.Counter("lppa_round_winners_total"),
+		revenue:    reg.Counter("lppa_round_revenue_total"),
+		voided:     reg.Counter("lppa_round_voided_total"),
+		violations: reg.Counter("lppa_round_violations_total"),
+		bytes:      reg.Counter("lppa_round_submission_bytes_total"),
+		digests:    reg.Counter("lppa_mask_digests_total"),
+		workers:    reg.Gauge("lppa_round_workers"),
+	}
+}
+
+// note folds one finished round into the registry.
+func (o *roundObs) note(res *Result, workers, bytesTotal, digests int) {
+	if o == nil {
+		return
+	}
+	o.rounds.Inc()
+	o.winners.Add(uint64(res.Outcome.SatisfiedBidders))
+	o.revenue.Add(res.Outcome.Revenue)
+	o.voided.Add(uint64(res.Voided))
+	o.violations.Add(uint64(res.Violations))
+	o.bytes.Add(uint64(bytesTotal))
+	o.digests.Add(uint64(digests))
+	o.workers.Set(int64(workers))
+}
+
+// countDigests tallies how many masked digests one population submitted
+// (location families and covers plus per-channel bid families and covers).
+// Observed rounds only; O(n·k) map-len reads.
+func countDigests(locs []*core.LocationSubmission, subs []*core.BidSubmission) int {
+	total := 0
+	for _, l := range locs {
+		total += l.XFamily.Len() + l.YFamily.Len() + l.XRange.Len() + l.YRange.Len()
+	}
+	for _, s := range subs {
+		for r := range s.Channels {
+			cb := &s.Channels[r]
+			total += cb.Family.Len() + cb.Range.Len()
+		}
+	}
+	return total
+}
+
+// buildSamplers returns one disguise sampler per bidder. Bidders with the
+// same policy share a sampler (Sample only reads the precomputed CDF);
+// policies with P0 ≥ 1 never disguise and get nil.
+func buildSamplers(policies []core.DisguisePolicy, bmax uint64) ([]*core.DisguiseSampler, error) {
+	out := make([]*core.DisguiseSampler, len(policies))
+	cache := map[core.DisguisePolicy]*core.DisguiseSampler{}
+	for i, p := range policies {
+		if p.P0 >= 1 {
+			continue
+		}
+		s, ok := cache[p]
+		if !ok {
+			var err error
+			if s, err = core.NewDisguiseSampler(p, bmax); err != nil {
+				return nil, fmt.Errorf("round: bidder %d disguise: %w", i, err)
+			}
+			cache[p] = s
+		}
+		out[i] = s
+	}
+	return out, nil
+}
+
+// encodeSerial produces every bidder's submissions on the calling
+// goroutine, threading the round rng through bidders in index order — the
+// legacy RunPrivate randomness shape, kept bit-exact for the deprecated
+// wrappers.
+func encodeSerial(params core.Params, ring *mask.KeyRing, points []geo.Point, bids [][]uint64,
+	samplers []*core.DisguiseSampler, rng *rand.Rand) ([]*core.LocationSubmission, []*core.BidSubmission, int, error) {
+	n := len(points)
+	locs := make([]*core.LocationSubmission, n)
+	subs := make([]*core.BidSubmission, n)
+	bytesTotal := 0
+	for i := 0; i < n; i++ {
+		loc, err := core.NewLocationSubmission(params, ring, points[i])
+		if err != nil {
+			return nil, nil, 0, fmt.Errorf("round: bidder %d location: %w", i, err)
+		}
+		locs[i] = loc
+		enc, err := core.NewBidEncoder(params, ring, samplers[i], rng)
+		if err != nil {
+			return nil, nil, 0, fmt.Errorf("round: bidder %d encoder: %w", i, err)
+		}
+		sub, err := enc.Encode(bids[i], rng)
+		if err != nil {
+			return nil, nil, 0, fmt.Errorf("round: bidder %d bids: %w", i, err)
+		}
+		subs[i] = sub
+		bytesTotal += core.SubmissionBytes(sub) + core.LocationBytes(loc)
+	}
+	return locs, subs, bytesTotal, nil
+}
+
+// tallyCharges folds the TTP's batch verdicts into the outcome: valid
+// awards are charged and satisfied, invalid ones voided, errors counted as
+// protocol violations.
+func tallyCharges(res *Result, results []ttp.ChargeResult) {
+	out := res.Outcome
+	for i, r := range results {
+		switch {
+		case r.Err != nil:
+			res.Violations++
+		case !r.Valid:
+			res.Voided++
+		default:
+			out.Charges[i] = r.Price
+			out.Revenue += r.Price
+			out.SatisfiedBidders++
+		}
+	}
+}
+
+// Run executes one complete private LPPA round:
+//
+//  1. The TTP derives its key material from the caller's ring.
+//  2. Every bidder builds a masked location submission and an advanced
+//     masked bid submission under its disguise policy.
+//  3. The auctioneer builds the conflict graph and allocates channels over
+//     masked data (Algorithm 3).
+//  4. The TTP adjudicates the winners' charges; voided awards are dropped.
+//
+// Options select the execution and charging shape: WithWorkers for the
+// deterministic parallel pipeline, WithPolicies for per-bidder disguise,
+// WithInteractiveCharging or WithSecondPrice (mutually exclusive) for the
+// charging design, WithObserver for metrics, WithoutInterning for the
+// representation ablation. With no options Run is exactly the legacy
+// serial round (bit-identical to the deprecated RunPrivate for the same
+// seed).
+func Run(params core.Params, ring *mask.KeyRing, in Input, opts ...Option) (*Result, error) {
+	var cfg runConfig
+	for _, opt := range opts {
+		if err := opt(&cfg); err != nil {
+			return nil, err
+		}
+	}
+	if cfg.interactive && cfg.secondPrice {
+		return nil, fmt.Errorf("round: interactive charging and second-price charging are mutually exclusive")
+	}
+	n := len(in.Points)
+	if n == 0 {
+		return nil, fmt.Errorf("round: no bidders")
+	}
+	if len(in.Bids) != n {
+		return nil, fmt.Errorf("round: %d points, %d bid vectors", n, len(in.Bids))
+	}
+	if in.Rng == nil {
+		return nil, fmt.Errorf("round: nil rng")
+	}
+	policies := cfg.policies
+	if policies == nil {
+		policies = make([]core.DisguisePolicy, n)
+		for i := range policies {
+			policies[i] = in.Policy
+		}
+	} else if len(policies) != n {
+		return nil, fmt.Errorf("round: %d points, %d policies", n, len(policies))
+	}
+
+	timer := cfg.reg.PhaseTimer("lppa_round_phase_seconds", nil)
+	ro := newRoundObs(cfg.reg)
+	rng := in.Rng
+
+	trusted, err := ttp.FromRing(params, ring, rand.New(rand.NewSource(rng.Int63())))
+	if err != nil {
+		return nil, err
+	}
+	samplers, err := buildSamplers(policies, params.BMax)
+	if err != nil {
+		return nil, err
+	}
+
+	timer.Phase("encode")
+	var (
+		locs       []*core.LocationSubmission
+		subs       []*core.BidSubmission
+		bytesTotal int
+	)
+	workers := 1
+	if cfg.seeded {
+		workers = mask.Workers(cfg.workers, n)
+		locs, subs, bytesTotal, err = encodeSubmissions(params, ring, in.Points, in.Bids, samplers, rng, workers)
+	} else {
+		locs, subs, bytesTotal, err = encodeSerial(params, ring, in.Points, in.Bids, samplers, rng)
+	}
+	if err != nil {
+		timer.Stop()
+		return nil, err
+	}
+
+	auc, err := core.NewAuctioneer(params, locs, subs)
+	if err != nil {
+		timer.Stop()
+		return nil, err
+	}
+	auc.SetWorkers(workers)
+	if cfg.noIntern {
+		auc.DisableInterning()
+	}
+	auc.SetObserver(cfg.reg)
+
+	// The graph build is rng-free, so forcing it here (instead of letting
+	// the allocator build it lazily) changes nothing except giving the
+	// phase its own wall-time series.
+	timer.Phase("conflict_graph")
+	auc.ConflictGraph()
+
+	timer.Phase("allocate")
+	res := &Result{Auctioneer: auc, SubmissionBytes: bytesTotal}
+	switch {
+	case cfg.secondPrice:
+		awards, err := auc.AllocateAwards(rng)
+		if err != nil {
+			timer.Stop()
+			return nil, err
+		}
+		out := &auction.Outcome{
+			Assignments: make([]auction.Assignment, len(awards)),
+			Charges:     make([]uint64, len(awards)),
+			Bidders:     n,
+		}
+		for i, aw := range awards {
+			out.Assignments[i] = aw.Assignment
+		}
+		res.Outcome = out
+		timer.Phase("charge")
+		tallyCharges(res, trusted.ProcessBatch(auc.ChargeRequestsSecondPrice(awards)))
+	case cfg.interactive:
+		// The validity oracle interleaves TTP round trips with the
+		// allocation sweep, so their cost lands in the allocate phase —
+		// that is the interactive design's point.
+		validity := func(i, r int) bool { return trusted.ValidateAward(auc.SealedBid(i, r)) }
+		assignments, voided, err := auc.AllocateWithValidity(validity, rng)
+		if err != nil {
+			timer.Stop()
+			return nil, err
+		}
+		res.Outcome = &auction.Outcome{
+			Assignments: assignments,
+			Charges:     make([]uint64, len(assignments)),
+			Bidders:     n,
+		}
+		res.Voided = len(voided)
+		timer.Phase("charge")
+		tallyCharges(res, trusted.ProcessBatch(auc.ChargeRequests(assignments)))
+	default:
+		// Batch charging (the paper's section V.C.2): the allocation
+		// completes blindly, then the TTP adjudicates all winners at once.
+		// A zero that won is voided after the fact — the award already
+		// consumed the bidder's row and the channel slot, which is exactly
+		// the performance cost Fig. 5(e)(f) charts.
+		assignments, err := auc.Allocate(rng)
+		if err != nil {
+			timer.Stop()
+			return nil, err
+		}
+		res.Outcome = &auction.Outcome{
+			Assignments: assignments,
+			Charges:     make([]uint64, len(assignments)),
+			Bidders:     n,
+		}
+		timer.Phase("charge")
+		tallyCharges(res, trusted.ProcessBatch(auc.ChargeRequests(assignments)))
+	}
+	timer.Stop()
+	if ro != nil {
+		ro.note(res, workers, bytesTotal, countDigests(locs, subs))
+	}
+	return res, nil
+}

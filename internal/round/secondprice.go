@@ -1,14 +1,11 @@
 package round
 
 import (
-	"fmt"
 	"math/rand"
 
-	"lppa/internal/auction"
 	"lppa/internal/core"
 	"lppa/internal/geo"
 	"lppa/internal/mask"
-	"lppa/internal/ttp"
 )
 
 // RunPrivateSecondPrice executes a full LPPA round with second-price
@@ -18,71 +15,9 @@ import (
 // auctioneer learns nothing extra (it already knew the masked ranking);
 // the winner's charge no longer reveals its own bid, a small privacy
 // bonus over first price.
+//
+// Deprecated: use Run with WithSecondPrice.
 func RunPrivateSecondPrice(params core.Params, ring *mask.KeyRing, points []geo.Point, bids [][]uint64,
 	policy core.DisguisePolicy, rng *rand.Rand) (*Result, error) {
-	n := len(points)
-	if n == 0 {
-		return nil, fmt.Errorf("round: no bidders")
-	}
-	if len(bids) != n {
-		return nil, fmt.Errorf("round: %d points, %d bid vectors", n, len(bids))
-	}
-	trusted, err := ttp.FromRing(params, ring, rand.New(rand.NewSource(rng.Int63())))
-	if err != nil {
-		return nil, err
-	}
-	var sampler *core.DisguiseSampler
-	if policy.P0 < 1 {
-		if sampler, err = core.NewDisguiseSampler(policy, params.BMax); err != nil {
-			return nil, err
-		}
-	}
-	locs := make([]*core.LocationSubmission, n)
-	subs := make([]*core.BidSubmission, n)
-	bytesTotal := 0
-	for i := 0; i < n; i++ {
-		if locs[i], err = core.NewLocationSubmission(params, ring, points[i]); err != nil {
-			return nil, fmt.Errorf("round: bidder %d location: %w", i, err)
-		}
-		enc, err := core.NewBidEncoder(params, ring, sampler, rng)
-		if err != nil {
-			return nil, err
-		}
-		if subs[i], err = enc.Encode(bids[i], rng); err != nil {
-			return nil, fmt.Errorf("round: bidder %d bids: %w", i, err)
-		}
-		bytesTotal += core.SubmissionBytes(subs[i]) + core.LocationBytes(locs[i])
-	}
-	auc, err := core.NewAuctioneer(params, locs, subs)
-	if err != nil {
-		return nil, err
-	}
-	awards, err := auc.AllocateAwards(rng)
-	if err != nil {
-		return nil, err
-	}
-	results := trusted.ProcessBatch(auc.ChargeRequestsSecondPrice(awards))
-
-	out := &auction.Outcome{
-		Assignments: make([]auction.Assignment, len(awards)),
-		Charges:     make([]uint64, len(awards)),
-		Bidders:     n,
-	}
-	for i, aw := range awards {
-		out.Assignments[i] = aw.Assignment
-	}
-	res := &Result{Outcome: out, Auctioneer: auc, SubmissionBytes: bytesTotal}
-	for i, r := range results {
-		switch {
-		case r.Err != nil:
-			res.Violations++
-		case !r.Valid:
-			res.Voided++
-		default:
-			out.Charges[i] = r.Price
-			out.Revenue += r.Price
-			out.SatisfiedBidders++
-		}
-	}
-	return res, nil
+	return Run(params, ring, Input{Points: points, Bids: bids, Policy: policy, Rng: rng}, WithSecondPrice())
 }

@@ -10,6 +10,7 @@ import (
 	"lppa/internal/dataset"
 	"lppa/internal/geo"
 	"lppa/internal/mask"
+	"lppa/internal/obs"
 	"lppa/internal/privacy"
 	"lppa/internal/round"
 	"lppa/internal/stats"
@@ -36,22 +37,27 @@ type Fig5Config struct {
 	// and reports mean ± 95 % CI (1 when zero).
 	Trials int
 	// Workers > 1 runs the private rounds through the deterministic
-	// parallel pipeline (round.RunPrivateOpts): concurrent submission
+	// parallel pipeline (round.Run with WithWorkers): concurrent submission
 	// encoding and conflict-graph construction, identical results for any
 	// worker count. 0 or 1 keeps the legacy serial driver, whose rng
 	// consumption order (and hence exact tables) predates the parallel
 	// path.
 	Workers int
+	// Metrics, when non-nil, records every private round the experiment
+	// runs (phase timings, comparison counters, round totals). Results are
+	// bit-identical with or without it.
+	Metrics *obs.Registry
 }
 
 // runPrivate dispatches one private round through the serial or parallel
-// driver according to cfg.Workers.
+// pipeline of round.Run according to cfg.Workers.
 func (cfg Fig5Config) runPrivate(params core.Params, ring *mask.KeyRing, pts []geo.Point, bids [][]uint64,
 	policy core.DisguisePolicy, rng *rand.Rand) (*round.Result, error) {
+	opts := []round.Option{round.WithObserver(cfg.Metrics)}
 	if cfg.Workers > 1 {
-		return round.RunPrivateOpts(params, ring, pts, bids, policy, rng, round.Options{Workers: cfg.Workers})
+		opts = append(opts, round.WithWorkers(cfg.Workers))
 	}
-	return round.RunPrivate(params, ring, pts, bids, policy, rng)
+	return round.Run(params, ring, round.Input{Points: pts, Bids: bids, Policy: policy, Rng: rng}, opts...)
 }
 
 // DefaultFig5Config mirrors the paper's setup in Area 3.

@@ -1,6 +1,7 @@
 package transport
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"log/slog"
@@ -10,6 +11,7 @@ import (
 	"time"
 
 	"lppa/internal/core"
+	"lppa/internal/obs"
 )
 
 // DefaultIdleTimeout bounds each network read/write on server-side
@@ -32,6 +34,11 @@ type AuctioneerServer struct {
 	rng     *rand.Rand
 	// secondPrice switches charging to the clearing-price rule.
 	secondPrice bool
+	// idleTimeout bounds each read/write on accepted connections
+	// (DefaultIdleTimeout when zero at construction).
+	idleTimeout time.Duration
+	reg         *obs.Registry
+	ob          *netObs
 
 	wg sync.WaitGroup
 
@@ -52,36 +59,40 @@ type RoundOutcome struct {
 }
 
 // NewAuctioneerServer starts the auctioneer for one round of exactly
-// bidders participants with first-price charging.
+// bidders participants with first-price charging and default
+// configuration.
 func NewAuctioneerServer(params core.Params, bidders int, ttpAddr string, ln net.Listener, seed int64, log *slog.Logger) (*AuctioneerServer, error) {
-	return newAuctioneerServer(params, bidders, ttpAddr, ln, seed, log, false)
+	return NewAuctioneerServerWithConfig(params, bidders, ttpAddr, ln, seed, Config{Logger: log})
 }
 
 // NewSecondPriceAuctioneerServer is NewAuctioneerServer with clearing-price
 // (second-price) charging: the TTP unblinds each award-time runner-up's
 // sealed bid as the charge.
 func NewSecondPriceAuctioneerServer(params core.Params, bidders int, ttpAddr string, ln net.Listener, seed int64, log *slog.Logger) (*AuctioneerServer, error) {
-	return newAuctioneerServer(params, bidders, ttpAddr, ln, seed, log, true)
+	return NewAuctioneerServerWithConfig(params, bidders, ttpAddr, ln, seed, Config{Logger: log, SecondPrice: true})
 }
 
-func newAuctioneerServer(params core.Params, bidders int, ttpAddr string, ln net.Listener, seed int64, log *slog.Logger, secondPrice bool) (*AuctioneerServer, error) {
+// NewAuctioneerServerWithConfig is NewAuctioneerServer with explicit
+// operational configuration (idle timeout, logger, metrics, charging
+// rule).
+func NewAuctioneerServerWithConfig(params core.Params, bidders int, ttpAddr string, ln net.Listener, seed int64, cfg Config) (*AuctioneerServer, error) {
 	if err := params.Validate(); err != nil {
 		return nil, err
 	}
 	if bidders < 1 {
 		return nil, fmt.Errorf("transport: need at least one bidder")
 	}
-	if log == nil {
-		log = slog.Default()
-	}
 	s := &AuctioneerServer{
 		params:      params,
 		bidders:     bidders,
 		ttpAddr:     ttpAddr,
 		ln:          ln,
-		log:         log,
+		log:         cfg.logger(),
 		rng:         rand.New(rand.NewSource(seed)),
-		secondPrice: secondPrice,
+		secondPrice: cfg.SecondPrice,
+		idleTimeout: cfg.idleTimeout(),
+		reg:         cfg.Metrics,
+		ob:          newNetObs(cfg.Metrics, "auctioneer"),
 		subs:        make(map[int]Submission, bidders),
 		conns:       make(map[int]*Conn, bidders),
 	}
@@ -95,12 +106,18 @@ func (s *AuctioneerServer) Addr() net.Addr { return s.ln.Addr() }
 
 // Close shuts the listener and waits for handlers.
 func (s *AuctioneerServer) Close() error {
-	s.mu.Lock()
-	s.closed = true
-	s.mu.Unlock()
-	err := s.ln.Close()
-	s.wg.Wait()
-	return err
+	return s.Shutdown(context.Background())
+}
+
+// Shutdown stops accepting, closes the listener, and waits for in-flight
+// handlers to drain, bounded by ctx. On ctx expiry the handlers keep
+// draining in the background and ctx.Err() is returned.
+func (s *AuctioneerServer) Shutdown(ctx context.Context) error {
+	return shutdownServer(ctx, func() {
+		s.mu.Lock()
+		s.closed = true
+		s.mu.Unlock()
+	}, s.ln, &s.wg)
 }
 
 // Wait blocks until the round completes and returns the outcome.
@@ -129,7 +146,7 @@ func (s *AuctioneerServer) acceptLoop() {
 		handlers.Add(1)
 		go func() {
 			defer handlers.Done()
-			s.receiveSubmission(NewConnTimeout(conn, DefaultIdleTimeout))
+			s.receiveSubmission(NewConnTimeout(s.ob.accept(conn), s.idleTimeout))
 		}()
 	}
 	// Wait for all submission handlers, then run the round and answer
@@ -150,11 +167,19 @@ func (s *AuctioneerServer) acceptLoop() {
 }
 
 func (s *AuctioneerServer) receiveSubmission(c *Conn) {
+	var start time.Time
+	if s.ob != nil {
+		start = time.Now()
+	}
 	var sub Submission
 	if err := c.Expect(KindSubmission, &sub); err != nil {
+		s.ob.noteErr(err)
 		s.log.Error("auctioneer recv submission", "err", err)
 		c.Close()
 		return
+	}
+	if s.ob != nil {
+		s.ob.subLat.ObserveDuration(time.Since(start))
 	}
 	s.mu.Lock()
 	reject := ""
@@ -188,6 +213,12 @@ func (s *AuctioneerServer) runRound() error {
 	if err != nil {
 		return err
 	}
+	auc.SetObserver(s.reg)
+	timer := s.reg.PhaseTimer("lppa_round_phase_seconds", nil)
+	defer timer.Stop()
+	timer.Phase("conflict_graph")
+	auc.ConflictGraph()
+	timer.Phase("allocate")
 	var reqs []core.ChargeRequest
 	if s.secondPrice {
 		awards, err := auc.AllocateAwards(s.rng)
@@ -202,6 +233,7 @@ func (s *AuctioneerServer) runRound() error {
 		}
 		reqs = auc.ChargeRequests(assignments)
 	}
+	timer.Phase("charge")
 	wireResults, err := SubmitCharges(s.ttpAddr, reqs)
 	if err != nil {
 		return fmt.Errorf("transport: settle with ttp: %w", err)

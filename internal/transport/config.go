@@ -1,0 +1,151 @@
+package transport
+
+import (
+	"context"
+	"errors"
+	"io"
+	"log/slog"
+	"net"
+	"sync"
+	"time"
+
+	"lppa/internal/obs"
+)
+
+// Config carries the operational knobs shared by TTPServer and
+// AuctioneerServer. The zero value is a working default: DefaultIdleTimeout,
+// slog.Default(), no metrics, first-price charging.
+type Config struct {
+	// IdleTimeout bounds each read/write on accepted connections; zero
+	// means DefaultIdleTimeout.
+	IdleTimeout time.Duration
+	// Logger receives server-side errors; nil means slog.Default().
+	Logger *slog.Logger
+	// Metrics, when non-nil, records connections accepted, wire bytes
+	// in/out, per-submission service latency, timeout drops, and — on the
+	// auctioneer — round phase timings plus the core comparison counters.
+	// Nil disables all instrumentation at zero cost.
+	Metrics *obs.Registry
+	// SecondPrice switches the auctioneer to clearing-price charging.
+	// Ignored by the TTP server.
+	SecondPrice bool
+}
+
+func (c Config) idleTimeout() time.Duration {
+	if c.IdleTimeout <= 0 {
+		return DefaultIdleTimeout
+	}
+	return c.IdleTimeout
+}
+
+func (c Config) logger() *slog.Logger {
+	if c.Logger == nil {
+		return slog.Default()
+	}
+	return c.Logger
+}
+
+// shutdownServer closes the listener and waits for the server's handlers,
+// bounded by ctx. The listener close both stops new accepts and unblocks
+// the accept loop; handlers in flight finish their current exchange. On
+// ctx expiry the wait is abandoned (the goroutines drain in the
+// background) and ctx.Err() is returned.
+func shutdownServer(ctx context.Context, markClosed func(), ln net.Listener, wg *sync.WaitGroup) error {
+	markClosed()
+	err := ln.Close()
+	done := make(chan struct{})
+	go func() {
+		wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return err
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// netObs caches one server's transport metric handles, labelled by role
+// (ttp or auctioneer). Nil — the unobserved default — makes every method
+// a no-op and leaves connections unwrapped.
+type netObs struct {
+	conns    *obs.Counter
+	bytesIn  *obs.Counter
+	bytesOut *obs.Counter
+	subLat   *obs.Histogram
+	timeouts *obs.Counter
+}
+
+func newNetObs(reg *obs.Registry, role string) *netObs {
+	if reg == nil {
+		return nil
+	}
+	l := obs.L("role", role)
+	return &netObs{
+		conns:    reg.Counter("lppa_transport_conns_accepted_total", l),
+		bytesIn:  reg.Counter("lppa_transport_bytes_read_total", l),
+		bytesOut: reg.Counter("lppa_transport_bytes_written_total", l),
+		subLat:   reg.Histogram("lppa_transport_submission_seconds", nil, l),
+		timeouts: reg.Counter("lppa_transport_timeouts_total", l),
+	}
+}
+
+// accept tallies one accepted connection and returns the stream to hand to
+// the Conn wrapper — counted when observed, untouched otherwise.
+func (o *netObs) accept(conn net.Conn) io.ReadWriteCloser {
+	if o == nil {
+		return conn
+	}
+	o.conns.Inc()
+	return &countingStream{rw: conn, in: o.bytesIn, out: o.bytesOut}
+}
+
+// noteErr tallies a handler error that was a network timeout (an idle peer
+// dropped by the per-operation deadline).
+func (o *netObs) noteErr(err error) {
+	if o == nil || err == nil {
+		return
+	}
+	var ne net.Error
+	if errors.As(err, &ne) && ne.Timeout() {
+		o.timeouts.Inc()
+	}
+}
+
+// countingStream tallies wire bytes through an accepted stream. It
+// implements the deadliner surface by forwarding to the underlying stream
+// when supported, so the Conn wrapper's per-operation timeouts keep
+// working through the wrap.
+type countingStream struct {
+	rw      io.ReadWriteCloser
+	in, out *obs.Counter
+}
+
+func (c *countingStream) Read(p []byte) (int, error) {
+	n, err := c.rw.Read(p)
+	c.in.Add(uint64(n))
+	return n, err
+}
+
+func (c *countingStream) Write(p []byte) (int, error) {
+	n, err := c.rw.Write(p)
+	c.out.Add(uint64(n))
+	return n, err
+}
+
+func (c *countingStream) Close() error { return c.rw.Close() }
+
+func (c *countingStream) SetReadDeadline(t time.Time) error {
+	if d, ok := c.rw.(deadliner); ok {
+		return d.SetReadDeadline(t)
+	}
+	return nil
+}
+
+func (c *countingStream) SetWriteDeadline(t time.Time) error {
+	if d, ok := c.rw.(deadliner); ok {
+		return d.SetWriteDeadline(t)
+	}
+	return nil
+}

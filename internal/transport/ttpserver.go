@@ -1,6 +1,7 @@
 package transport
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"log/slog"
@@ -27,16 +28,23 @@ type TTPServer struct {
 	// IdleTimeout bounds each read/write on accepted connections
 	// (DefaultIdleTimeout when zero at construction).
 	idleTimeout time.Duration
+	ob          *netObs
 
 	wg     sync.WaitGroup
 	mu     sync.Mutex
 	closed bool
 }
 
-// NewTTPServer creates the TTP party and starts serving on ln. The key
-// ring is derived from seed for reproducible experiments; production
-// deployments pass a random seed.
+// NewTTPServer creates the TTP party and starts serving on ln with default
+// configuration. The key ring is derived from seed for reproducible
+// experiments; production deployments pass a random seed.
 func NewTTPServer(params core.Params, seed []byte, rd, cr uint64, ln net.Listener, log *slog.Logger) (*TTPServer, error) {
+	return NewTTPServerWithConfig(params, seed, rd, cr, ln, Config{Logger: log})
+}
+
+// NewTTPServerWithConfig is NewTTPServer with explicit operational
+// configuration (idle timeout, logger, metrics).
+func NewTTPServerWithConfig(params core.Params, seed []byte, rd, cr uint64, ln net.Listener, cfg Config) (*TTPServer, error) {
 	ring, err := mask.DeriveKeyRing(seed, params.Channels, rd, cr)
 	if err != nil {
 		return nil, fmt.Errorf("transport: ttp key ring: %w", err)
@@ -45,10 +53,15 @@ func NewTTPServer(params core.Params, seed []byte, rd, cr uint64, ln net.Listene
 	if err != nil {
 		return nil, err
 	}
-	if log == nil {
-		log = slog.Default()
+	s := &TTPServer{
+		params:      params,
+		ring:        ring,
+		ttp:         trusted,
+		ln:          ln,
+		log:         cfg.logger(),
+		idleTimeout: cfg.idleTimeout(),
+		ob:          newNetObs(cfg.Metrics, "ttp"),
 	}
-	s := &TTPServer{params: params, ring: ring, ttp: trusted, ln: ln, log: log, idleTimeout: DefaultIdleTimeout}
 	s.wg.Add(1)
 	go s.acceptLoop()
 	return s, nil
@@ -59,12 +72,18 @@ func (s *TTPServer) Addr() net.Addr { return s.ln.Addr() }
 
 // Close stops the server and waits for connection handlers to finish.
 func (s *TTPServer) Close() error {
-	s.mu.Lock()
-	s.closed = true
-	s.mu.Unlock()
-	err := s.ln.Close()
-	s.wg.Wait()
-	return err
+	return s.Shutdown(context.Background())
+}
+
+// Shutdown stops accepting, closes the listener, and waits for in-flight
+// connection handlers to drain, bounded by ctx. On ctx expiry the handlers
+// keep draining in the background and ctx.Err() is returned.
+func (s *TTPServer) Shutdown(ctx context.Context) error {
+	return shutdownServer(ctx, func() {
+		s.mu.Lock()
+		s.closed = true
+		s.mu.Unlock()
+	}, s.ln, &s.wg)
 }
 
 func (s *TTPServer) acceptLoop() {
@@ -83,7 +102,7 @@ func (s *TTPServer) acceptLoop() {
 		s.wg.Add(1)
 		go func() {
 			defer s.wg.Done()
-			s.handle(NewConnTimeout(conn, s.idleTimeout))
+			s.handle(NewConnTimeout(s.ob.accept(conn), s.idleTimeout))
 		}()
 	}
 }
@@ -93,7 +112,8 @@ func (s *TTPServer) handle(c *Conn) {
 	for {
 		env, err := c.RecvEnvelope()
 		if err != nil {
-			return // peer closed or broke protocol; nothing to answer
+			s.ob.noteErr(err)
+			return // peer closed, timed out, or broke protocol; nothing to answer
 		}
 		switch env.Kind {
 		case KindKeyRingRequest:

@@ -14,8 +14,17 @@
 //	sc, _ := lppa.NewScenario(area, 32, 2)
 //	pop, _ := lppa.NewPopulation(area, 50, lppa.DefaultBidConfig(), rng)
 //	ring, _ := lppa.DeriveKeyRing([]byte("round-1"), sc.Params.Channels, 5, 8)
-//	res, _ := lppa.RunPrivate(sc.Params, ring, lppa.Points(pop),
-//	    sc.TruncatedBids(pop), lppa.DisguisePolicy{P0: 0.7, Decay: 0.95}, rng)
+//	res, _ := lppa.Run(sc.Params, ring, lppa.RoundInput{
+//	    Points: lppa.Points(pop),
+//	    Bids:   sc.TruncatedBids(pop),
+//	    Policy: lppa.DisguisePolicy{P0: 0.7, Decay: 0.95},
+//	    Rng:    rng,
+//	})
+//
+// Run accepts functional options: WithWorkers for the deterministic
+// parallel pipeline, WithSecondPrice / WithInteractiveCharging for the
+// alternative charging rules, and WithObserver to record phase timings and
+// protocol counters into a metrics Registry (see DESIGN.md §5c).
 //
 // See examples/ for complete programs and cmd/lppa-sim for the paper's
 // full evaluation suite.
@@ -51,6 +60,7 @@ import (
 	"lppa/internal/dataset"
 	"lppa/internal/geo"
 	"lppa/internal/mask"
+	"lppa/internal/obs"
 	"lppa/internal/privacy"
 	"lppa/internal/round"
 	"lppa/internal/sim"
@@ -111,10 +121,23 @@ type (
 	Outcome = auction.Outcome
 	// RoundResult is the outcome of an in-process private round.
 	RoundResult = round.Result
+	// RoundInput bundles one round's bidders for Run.
+	RoundInput = round.Input
+	// RunOption configures Run (WithWorkers, WithSecondPrice, ...).
+	RunOption = round.Option
 	// Series runs consecutive auctions with batched TTP charging.
 	Series = round.Series
 	// Batcher schedules multi-auction TTP settlement windows.
 	Batcher = round.Batcher
+)
+
+// Observability types.
+type (
+	// Registry collects the counters, gauges, and phase-timing histograms
+	// every instrumented layer records into; export with its WriteJSON /
+	// WritePrometheus methods or serve its Handler over HTTP. See
+	// DESIGN.md §5c.
+	Registry = obs.Registry
 )
 
 // Attack and metric types.
@@ -217,8 +240,44 @@ func NewLocationSubmission(params Params, ring *KeyRing, pt Point) (*LocationSub
 // submissions — the only location operation the auctioneer can perform.
 func Conflicts(a, b *LocationSubmission) bool { return core.Conflicts(a, b) }
 
+// Run executes a full LPPA round in-process. The default is the paper's
+// design — one disguise policy for all bidders, batch TTP charging, the
+// serial pipeline — and functional options select every variant: worker
+// count, per-bidder policies, charging rule, and metrics.
+func Run(params Params, ring *KeyRing, in RoundInput, opts ...RunOption) (*RoundResult, error) {
+	return round.Run(params, ring, in, opts...)
+}
+
+// WithWorkers runs the round through the deterministic parallel pipeline
+// with n goroutines (0 = GOMAXPROCS). Results are identical for any worker
+// count.
+func WithWorkers(n int) RunOption { return round.WithWorkers(n) }
+
+// WithPolicies gives each bidder its own disguise policy (len must equal
+// the population size); overrides RoundInput.Policy.
+func WithPolicies(policies []DisguisePolicy) RunOption { return round.WithPolicies(policies) }
+
+// WithInteractiveCharging switches to per-award TTP validity checks (the
+// ablation design; see DESIGN.md §5).
+func WithInteractiveCharging() RunOption { return round.WithInteractiveCharging() }
+
+// WithSecondPrice switches to clearing-price charging: winners pay the
+// award-time runner-up's bid, unblinded by the TTP.
+func WithSecondPrice() RunOption { return round.WithSecondPrice() }
+
+// WithObserver records the round into reg: per-phase wall time, winners,
+// revenue, comparison and interning counters. A nil registry disables
+// observation at zero cost, and results are bit-identical either way.
+func WithObserver(reg *Registry) RunOption { return round.WithObserver(reg) }
+
+// NewRegistry creates an empty metrics registry for WithObserver or the
+// transport servers.
+func NewRegistry() *Registry { return obs.NewRegistry() }
+
 // RunPrivate executes a full LPPA round in-process (batch TTP charging,
 // the paper's design).
+//
+// Deprecated: use Run.
 func RunPrivate(params Params, ring *KeyRing, points []Point, bids [][]uint64,
 	policy DisguisePolicy, rng *rand.Rand) (*RoundResult, error) {
 	return round.RunPrivate(params, ring, points, bids, policy, rng)
@@ -226,6 +285,8 @@ func RunPrivate(params Params, ring *KeyRing, points []Point, bids [][]uint64,
 
 // RunPrivateInteractive executes a round with per-award TTP validity
 // checks (the ablation design; see DESIGN.md §5).
+//
+// Deprecated: use Run with WithInteractiveCharging.
 func RunPrivateInteractive(params Params, ring *KeyRing, points []Point, bids [][]uint64,
 	policy DisguisePolicy, rng *rand.Rand) (*RoundResult, error) {
 	return round.RunPrivateInteractive(params, ring, points, bids, policy, rng)
@@ -246,6 +307,8 @@ func RunPlainBaseline(points []Point, bids [][]uint64, lambda uint64, rng *rand.
 // (clearing-price) charging — the paper's future-work direction
 // implemented end to end (winners pay the award-time runner-up's bid,
 // unblinded by the TTP).
+//
+// Deprecated: use Run with WithSecondPrice.
 func RunPrivateSecondPrice(params Params, ring *KeyRing, points []Point, bids [][]uint64,
 	policy DisguisePolicy, rng *rand.Rand) (*RoundResult, error) {
 	return round.RunPrivateSecondPrice(params, ring, points, bids, policy, rng)
