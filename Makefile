@@ -3,7 +3,7 @@
 GO ?= go
 CACHE ?= /tmp/lppa-ds.gob
 
-.PHONY: all build test race cover bench bench-json bench-compare alloc-guard fuzz experiments examples metrics-snapshot clean
+.PHONY: all build test race cover bench bench-json bench-compare alloc-guard fuzz fuzz-short chaos experiments examples metrics-snapshot clean
 
 all: build test
 
@@ -55,6 +55,20 @@ fuzz:
 	$(GO) test -run=NONE -fuzz=FuzzMemberMatchesComparison -fuzztime=10s ./internal/prefix/
 	$(GO) test -run=NONE -fuzz=FuzzCoverTiles -fuzztime=10s ./internal/prefix/
 	$(GO) test -run=NONE -fuzz=FuzzOpenValueRejectsGarbage -fuzztime=10s ./internal/mask/
+	$(GO) test -run=NONE -fuzz=FuzzDecodeFrame -fuzztime=10s ./internal/transport/
+
+# Quicker smoke of the attacker-facing decoders only (the wire frame parser
+# fed by untrusted peers) — the CI test job runs this on every push.
+fuzz-short:
+	$(GO) test -run=NONE -fuzz=FuzzDecodeFrame -fuzztime=5s ./internal/transport/
+
+# Chaos matrix under the race detector: full networked rounds with seeded
+# fault injection (drop/dup/corrupt/truncate/slow-loris/crash). Failing
+# seeds land in CHAOS_FAILURES.txt; replay one with
+# LPPA_CHAOS_SEEDS=<seed> go test -race -run 'TestChaosMatrix/<class>' ./internal/transport/
+chaos:
+	LPPA_CHAOS_REPLAY_FILE=CHAOS_FAILURES.txt \
+		$(GO) test -race -run 'TestChaos|TestAuctioneerQuorum' -count=1 ./internal/transport/ ./internal/faults/
 
 # Reproduce the paper's full evaluation (dataset cached at $(CACHE)).
 experiments:

@@ -60,6 +60,15 @@ func run(args []string) error {
 		seedStr  = fs.String("secret", "lppa-net-demo-secret", "TTP key-derivation secret")
 		seed     = fs.Int64("seed", 42, "randomness seed")
 		metrics  = fs.String("metrics-addr", "", "serve metrics over HTTP on this address (GET /metrics = Prometheus text, other paths = JSON); keeps serving after the round until killed")
+
+		quorum    = fs.Int("quorum", 0, "minimum submissions for a degraded round when -straggler fires; 0 requires all bidders (auctioneer/demo)")
+		straggler = fs.Duration("straggler", 0, "collection deadline; stragglers past it are excluded down to -quorum, 0 waits forever (auctioneer/demo)")
+		retries   = fs.Int("retries", transport.DefaultRetryPolicy.MaxAttempts, "bidder submission attempts before giving up (bidder/demo)")
+		cliTO     = fs.Duration("client-timeout", 0, "bidder per-exchange deadline, 0 = none (bidder/demo)")
+
+		chaosClass   = fs.String("chaos", "", "demo chaos soak: inject this fault class into the first -chaos-bidders bidders (drop|dup|corrupt|truncate|slowloris|crash)")
+		chaosRate    = fs.Float64("chaos-rate", 0.5, "per-frame fault probability for the probabilistic chaos classes")
+		chaosBidders = fs.Int("chaos-bidders", 1, "how many bidders the demo chaos soak injects faults into")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -83,9 +92,19 @@ func run(args []string) error {
 		return err
 	}
 
+	chaosCfg, err := parseChaos(*chaosClass, *chaosRate)
+	if err != nil {
+		return err
+	}
+
 	switch *role {
 	case "demo":
-		return runDemo(params, *bidders, *seedStr, *p0, *seed, secondPrice, log, reg)
+		return runDemo(params, demoConfig{
+			bidders: *bidders, secret: *seedStr, p0: *p0, seed: *seed,
+			secondPrice: secondPrice, quorum: *quorum, straggler: *straggler,
+			retries: *retries, clientTimeout: *cliTO,
+			chaos: chaosCfg, chaosBidders: *chaosBidders,
+		}, log, reg)
 	case "ttp":
 		ln, err := net.Listen("tcp", *listen)
 		if err != nil {
@@ -107,14 +126,15 @@ func run(args []string) error {
 			return err
 		}
 		srv, err := transport.NewAuctioneerServerWithConfig(params, *bidders, *ttpAddr, ln, *seed,
-			transport.Config{Logger: log, Metrics: reg, SecondPrice: secondPrice})
+			transport.Config{Logger: log, Metrics: reg, SecondPrice: secondPrice,
+				Quorum: *quorum, StragglerTimeout: *straggler})
 		if err != nil {
 			return err
 		}
 		fmt.Printf("auctioneer listening on %s, waiting for %d bidders\n", srv.Addr(), *bidders)
-		outcome := srv.Wait()
-		if outcome == nil {
-			return fmt.Errorf("round failed")
+		outcome, err := srv.Outcome()
+		if err != nil {
+			return fmt.Errorf("round failed: %w", err)
 		}
 		printOutcome(outcome)
 		if err := srv.Close(); err != nil {
@@ -130,7 +150,10 @@ func run(args []string) error {
 		if err != nil {
 			return err
 		}
-		client := &lppa.BidderClient{ID: *id, Params: params, Policy: lppa.DisguisePolicy{P0: *p0, Decay: 0.95}}
+		retry := transport.DefaultRetryPolicy
+		retry.MaxAttempts = *retries
+		client := &lppa.BidderClient{ID: *id, Params: params, Policy: lppa.DisguisePolicy{P0: *p0, Decay: 0.95},
+			Retry: retry, Timeout: *cliTO}
 		res, err := client.Participate(*ttpAddr, *aucAddr, lppa.Point{X: *x, Y: *y}, bids,
 			rand.New(rand.NewSource(*seed+int64(*id))))
 		if err != nil {
@@ -174,12 +197,51 @@ func lingerForScrape(reg *obs.Registry) {
 	select {}
 }
 
-func runDemo(params lppa.Params, n int, secret string, p0 float64, seed int64, secondPrice bool, log *slog.Logger, reg *obs.Registry) error {
+// demoConfig bundles runDemo's knobs (too many for positional arguments).
+type demoConfig struct {
+	bidders       int
+	secret        string
+	p0            float64
+	seed          int64
+	secondPrice   bool
+	quorum        int
+	straggler     time.Duration
+	retries       int
+	clientTimeout time.Duration
+	chaos         *lppa.FaultConfig
+	chaosBidders  int
+}
+
+// parseChaos maps a -chaos class name onto a fault config at the given
+// per-frame rate. Empty class disables injection.
+func parseChaos(class string, rate float64) (*lppa.FaultConfig, error) {
+	switch class {
+	case "":
+		return nil, nil
+	case "drop":
+		return &lppa.FaultConfig{DropFrame: rate}, nil
+	case "dup":
+		return &lppa.FaultConfig{DupFrame: rate}, nil
+	case "corrupt":
+		return &lppa.FaultConfig{CorruptFrame: rate}, nil
+	case "truncate":
+		return &lppa.FaultConfig{TruncateFrame: rate}, nil
+	case "slowloris":
+		return &lppa.FaultConfig{SlowChunk: 256, SlowPause: 100 * time.Millisecond}, nil
+	case "crash":
+		return &lppa.FaultConfig{CloseAfterFrames: 1}, nil
+	default:
+		return nil, fmt.Errorf("unknown chaos class %q", class)
+	}
+}
+
+func runDemo(params lppa.Params, cfg demoConfig, log *slog.Logger, reg *obs.Registry) error {
+	n := cfg.bidders
 	lnTTP, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		return err
 	}
-	ttpSrv, err := transport.NewTTPServerWithConfig(params, []byte(secret), 5, 8, lnTTP,
+	ttpSrv, err := transport.NewTTPServerWithConfig(params, []byte(cfg.secret), 5, 8, lnTTP,
 		transport.Config{Logger: log, Metrics: reg})
 	if err != nil {
 		return err
@@ -190,16 +252,22 @@ func runDemo(params lppa.Params, n int, secret string, p0 float64, seed int64, s
 	if err != nil {
 		return err
 	}
-	aucSrv, err := transport.NewAuctioneerServerWithConfig(params, n, ttpSrv.Addr().String(), lnAuc, seed,
-		transport.Config{Logger: log, Metrics: reg, SecondPrice: secondPrice})
+	aucSrv, err := transport.NewAuctioneerServerWithConfig(params, n, ttpSrv.Addr().String(), lnAuc, cfg.seed,
+		transport.Config{Logger: log, Metrics: reg, SecondPrice: cfg.secondPrice,
+			Quorum: cfg.quorum, StragglerTimeout: cfg.straggler})
 	if err != nil {
 		return err
 	}
 	defer aucSrv.Close()
 	fmt.Printf("TTP on %s, auctioneer on %s, %d bidders joining...\n",
 		ttpSrv.Addr(), aucSrv.Addr(), n)
+	var injector *lppa.FaultInjector
+	if cfg.chaos != nil {
+		injector = lppa.NewFaultInjector(cfg.seed, *cfg.chaos)
+		fmt.Printf("chaos soak: injecting faults into bidders [0, %d) at seed %d\n", cfg.chaosBidders, cfg.seed)
+	}
 
-	rng := rand.New(rand.NewSource(seed))
+	rng := rand.New(rand.NewSource(cfg.seed))
 	var wg sync.WaitGroup
 	results := make([]*lppa.Result, n)
 	errs := make([]error, n)
@@ -215,24 +283,54 @@ func runDemo(params lppa.Params, n int, secret string, p0 float64, seed int64, s
 		wg.Add(1)
 		go func(i int, pt lppa.Point, bids []uint64) {
 			defer wg.Done()
-			client := &lppa.BidderClient{ID: i, Params: params, Policy: lppa.DisguisePolicy{P0: p0, Decay: 0.95}}
+			retry := transport.DefaultRetryPolicy
+			retry.MaxAttempts = cfg.retries
+			client := &lppa.BidderClient{ID: i, Params: params, Policy: lppa.DisguisePolicy{P0: cfg.p0, Decay: 0.95},
+				Retry: retry, Timeout: cfg.clientTimeout}
+			if injector != nil && i < cfg.chaosBidders {
+				// Fault only the auctioneer leg: the key-ring fetch stays
+				// clean so every class exercises the submission path. The
+				// crash classes hit one connection only — crash once,
+				// restart clean — so the retried submission must be rescued
+				// by the server's nonce dedup rather than die forever.
+				aucAddr := aucSrv.Addr().String()
+				crashOnce := cfg.chaos.CloseAfterFrames > 0 || cfg.chaos.KillAfterFrames > 0
+				dials := 0
+				client.Dial = func(network, addr string) (net.Conn, error) {
+					conn, err := net.Dial(network, addr)
+					if err != nil || addr != aucAddr {
+						return conn, err
+					}
+					dials++
+					if crashOnce && dials > 1 {
+						return conn, nil
+					}
+					return injector.Conn(conn), nil
+				}
+			}
 			results[i], errs[i] = client.Participate(ttpSrv.Addr().String(), aucSrv.Addr().String(),
-				pt, bids, rand.New(rand.NewSource(seed+int64(i)+1)))
+				pt, bids, rand.New(rand.NewSource(cfg.seed+int64(i)+1)))
 		}(i, pt, bids)
 	}
 	wg.Wait()
 	for i, err := range errs {
 		if err != nil {
+			if cfg.chaos != nil && i < cfg.chaosBidders {
+				fmt.Printf("bidder %2d: gave up under injected faults: %v\n", i, err)
+				continue
+			}
 			return fmt.Errorf("bidder %d: %w", i, err)
 		}
 	}
-	outcome := aucSrv.Wait()
-	if outcome == nil {
-		return fmt.Errorf("round produced no outcome")
+	outcome, err := aucSrv.Outcome()
+	if err != nil {
+		return fmt.Errorf("round failed: %w", err)
 	}
 	fmt.Printf("round completed in %v\n\n", time.Since(start).Round(time.Millisecond))
 	for _, res := range results {
-		printResult(*res)
+		if res != nil {
+			printResult(*res)
+		}
 	}
 	printOutcome(outcome)
 	lingerForScrape(reg)
@@ -253,6 +351,9 @@ func printResult(r lppa.Result) {
 func printOutcome(o *transport.RoundOutcome) {
 	fmt.Printf("\nauctioneer: %d results, revenue %d, %d voided awards\n",
 		len(o.Results), o.Revenue, o.Voided)
+	if len(o.Excluded) > 0 {
+		fmt.Printf("excluded bidders (missed the straggler deadline): %v\n", o.Excluded)
+	}
 }
 
 func parseBids(csv string, k int) ([]uint64, error) {

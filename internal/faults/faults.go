@@ -1,0 +1,232 @@
+// Package faults provides deterministic, seeded fault injection for the
+// transport layer. A wrapped connection can drop, delay, duplicate,
+// corrupt, truncate, and slow-write frames, or kill the connection after a
+// set number of frames — every decision drawn from a PRNG seeded by the
+// caller, so any chaos-test failure replays exactly from its seed.
+//
+// The injector treats every Write call as one wire frame. The transport's
+// Conn writes exactly one length-prefixed frame per Write, so per-Write
+// faults are per-frame faults: a dropped Write is a frame the peer never
+// sees, a duplicated Write is a replayed frame, a truncated Write is a
+// peer that died mid-frame.
+package faults
+
+import (
+	"errors"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"math/rand"
+)
+
+// ErrInjectedKill is returned by Write after the injector has killed the
+// connection (KillAfterFrames exceeded or a truncated frame closed it).
+var ErrInjectedKill = errors.New("faults: connection killed by injector")
+
+// Config selects which faults an injected connection exhibits and at what
+// rates. Probabilities are per written frame; the zero value injects
+// nothing and passes every byte through untouched.
+type Config struct {
+	// DropFrame is the probability a written frame is silently swallowed:
+	// the writer is told it succeeded, the peer never sees it.
+	DropFrame float64
+	// DupFrame is the probability a frame is written twice back to back.
+	DupFrame float64
+	// CorruptFrame is the probability one byte of the frame is flipped.
+	CorruptFrame float64
+	// TruncateFrame is the probability only a strict prefix of the frame
+	// is written before the connection is closed (a peer dying mid-frame).
+	// The writer is told the full frame went out.
+	TruncateFrame float64
+	// DelayProb and MaxDelay inject a random pause before a frame is
+	// written, uniform in [0, MaxDelay).
+	DelayProb float64
+	MaxDelay  time.Duration
+	// SlowChunk, when positive, writes frames in chunks of this many bytes
+	// with SlowPause between chunks (a slow-loris peer).
+	SlowChunk int
+	SlowPause time.Duration
+	// KillAfterFrames, when positive, abruptly closes the connection when
+	// frame KillAfterFrames+1 is attempted; that write and all later ones
+	// fail with ErrInjectedKill.
+	KillAfterFrames int
+	// CloseAfterFrames, when positive, closes the connection right after
+	// frame CloseAfterFrames is fully written — the frame is delivered,
+	// then the peer is gone (a bidder crashing after submitting).
+	CloseAfterFrames int
+}
+
+// Conn wraps a net.Conn with the fault schedule drawn from one seeded
+// PRNG. Reads pass through untouched; all faults act on writes, which the
+// transport issues one frame at a time.
+type Conn struct {
+	net.Conn
+	cfg Config
+
+	mu     sync.Mutex
+	rng    *rand.Rand
+	frames int
+	killed bool
+}
+
+// Wrap attaches a fault schedule to c. The schedule is fully determined
+// by seed and the sequence of frames written, independent of wall-clock
+// time or goroutine interleaving on other connections.
+func Wrap(c net.Conn, seed int64, cfg Config) *Conn {
+	return &Conn{Conn: c, cfg: cfg, rng: rand.New(rand.NewSource(seed))}
+}
+
+// frameSchedule is the full set of decisions for one frame, drawn up
+// front in a fixed order so the rng stream — and therefore every later
+// frame's schedule — depends only on the seed and the frame index, never
+// on which faults happen to be enabled or on the frame's length.
+type frameSchedule struct {
+	drop, dup, corrupt, trunc bool
+	delay                     time.Duration
+	cut                       float64 // fraction of the frame kept on truncate
+	flip                      float64 // fraction into the frame of the corrupted byte
+}
+
+func (c *Conn) draw() (frameSchedule, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.killed {
+		return frameSchedule{}, false
+	}
+	c.frames++
+	if c.cfg.KillAfterFrames > 0 && c.frames > c.cfg.KillAfterFrames {
+		c.killed = true
+		return frameSchedule{}, false
+	}
+	var s frameSchedule
+	s.drop = c.rng.Float64() < c.cfg.DropFrame
+	s.dup = c.rng.Float64() < c.cfg.DupFrame
+	s.corrupt = c.rng.Float64() < c.cfg.CorruptFrame
+	s.trunc = c.rng.Float64() < c.cfg.TruncateFrame
+	delayP, delayFrac := c.rng.Float64(), c.rng.Float64()
+	if delayP < c.cfg.DelayProb && c.cfg.MaxDelay > 0 {
+		s.delay = time.Duration(delayFrac * float64(c.cfg.MaxDelay))
+	}
+	s.cut = c.rng.Float64()
+	s.flip = c.rng.Float64()
+	return s, true
+}
+
+func (c *Conn) kill() {
+	c.mu.Lock()
+	c.killed = true
+	c.mu.Unlock()
+	_ = c.Conn.Close()
+}
+
+func (c *Conn) Write(p []byte) (int, error) {
+	s, alive := c.draw()
+	if !alive {
+		_ = c.Conn.Close()
+		return 0, ErrInjectedKill
+	}
+	if s.delay > 0 {
+		time.Sleep(s.delay)
+	}
+	if s.drop {
+		return len(p), nil
+	}
+	data := p
+	if s.corrupt && len(p) > 0 {
+		data = append([]byte(nil), p...)
+		data[int(s.flip*float64(len(data)))%len(data)] ^= 0xff
+	}
+	if s.trunc && len(p) > 1 {
+		cut := 1 + int(s.cut*float64(len(p)-1))%(len(p)-1)
+		_, _ = c.writeOut(data[:cut])
+		c.kill()
+		return len(p), nil // the writer believes the frame went out
+	}
+	if _, err := c.writeOut(data); err != nil {
+		return 0, err
+	}
+	if s.dup {
+		if _, err := c.writeOut(data); err != nil {
+			return 0, err
+		}
+	}
+	c.mu.Lock()
+	closeNow := c.cfg.CloseAfterFrames > 0 && c.frames >= c.cfg.CloseAfterFrames && !c.killed
+	c.mu.Unlock()
+	if closeNow {
+		c.kill()
+	}
+	return len(p), nil
+}
+
+// writeOut pushes bytes to the underlying conn, chunked with pauses when
+// slow-writing is configured.
+func (c *Conn) writeOut(p []byte) (int, error) {
+	if c.cfg.SlowChunk <= 0 || c.cfg.SlowChunk >= len(p) {
+		return c.Conn.Write(p)
+	}
+	written := 0
+	for written < len(p) {
+		end := written + c.cfg.SlowChunk
+		if end > len(p) {
+			end = len(p)
+		}
+		n, err := c.Conn.Write(p[written:end])
+		written += n
+		if err != nil {
+			return written, err
+		}
+		if c.cfg.SlowPause > 0 {
+			time.Sleep(c.cfg.SlowPause)
+		}
+	}
+	return written, nil
+}
+
+// Injector hands out deterministically seeded fault connections. Each
+// wrapped connection draws an independent schedule from (seed, index), so
+// wrapping k connections yields k reproducible streams.
+//
+// Connection indices follow wrap order. When connections are wrapped from
+// concurrent goroutines (a listener accepting parallel dials), the
+// index→peer assignment follows the accept order; for schedules pinned to
+// a specific peer regardless of interleaving, wrap that peer's conn
+// directly with Wrap and a per-peer seed.
+type Injector struct {
+	seed int64
+	cfg  Config
+	next atomic.Int64
+}
+
+// NewInjector creates an injector whose connections derive their seeds
+// from seed.
+func NewInjector(seed int64, cfg Config) *Injector {
+	return &Injector{seed: seed, cfg: cfg}
+}
+
+// Conn wraps one connection with the next derived schedule.
+func (in *Injector) Conn(c net.Conn) *Conn {
+	i := in.next.Add(1)
+	// splitmix-style odd multiplier decorrelates consecutive seeds.
+	return Wrap(c, in.seed+i*int64(0x9E3779B97F4A7C15&^(1<<63)), in.cfg)
+}
+
+// Listener wraps ln so every accepted connection is fault-injected.
+func (in *Injector) Listener(ln net.Listener) net.Listener {
+	return &listener{Listener: ln, in: in}
+}
+
+type listener struct {
+	net.Listener
+	in *Injector
+}
+
+func (l *listener) Accept() (net.Conn, error) {
+	c, err := l.Listener.Accept()
+	if err != nil {
+		return nil, err
+	}
+	return l.in.Conn(c), nil
+}

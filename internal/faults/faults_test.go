@@ -1,0 +1,286 @@
+package faults
+
+import (
+	"bytes"
+	"errors"
+	"net"
+	"testing"
+	"time"
+)
+
+// memConn is a net.Conn stub recording every Write call, so tests can
+// assert both the bytes that reached the "wire" and the write boundaries
+// (chunking).
+type memConn struct {
+	writes [][]byte
+	closed bool
+}
+
+func (m *memConn) Write(p []byte) (int, error) {
+	m.writes = append(m.writes, append([]byte(nil), p...))
+	return len(p), nil
+}
+func (m *memConn) Read(p []byte) (int, error)         { return 0, nil }
+func (m *memConn) Close() error                       { m.closed = true; return nil }
+func (m *memConn) LocalAddr() net.Addr                { return nil }
+func (m *memConn) RemoteAddr() net.Addr               { return nil }
+func (m *memConn) SetDeadline(t time.Time) error      { return nil }
+func (m *memConn) SetReadDeadline(t time.Time) error  { return nil }
+func (m *memConn) SetWriteDeadline(t time.Time) error { return nil }
+
+func (m *memConn) bytes() []byte {
+	var all []byte
+	for _, w := range m.writes {
+		all = append(all, w...)
+	}
+	return all
+}
+
+func frames(n, size int) [][]byte {
+	out := make([][]byte, n)
+	for i := range out {
+		f := make([]byte, size)
+		for j := range f {
+			f[j] = byte(i*31 + j)
+		}
+		out[i] = f
+	}
+	return out
+}
+
+// TestScheduleDeterministic pins the replay contract: the same seed and
+// the same frame sequence produce byte-identical wire output and write
+// boundaries, run after run.
+func TestScheduleDeterministic(t *testing.T) {
+	cfg := Config{DropFrame: 0.3, DupFrame: 0.3, CorruptFrame: 0.3, TruncateFrame: 0.05}
+	run := func() *memConn {
+		m := &memConn{}
+		c := Wrap(m, 42, cfg)
+		for _, f := range frames(50, 64) {
+			_, _ = c.Write(f)
+		}
+		return m
+	}
+	a, b := run(), run()
+	if len(a.writes) != len(b.writes) {
+		t.Fatalf("write counts differ: %d vs %d", len(a.writes), len(b.writes))
+	}
+	for i := range a.writes {
+		if !bytes.Equal(a.writes[i], b.writes[i]) {
+			t.Fatalf("write %d differs between identically seeded runs", i)
+		}
+	}
+	if bytes.Equal(a.bytes(), bytesOf(t, 42, Config{}, 50, 64)) {
+		t.Fatal("fault config had no observable effect (schedule too timid for this seed)")
+	}
+}
+
+func bytesOf(t *testing.T, seed int64, cfg Config, n, size int) []byte {
+	t.Helper()
+	m := &memConn{}
+	c := Wrap(m, seed, cfg)
+	for _, f := range frames(n, size) {
+		if _, err := c.Write(f); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return m.bytes()
+}
+
+// TestZeroConfigPassthrough: the zero config is a transparent pipe.
+func TestZeroConfigPassthrough(t *testing.T) {
+	m := &memConn{}
+	c := Wrap(m, 1, Config{})
+	in := frames(5, 33)
+	for _, f := range in {
+		n, err := c.Write(f)
+		if err != nil || n != len(f) {
+			t.Fatalf("write = (%d, %v)", n, err)
+		}
+	}
+	if len(m.writes) != 5 {
+		t.Fatalf("%d writes reached the wire, want 5", len(m.writes))
+	}
+	for i := range in {
+		if !bytes.Equal(m.writes[i], in[i]) {
+			t.Errorf("frame %d modified by zero config", i)
+		}
+	}
+}
+
+func TestDropSwallowsFrame(t *testing.T) {
+	m := &memConn{}
+	c := Wrap(m, 7, Config{DropFrame: 1})
+	n, err := c.Write([]byte("hello"))
+	if err != nil || n != 5 {
+		t.Fatalf("dropped write must report success, got (%d, %v)", n, err)
+	}
+	if len(m.writes) != 0 {
+		t.Fatal("dropped frame reached the wire")
+	}
+}
+
+func TestDupWritesTwice(t *testing.T) {
+	m := &memConn{}
+	c := Wrap(m, 7, Config{DupFrame: 1})
+	f := []byte("frame-x")
+	if _, err := c.Write(f); err != nil {
+		t.Fatal(err)
+	}
+	if len(m.writes) != 2 || !bytes.Equal(m.writes[0], f) || !bytes.Equal(m.writes[1], f) {
+		t.Fatalf("duplicate: %d writes on wire", len(m.writes))
+	}
+}
+
+func TestCorruptFlipsExactlyOneByte(t *testing.T) {
+	m := &memConn{}
+	c := Wrap(m, 7, Config{CorruptFrame: 1})
+	f := frames(1, 40)[0]
+	if _, err := c.Write(f); err != nil {
+		t.Fatal(err)
+	}
+	if len(m.writes) != 1 || len(m.writes[0]) != len(f) {
+		t.Fatalf("corrupt changed frame count/length")
+	}
+	diff := 0
+	for i := range f {
+		if m.writes[0][i] != f[i] {
+			diff++
+		}
+	}
+	if diff != 1 {
+		t.Fatalf("corrupt flipped %d bytes, want exactly 1", diff)
+	}
+	// The caller's buffer must be untouched (data was copied).
+	if !bytes.Equal(f, frames(1, 40)[0]) {
+		t.Fatal("corrupt mutated the caller's buffer")
+	}
+}
+
+func TestTruncateWritesStrictPrefixAndKills(t *testing.T) {
+	m := &memConn{}
+	c := Wrap(m, 7, Config{TruncateFrame: 1})
+	f := frames(1, 32)[0]
+	n, err := c.Write(f)
+	if err != nil || n != len(f) {
+		t.Fatalf("truncated write must report success, got (%d, %v)", n, err)
+	}
+	if len(m.writes) != 1 {
+		t.Fatalf("%d writes, want 1", len(m.writes))
+	}
+	got := m.writes[0]
+	if len(got) == 0 || len(got) >= len(f) || !bytes.Equal(got, f[:len(got)]) {
+		t.Fatalf("wire holds %d bytes, want strict non-empty prefix of %d", len(got), len(f))
+	}
+	if !m.closed {
+		t.Fatal("truncate must kill the connection")
+	}
+	if _, err := c.Write(f); !errors.Is(err, ErrInjectedKill) {
+		t.Fatalf("write after truncate = %v, want ErrInjectedKill", err)
+	}
+}
+
+func TestKillAfterFrames(t *testing.T) {
+	m := &memConn{}
+	c := Wrap(m, 7, Config{KillAfterFrames: 2})
+	f := []byte("abc")
+	for i := 0; i < 2; i++ {
+		if _, err := c.Write(f); err != nil {
+			t.Fatalf("frame %d: %v", i+1, err)
+		}
+	}
+	if _, err := c.Write(f); !errors.Is(err, ErrInjectedKill) {
+		t.Fatalf("frame 3 = %v, want ErrInjectedKill", err)
+	}
+	if !m.closed {
+		t.Fatal("kill must close the underlying conn")
+	}
+	if len(m.writes) != 2 {
+		t.Fatalf("%d frames on wire, want 2", len(m.writes))
+	}
+}
+
+func TestCloseAfterFramesDeliversThenDies(t *testing.T) {
+	m := &memConn{}
+	c := Wrap(m, 7, Config{CloseAfterFrames: 1})
+	f := []byte("submission")
+	if _, err := c.Write(f); err != nil {
+		t.Fatalf("frame 1 must be delivered: %v", err)
+	}
+	if len(m.writes) != 1 || !bytes.Equal(m.writes[0], f) {
+		t.Fatal("frame 1 not fully on the wire")
+	}
+	if !m.closed {
+		t.Fatal("conn must close right after the delivered frame")
+	}
+	if _, err := c.Write(f); !errors.Is(err, ErrInjectedKill) {
+		t.Fatalf("frame 2 = %v, want ErrInjectedKill", err)
+	}
+}
+
+func TestSlowChunking(t *testing.T) {
+	m := &memConn{}
+	c := Wrap(m, 7, Config{SlowChunk: 3})
+	f := frames(1, 10)[0]
+	if _, err := c.Write(f); err != nil {
+		t.Fatal(err)
+	}
+	if len(m.writes) != 4 { // 3+3+3+1
+		t.Fatalf("%d chunks, want 4", len(m.writes))
+	}
+	if !bytes.Equal(m.bytes(), f) {
+		t.Fatal("chunked bytes differ from frame")
+	}
+}
+
+// TestInjectorSeedsDiffer: distinct connections from one injector draw
+// distinct schedules, and the whole family replays from the base seed.
+func TestInjectorSeedsDiffer(t *testing.T) {
+	run := func() [][]byte {
+		in := NewInjector(99, Config{DropFrame: 0.5})
+		var outs [][]byte
+		for k := 0; k < 4; k++ {
+			m := &memConn{}
+			c := in.Conn(m)
+			for _, f := range frames(30, 16) {
+				_, _ = c.Write(f)
+			}
+			outs = append(outs, m.bytes())
+		}
+		return outs
+	}
+	a, b := run(), run()
+	for k := range a {
+		if !bytes.Equal(a[k], b[k]) {
+			t.Fatalf("conn %d not reproducible from injector seed", k)
+		}
+	}
+	if bytes.Equal(a[0], a[1]) && bytes.Equal(a[1], a[2]) && bytes.Equal(a[2], a[3]) {
+		t.Fatal("all injector connections drew identical schedules")
+	}
+}
+
+// TestListenerWrapsAccepts: connections accepted through the injector's
+// listener come back fault-wrapped.
+func TestListenerWrapsAccepts(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	wrapped := NewInjector(5, Config{DropFrame: 1}).Listener(ln)
+	defer wrapped.Close()
+	go func() {
+		c, err := net.Dial("tcp", ln.Addr().String())
+		if err == nil {
+			c.Close()
+		}
+	}()
+	conn, err := wrapped.Accept()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if _, ok := conn.(*Conn); !ok {
+		t.Fatalf("accepted conn is %T, want *faults.Conn", conn)
+	}
+}

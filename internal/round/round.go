@@ -37,6 +37,12 @@ type Result struct {
 	// SubmissionBytes is the total masked-bid transcript size, for the
 	// Theorem 4 communication-cost experiment.
 	SubmissionBytes int
+	// Excluded lists bidders (original indices, ascending) left out of a
+	// degraded quorum round — their submissions failed to encode or missed
+	// the straggler deadline. Empty on full-attendance rounds. Assignment
+	// bidder indices in Outcome always refer to the original population,
+	// but Auctioneer's transcript indexes the compacted one.
+	Excluded []int
 }
 
 // RunPrivate executes the full LPPA protocol in-process with one disguise

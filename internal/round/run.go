@@ -1,8 +1,10 @@
 package round
 
 import (
+	"errors"
 	"fmt"
 	"math/rand"
+	"time"
 
 	"lppa/internal/auction"
 	"lppa/internal/core"
@@ -11,6 +13,12 @@ import (
 	"lppa/internal/obs"
 	"lppa/internal/ttp"
 )
+
+// ErrQuorumNotReached reports that a quorum round had fewer usable
+// submissions than WithQuorum demanded. The networked auctioneer
+// (internal/transport) wraps the same sentinel when stragglers leave it
+// short, so callers on either path detect the condition with errors.Is.
+var ErrQuorumNotReached = errors.New("round: quorum not reached")
 
 // Input bundles one round's bidder-side inputs: where the bidders are,
 // what they bid, how they disguise, and the randomness driving the round.
@@ -39,6 +47,8 @@ type runConfig struct {
 	interactive bool
 	secondPrice bool
 	noIntern    bool
+	quorum      int
+	straggler   time.Duration
 	reg         *obs.Registry
 }
 
@@ -104,6 +114,44 @@ func WithSecondPrice() Option {
 func WithObserver(reg *obs.Registry) Option {
 	return func(c *runConfig) error {
 		c.reg = reg
+		return nil
+	}
+}
+
+// WithQuorum lets the round degrade gracefully instead of aborting: a
+// bidder whose submission cannot be produced (malformed input, or a
+// straggler past WithStragglerTimeout) is excluded and the auction runs
+// over the remaining population, as long as at least q usable submissions
+// remain — otherwise Run returns ErrQuorumNotReached. Excluded bidders
+// are reported in Result.Excluded and count as unsatisfied. On fault-free
+// inputs the option is a no-op: results are bit-identical to the same
+// call without it.
+func WithQuorum(q int) Option {
+	return func(c *runConfig) error {
+		if q < 1 {
+			return fmt.Errorf("round: quorum %d, need at least 1", q)
+		}
+		c.quorum = q
+		return nil
+	}
+}
+
+// WithStragglerTimeout bounds how long the round waits for any bidder's
+// submission to materialize; bidders still unfinished when it fires are
+// excluded under the WithQuorum rules (the option implies a quorum of the
+// full population when WithQuorum is not also given, so a fired timeout
+// with no usable exclusions fails the round rather than silently shrinking
+// it). Requires the seeded pipeline (WithWorkers): per-bidder seeding is
+// what makes abandoning a straggler safe. Exclusion by deadline depends on
+// scheduling and is therefore not deterministic — it exists so a wedged
+// submission source cannot hang the round, which the chaos harness
+// exercises over the networked transport.
+func WithStragglerTimeout(d time.Duration) Option {
+	return func(c *runConfig) error {
+		if d <= 0 {
+			return fmt.Errorf("round: straggler timeout %v, need positive", d)
+		}
+		c.straggler = d
 		return nil
 	}
 }
@@ -272,6 +320,12 @@ func Run(params core.Params, ring *mask.KeyRing, in Input, opts ...Option) (*Res
 	if cfg.interactive && cfg.secondPrice {
 		return nil, fmt.Errorf("round: interactive charging and second-price charging are mutually exclusive")
 	}
+	if cfg.straggler > 0 && !cfg.seeded {
+		// The serial pipeline threads one rng through all bidders, so a
+		// deadline could leave a background encoder racing the allocator
+		// for it; per-bidder seeding makes abandonment safe.
+		return nil, fmt.Errorf("round: WithStragglerTimeout requires the seeded pipeline (add WithWorkers)")
+	}
 	n := len(in.Points)
 	if n == 0 {
 		return nil, fmt.Errorf("round: no bidders")
@@ -310,12 +364,57 @@ func Run(params core.Params, ring *mask.KeyRing, in Input, opts ...Option) (*Res
 		locs       []*core.LocationSubmission
 		subs       []*core.BidSubmission
 		bytesTotal int
+		excluded   []int
+		keep       []int
 	)
 	workers := 1
-	if cfg.seeded {
+	tolerant := cfg.quorum > 0 || cfg.straggler > 0
+	switch {
+	case tolerant:
+		// Quorum mode: per-bidder failures and stragglers are excluded
+		// instead of aborting the round, down to the quorum floor.
+		effQuorum := cfg.quorum
+		if effQuorum == 0 {
+			effQuorum = n
+		}
+		if effQuorum > n {
+			timer.Stop()
+			return nil, fmt.Errorf("round: quorum %d exceeds population %d", effQuorum, n)
+		}
+		var (
+			bytesPer []int
+			errs     []error
+		)
+		if cfg.seeded {
+			workers = mask.Workers(cfg.workers, n)
+		}
+		locs, subs, bytesPer, errs = encodeTolerant(params, ring, in.Points, in.Bids,
+			samplers, rng, workers, cfg.seeded, cfg.straggler)
+		for i := 0; i < n; i++ {
+			if errs[i] == nil && locs[i] != nil && subs[i] != nil {
+				keep = append(keep, i)
+				bytesTotal += bytesPer[i]
+			} else {
+				excluded = append(excluded, i)
+			}
+		}
+		if len(keep) < effQuorum {
+			timer.Stop()
+			return nil, fmt.Errorf("%w: %d of %d usable submissions, need %d",
+				ErrQuorumNotReached, len(keep), n, effQuorum)
+		}
+		if len(excluded) > 0 {
+			clocs := make([]*core.LocationSubmission, len(keep))
+			csubs := make([]*core.BidSubmission, len(keep))
+			for ci, i := range keep {
+				clocs[ci], csubs[ci] = locs[i], subs[i]
+			}
+			locs, subs = clocs, csubs
+		}
+	case cfg.seeded:
 		workers = mask.Workers(cfg.workers, n)
 		locs, subs, bytesTotal, err = encodeSubmissions(params, ring, in.Points, in.Bids, samplers, rng, workers)
-	} else {
+	default:
 		locs, subs, bytesTotal, err = encodeSerial(params, ring, in.Points, in.Bids, samplers, rng)
 	}
 	if err != nil {
@@ -396,6 +495,16 @@ func Run(params core.Params, ring *mask.KeyRing, in Input, opts ...Option) (*Res
 		}
 		timer.Phase("charge")
 		tallyCharges(res, trusted.ProcessBatch(auc.ChargeRequests(assignments)))
+	}
+	// A compacted quorum round allocated over the surviving population;
+	// translate assignment indices back to original bidder ids so callers
+	// see one stable numbering. Outcome.Bidders already counts the full
+	// population, so excluded bidders depress satisfaction as they should.
+	if len(excluded) > 0 {
+		for i := range res.Outcome.Assignments {
+			res.Outcome.Assignments[i].Bidder = keep[res.Outcome.Assignments[i].Bidder]
+		}
+		res.Excluded = excluded
 	}
 	timer.Stop()
 	if ro != nil {

@@ -7,48 +7,87 @@ import (
 	"log/slog"
 	"math/rand"
 	"net"
+	"sort"
 	"sync"
 	"time"
 
 	"lppa/internal/core"
 	"lppa/internal/obs"
+	"lppa/internal/round"
 )
 
-// DefaultIdleTimeout bounds each network read/write on server-side
+// DefaultIdleTimeout bounds the wait for each next frame on server-side
 // connections: a stalled bidder cannot pin a round forever. Results are
 // pushed on idle connections after the round completes, so the timeout
 // must comfortably exceed one full round.
 const DefaultIdleTimeout = 5 * time.Minute
 
-// AuctioneerServer collects masked submissions from a fixed number of
+// roundState tracks the auctioneer's single-round lifecycle.
+type roundState int
+
+const (
+	// stateCollecting accepts and stores submissions.
+	stateCollecting roundState = iota
+	// stateRunning is the auction compute window; resubmissions are asked
+	// to retry shortly.
+	stateRunning
+	// stateDone redelivers stored results to nonce-matching resubmissions
+	// (a bidder that crashed after submitting and restarted).
+	stateDone
+	// stateFailed rejects everything with the failure reason.
+	stateFailed
+)
+
+// AuctioneerServer collects masked submissions from a fixed population of
 // bidders over a listener, runs the private auction, settles charges with
 // the TTP, and pushes each bidder its result on the same connection.
 //
 // Run one instance per auction round. The server never holds key material.
+//
+// The server survives a hostile network: frames are length-capped and
+// deadline-bounded, resubmissions are deduplicated by (bidder, nonce) so a
+// retrying client is idempotent, and — when Config.StragglerTimeout is set
+// — a crashed bidder degrades the round to the configured quorum instead
+// of hanging it.
 type AuctioneerServer struct {
 	params  core.Params
 	bidders int
+	quorum  int
 	ttpAddr string
 	ln      net.Listener
 	log     *slog.Logger
 	rng     *rand.Rand
 	// secondPrice switches charging to the clearing-price rule.
 	secondPrice bool
-	// idleTimeout bounds each read/write on accepted connections
-	// (DefaultIdleTimeout when zero at construction).
-	idleTimeout time.Duration
-	reg         *obs.Registry
-	ob          *netObs
+	idleTimeout  time.Duration
+	frameTimeout time.Duration
+	straggler    time.Duration
+	reg          *obs.Registry
+	ob           *netObs
 
+	// wg tracks the acceptor, the coordinator, and every live handler;
+	// Shutdown waits on it. Round completion is signaled by done instead,
+	// because the acceptor keeps serving replays until the listener closes.
 	wg sync.WaitGroup
+	// arrived nudges the coordinator that a new submission landed.
+	arrived chan struct{}
+	// stop aborts the coordinator's collection wait on Shutdown.
+	stop     chan struct{}
+	stopOnce sync.Once
 
-	mu     sync.Mutex
-	closed bool
-	subs   map[int]Submission
-	conns  map[int]*Conn
+	mu         sync.Mutex
+	closed     bool
+	state      roundState
+	failReason string
+	subs       map[int]Submission
+	conns      map[int]*Conn
+	results    map[int]Result
 
-	doneMu  sync.Mutex
+	// done closes when the round reaches stateDone or stateFailed; outcome
+	// and err are written before the close.
+	done    chan struct{}
 	outcome *RoundOutcome
+	err     error
 }
 
 // RoundOutcome summarizes the finished round on the auctioneer side.
@@ -56,6 +95,9 @@ type RoundOutcome struct {
 	Results []Result
 	Revenue uint64
 	Voided  int
+	// Excluded lists bidder ids (ascending) whose submissions never
+	// arrived before a quorum round proceeded without them.
+	Excluded []int
 }
 
 // NewAuctioneerServer starts the auctioneer for one round of exactly
@@ -73,7 +115,7 @@ func NewSecondPriceAuctioneerServer(params core.Params, bidders int, ttpAddr str
 }
 
 // NewAuctioneerServerWithConfig is NewAuctioneerServer with explicit
-// operational configuration (idle timeout, logger, metrics, charging
+// operational configuration (timeouts, quorum, logger, metrics, charging
 // rule).
 func NewAuctioneerServerWithConfig(params core.Params, bidders int, ttpAddr string, ln net.Listener, seed int64, cfg Config) (*AuctioneerServer, error) {
 	if err := params.Validate(); err != nil {
@@ -82,22 +124,36 @@ func NewAuctioneerServerWithConfig(params core.Params, bidders int, ttpAddr stri
 	if bidders < 1 {
 		return nil, fmt.Errorf("transport: need at least one bidder")
 	}
-	s := &AuctioneerServer{
-		params:      params,
-		bidders:     bidders,
-		ttpAddr:     ttpAddr,
-		ln:          ln,
-		log:         cfg.logger(),
-		rng:         rand.New(rand.NewSource(seed)),
-		secondPrice: cfg.SecondPrice,
-		idleTimeout: cfg.idleTimeout(),
-		reg:         cfg.Metrics,
-		ob:          newNetObs(cfg.Metrics, "auctioneer"),
-		subs:        make(map[int]Submission, bidders),
-		conns:       make(map[int]*Conn, bidders),
+	quorum := cfg.Quorum
+	if quorum == 0 {
+		quorum = bidders
 	}
-	s.wg.Add(1)
+	if quorum < 1 || quorum > bidders {
+		return nil, fmt.Errorf("transport: quorum %d outside [1, %d]", cfg.Quorum, bidders)
+	}
+	s := &AuctioneerServer{
+		params:       params,
+		bidders:      bidders,
+		quorum:       quorum,
+		ttpAddr:      ttpAddr,
+		ln:           ln,
+		log:          cfg.logger(),
+		rng:          rand.New(rand.NewSource(seed)),
+		secondPrice:  cfg.SecondPrice,
+		idleTimeout:  cfg.idleTimeout(),
+		frameTimeout: cfg.frameTimeout(),
+		straggler:    cfg.StragglerTimeout,
+		reg:          cfg.Metrics,
+		ob:           newNetObs(cfg.Metrics, "auctioneer"),
+		arrived:      make(chan struct{}, 1),
+		stop:         make(chan struct{}),
+		subs:         make(map[int]Submission, bidders),
+		conns:        make(map[int]*Conn, bidders),
+		done:         make(chan struct{}),
+	}
+	s.wg.Add(2)
 	go s.acceptLoop()
+	go s.coordinate()
 	return s, nil
 }
 
@@ -117,21 +173,32 @@ func (s *AuctioneerServer) Shutdown(ctx context.Context) error {
 		s.mu.Lock()
 		s.closed = true
 		s.mu.Unlock()
+		s.stopOnce.Do(func() { close(s.stop) })
 	}, s.ln, &s.wg)
 }
 
-// Wait blocks until the round completes and returns the outcome.
+// Wait blocks until the round completes and returns the outcome, nil if
+// the round failed. Outcome additionally reports why.
 func (s *AuctioneerServer) Wait() *RoundOutcome {
-	s.wg.Wait()
-	s.doneMu.Lock()
-	defer s.doneMu.Unlock()
-	return s.outcome
+	o, _ := s.Outcome()
+	return o
 }
 
+// Outcome blocks until the round completes and returns the outcome or the
+// failure. A quorum shortfall is reported as round.ErrQuorumNotReached
+// (wrapped).
+func (s *AuctioneerServer) Outcome() (*RoundOutcome, error) {
+	<-s.done
+	return s.outcome, s.err
+}
+
+// acceptLoop admits connections until the listener closes. Unlike the
+// pre-hardening server it never stops at the population size: a retrying
+// bidder opens a fresh connection per attempt, and a restarted bidder may
+// reconnect after the round completed to collect its result.
 func (s *AuctioneerServer) acceptLoop() {
 	defer s.wg.Done()
-	var handlers sync.WaitGroup
-	for accepted := 0; accepted < s.bidders; accepted++ {
+	for {
 		conn, err := s.ln.Accept()
 		if err != nil {
 			s.mu.Lock()
@@ -140,30 +207,121 @@ func (s *AuctioneerServer) acceptLoop() {
 			if !closed && !errors.Is(err, net.ErrClosed) {
 				s.log.Error("auctioneer accept", "err", err)
 			}
-			handlers.Wait()
 			return
 		}
-		handlers.Add(1)
+		s.wg.Add(1)
 		go func() {
-			defer handlers.Done()
-			s.receiveSubmission(NewConnTimeout(s.ob.accept(conn), s.idleTimeout))
+			defer s.wg.Done()
+			s.receiveSubmission(NewConnTimeouts(s.ob.accept(conn), s.idleTimeout, s.frameTimeout))
 		}()
 	}
-	// Wait for all submission handlers, then run the round and answer
-	// every bidder.
-	handlers.Wait()
+}
+
+// coordinate waits for the population to assemble and starts the round:
+// immediately when every bidder has submitted, or at the straggler
+// deadline with at least quorum submissions. With no deadline configured
+// it waits for full attendance forever (the pre-hardening contract).
+func (s *AuctioneerServer) coordinate() {
+	defer s.wg.Done()
+	var deadline <-chan time.Time
+	if s.straggler > 0 {
+		deadline = time.After(s.straggler)
+	}
+	for {
+		select {
+		case <-s.arrived:
+			if s.submissionCount() >= s.bidders {
+				s.startRound()
+				return
+			}
+		case <-deadline:
+			got := s.submissionCount()
+			if got >= s.quorum {
+				s.startRound()
+				return
+			}
+			s.fail(fmt.Errorf("%w: %d of %d submissions (quorum %d) within %v",
+				round.ErrQuorumNotReached, got, s.bidders, s.quorum, s.straggler))
+			return
+		case <-s.stop:
+			s.fail(errors.New("transport: auctioneer shut down before round completed"))
+			return
+		}
+	}
+}
+
+func (s *AuctioneerServer) submissionCount() int {
 	s.mu.Lock()
-	complete := len(s.subs) == s.bidders
+	defer s.mu.Unlock()
+	return len(s.subs)
+}
+
+// startRound transitions to stateRunning, computes the auction over the
+// collected submissions, and delivers results.
+func (s *AuctioneerServer) startRound() {
+	s.mu.Lock()
+	s.state = stateRunning
+	subs := make(map[int]Submission, len(s.subs))
+	for id, sub := range s.subs {
+		subs[id] = sub
+	}
 	s.mu.Unlock()
-	if !complete {
-		s.log.Error("auctioneer: round incomplete", "got", len(s.subs), "want", s.bidders)
-		s.failAll("round incomplete")
+
+	outcome, results, err := s.runRound(subs)
+	if err != nil {
+		s.log.Error("auctioneer: run round", "err", err)
+		s.fail(err)
 		return
 	}
-	if err := s.runRound(); err != nil {
-		s.log.Error("auctioneer: run round", "err", err)
-		s.failAll(err.Error())
+	s.ob.exclude(len(outcome.Excluded))
+
+	s.mu.Lock()
+	s.state = stateDone
+	s.results = results
+	conns := make(map[int]*Conn, len(s.conns))
+	for id, c := range s.conns {
+		conns[id] = c
 	}
+	s.mu.Unlock()
+
+	for id, c := range conns {
+		if err := c.Send(KindResult, results[id]); err != nil {
+			s.log.Error("auctioneer send result", "bidder", id, "err", err)
+		}
+		c.Close()
+	}
+	s.outcome = outcome
+	close(s.done)
+}
+
+// fail abandons the round: every parked bidder connection is told why and
+// closed, and Wait/Outcome unblock.
+func (s *AuctioneerServer) fail(err error) {
+	s.mu.Lock()
+	if s.state == stateDone || s.state == stateFailed {
+		s.mu.Unlock()
+		return
+	}
+	s.state = stateFailed
+	s.failReason = err.Error()
+	conns := make([]*Conn, 0, len(s.conns))
+	for _, c := range s.conns {
+		conns = append(conns, c)
+	}
+	s.mu.Unlock()
+	for _, c := range conns {
+		_ = c.Send(KindError, ErrorMsg{Reason: err.Error()})
+		c.Close()
+	}
+	s.err = err
+	close(s.done)
+}
+
+// rejectConn answers a connection with a protocol error and closes it.
+func (s *AuctioneerServer) rejectConn(c *Conn, reason string, retryable bool) {
+	s.ob.reject()
+	_ = c.Send(KindError, ErrorMsg{Reason: reason, Retryable: retryable})
+	c.Close()
 }
 
 func (s *AuctioneerServer) receiveSubmission(c *Conn) {
@@ -174,6 +332,7 @@ func (s *AuctioneerServer) receiveSubmission(c *Conn) {
 	var sub Submission
 	if err := c.Expect(KindSubmission, &sub); err != nil {
 		s.ob.noteErr(err)
+		s.ob.reject()
 		s.log.Error("auctioneer recv submission", "err", err)
 		c.Close()
 		return
@@ -181,37 +340,89 @@ func (s *AuctioneerServer) receiveSubmission(c *Conn) {
 	if s.ob != nil {
 		s.ob.subLat.ObserveDuration(time.Since(start))
 	}
-	s.mu.Lock()
-	reject := ""
-	switch {
-	case sub.BidderID < 0 || sub.BidderID >= s.bidders:
-		reject = "bidder id out of range"
-	default:
-		if _, dup := s.subs[sub.BidderID]; dup {
-			reject = "duplicate bidder id"
-		} else {
-			s.subs[sub.BidderID] = sub
-			s.conns[sub.BidderID] = c
-		}
-	}
-	s.mu.Unlock()
-	if reject != "" {
-		_ = c.Send(KindError, ErrorMsg{Reason: reject})
-		c.Close()
+	if err := sub.Validate(s.params); err != nil {
+		s.log.Error("auctioneer: malformed submission", "bidder", sub.BidderID, "err", err)
+		s.rejectConn(c, err.Error(), false)
 		return
 	}
-	_ = c.Send(KindSubmissionAck, struct{}{})
+	if sub.BidderID < 0 || sub.BidderID >= s.bidders {
+		s.rejectConn(c, "bidder id out of range", false)
+		return
+	}
+
+	s.mu.Lock()
+	switch s.state {
+	case stateCollecting:
+		if prev, ok := s.subs[sub.BidderID]; ok {
+			if prev.Nonce != sub.Nonce {
+				s.mu.Unlock()
+				s.rejectConn(c, "duplicate bidder id", false)
+				return
+			}
+			// Idempotent replay: the bidder lost its connection and
+			// resubmitted. Adopt the fresh connection for result delivery.
+			old := s.conns[sub.BidderID]
+			s.conns[sub.BidderID] = c
+			s.mu.Unlock()
+			if old != nil {
+				old.Close()
+			}
+			s.ob.replay()
+			_ = c.Send(KindSubmissionAck, struct{}{})
+			return
+		}
+		s.subs[sub.BidderID] = sub
+		s.conns[sub.BidderID] = c
+		s.mu.Unlock()
+		_ = c.Send(KindSubmissionAck, struct{}{})
+		select {
+		case s.arrived <- struct{}{}:
+		default:
+		}
+	case stateRunning:
+		s.mu.Unlock()
+		s.rejectConn(c, "round in progress, retry shortly", true)
+	case stateDone:
+		prev, submitted := s.subs[sub.BidderID]
+		res, haveResult := s.results[sub.BidderID]
+		s.mu.Unlock()
+		if submitted && haveResult && prev.Nonce == sub.Nonce {
+			// A bidder that crashed after submitting and restarted:
+			// replay its stored result.
+			s.ob.replay()
+			_ = c.Send(KindSubmissionAck, struct{}{})
+			_ = c.Send(KindResult, res)
+			c.Close()
+			return
+		}
+		s.rejectConn(c, "round already closed", false)
+	default: // stateFailed
+		reason := s.failReason
+		s.mu.Unlock()
+		s.rejectConn(c, "round failed: "+reason, false)
+	}
 }
 
-func (s *AuctioneerServer) runRound() error {
-	locs := make([]*core.LocationSubmission, s.bidders)
-	bids := make([]*core.BidSubmission, s.bidders)
-	for id, sub := range s.subs {
-		locs[id], bids[id] = sub.Parts()
+// runRound computes the auction over the collected submissions. With a
+// partial population (quorum round) the auction runs over the compacted
+// survivor slice; assignment indices are translated back to original
+// bidder ids before anything leaves this function.
+func (s *AuctioneerServer) runRound(subs map[int]Submission) (*RoundOutcome, map[int]Result, error) {
+	ids := make([]int, 0, len(subs))
+	for id := range subs {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+
+	locs := make([]*core.LocationSubmission, len(ids))
+	bids := make([]*core.BidSubmission, len(ids))
+	for ci, id := range ids {
+		sub := subs[id]
+		locs[ci], bids[ci] = sub.Parts()
 	}
 	auc, err := core.NewAuctioneer(s.params, locs, bids)
 	if err != nil {
-		return err
+		return nil, nil, err
 	}
 	auc.SetObserver(s.reg)
 	timer := s.reg.PhaseTimer("lppa_round_phase_seconds", nil)
@@ -223,26 +434,36 @@ func (s *AuctioneerServer) runRound() error {
 	if s.secondPrice {
 		awards, err := auc.AllocateAwards(s.rng)
 		if err != nil {
-			return err
+			return nil, nil, err
 		}
 		reqs = auc.ChargeRequestsSecondPrice(awards)
 	} else {
 		assignments, err := auc.Allocate(s.rng)
 		if err != nil {
-			return err
+			return nil, nil, err
 		}
 		reqs = auc.ChargeRequests(assignments)
 	}
 	timer.Phase("charge")
-	wireResults, err := SubmitCharges(s.ttpAddr, reqs)
+	wireResults, err := submitChargesRetry(s.ttpAddr, reqs, 3, 100*time.Millisecond)
 	if err != nil {
-		return fmt.Errorf("transport: settle with ttp: %w", err)
+		return nil, nil, fmt.Errorf("transport: settle with ttp: %w", err)
 	}
 
 	outcome := &RoundOutcome{}
-	results := make(map[int]Result, s.bidders)
+	for id := 0; id < s.bidders; id++ {
+		if _, ok := subs[id]; !ok {
+			outcome.Excluded = append(outcome.Excluded, id)
+		}
+	}
+	results := make(map[int]Result, len(ids))
 	for _, r := range wireResults {
-		res := Result{BidderID: r.Bidder, Channel: r.Channel}
+		if r.Bidder < 0 || r.Bidder >= len(ids) {
+			s.log.Error("auctioneer: ttp result for unknown bidder", "bidder", r.Bidder)
+			continue
+		}
+		id := ids[r.Bidder]
+		res := Result{BidderID: id, Channel: r.Channel}
 		switch {
 		case r.Err != "":
 			res.Voided = true
@@ -255,30 +476,15 @@ func (s *AuctioneerServer) runRound() error {
 			res.Price = r.Price
 			outcome.Revenue += r.Price
 		}
-		results[r.Bidder] = res
+		results[id] = res
 	}
-	for id, c := range s.conns {
+	for _, id := range ids {
 		res, ok := results[id]
 		if !ok {
 			res = Result{BidderID: id}
+			results[id] = res
 		}
-		if err := c.Send(KindResult, res); err != nil {
-			s.log.Error("auctioneer send result", "bidder", id, "err", err)
-		}
-		c.Close()
 		outcome.Results = append(outcome.Results, res)
 	}
-	s.doneMu.Lock()
-	s.outcome = outcome
-	s.doneMu.Unlock()
-	return nil
-}
-
-func (s *AuctioneerServer) failAll(reason string) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	for _, c := range s.conns {
-		_ = c.Send(KindError, ErrorMsg{Reason: reason})
-		c.Close()
-	}
+	return outcome, results, nil
 }

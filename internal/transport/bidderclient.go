@@ -1,27 +1,111 @@
 package transport
 
 import (
+	"errors"
 	"fmt"
 	"math/rand"
 	"net"
+	"time"
 
 	"lppa/internal/core"
 	"lppa/internal/geo"
+	"lppa/internal/mask"
 )
 
+// RetryPolicy shapes the client's capped exponential backoff: attempt k
+// (from 0) sleeps BaseDelay·2^k capped at MaxDelay, with equal jitter (half
+// fixed, half uniform random) so a crowd of bidders recovering from the
+// same fault doesn't reconnect in lockstep.
+type RetryPolicy struct {
+	// MaxAttempts bounds total tries (first attempt included); values < 1
+	// mean one attempt, i.e. no retry.
+	MaxAttempts int
+	BaseDelay   time.Duration
+	MaxDelay    time.Duration
+}
+
+// DefaultRetryPolicy is the client default: four attempts, 50 ms base,
+// 2 s cap — a transient auctioneer hiccup is ridden out in well under the
+// default straggler budget.
+var DefaultRetryPolicy = RetryPolicy{MaxAttempts: 4, BaseDelay: 50 * time.Millisecond, MaxDelay: 2 * time.Second}
+
+// delay returns the backoff before retrying after failed attempt k
+// (0-based), with equal jitter drawn from rng.
+func (p RetryPolicy) delay(attempt int, rng *rand.Rand) time.Duration {
+	d := p.BaseDelay
+	if d <= 0 {
+		d = DefaultRetryPolicy.BaseDelay
+	}
+	max := p.MaxDelay
+	if max <= 0 {
+		max = DefaultRetryPolicy.MaxDelay
+	}
+	for i := 0; i < attempt && d < max; i++ {
+		d *= 2
+	}
+	if d > max {
+		d = max
+	}
+	half := d / 2
+	return half + time.Duration(rng.Int63n(int64(half)+1))
+}
+
+func (p RetryPolicy) attempts() int {
+	if p.MaxAttempts < 1 {
+		if p == (RetryPolicy{}) {
+			return DefaultRetryPolicy.MaxAttempts
+		}
+		return 1
+	}
+	return p.MaxAttempts
+}
+
 // BidderClient is one secondary user participating in a networked round.
+//
+// The client is hardened against a faulty network: every exchange retries
+// with capped exponential backoff and jitter, and resubmission is
+// idempotent — the submission carries a per-round nonce, so the auctioneer
+// recognizes a replay from a reconnecting (or restarted) bidder and never
+// double-counts it.
 type BidderClient struct {
 	ID     int
 	Params core.Params
 	// Policy is the bidder's personal zero-disguise policy.
 	Policy core.DisguisePolicy
+	// Retry tunes backoff; the zero value means DefaultRetryPolicy.
+	Retry RetryPolicy
+	// Timeout bounds dialing and each frame exchange before the round
+	// runs; zero means no deadline (in-process tests over pipes).
+	Timeout time.Duration
+	// AwaitTimeout bounds the wait for the round result after the
+	// submission is acked — it must cover the whole round, so it is
+	// typically much larger than Timeout. Zero means wait forever.
+	AwaitTimeout time.Duration
+	// Dial overrides connection establishment; nil means net.Dial. Tests
+	// use it to interpose the fault injector.
+	Dial func(network, addr string) (net.Conn, error)
+}
+
+func (b *BidderClient) dial(addr string) (net.Conn, error) {
+	if b.Dial != nil {
+		return b.Dial("tcp", addr)
+	}
+	if b.Timeout > 0 {
+		return net.DialTimeout("tcp", addr, b.Timeout)
+	}
+	return net.Dial("tcp", addr)
 }
 
 // Participate runs the bidder's side of one round: fetch the key ring from
 // the TTP, mask location and bids, submit to the auctioneer, and wait for
-// the result. It blocks until the round completes.
+// the result. It blocks until the round completes, retrying transient
+// failures per the client's RetryPolicy.
+//
+// The fault-free rng stream is identical to the pre-hardening client up
+// through bid encoding; the submission nonce is drawn after encoding and
+// the jitter rng is derived from it only when a retry actually happens.
 func (b *BidderClient) Participate(ttpAddr, auctioneerAddr string, loc geo.Point, bids []uint64, rng *rand.Rand) (*Result, error) {
-	ring, err := FetchKeyRing(ttpAddr)
+	ring, err := b.fetchKeyRing(ttpAddr)
 	if err != nil {
 		return nil, fmt.Errorf("transport: bidder %d: %w", b.ID, err)
 	}
@@ -46,22 +130,97 @@ func (b *BidderClient) Participate(ttpAddr, auctioneerAddr string, loc geo.Point
 		return nil, fmt.Errorf("transport: bidder %d bids: %w", b.ID, err)
 	}
 
-	conn, err := net.Dial("tcp", auctioneerAddr)
+	sub := NewSubmission(b.ID, locSub, bidSub)
+	sub.Nonce = rng.Uint64()
+
+	var res *Result
+	err = b.withRetry(sub.Nonce, func() error {
+		r, err := b.submitOnce(auctioneerAddr, sub)
+		if err != nil {
+			return err
+		}
+		res = r
+		return nil
+	})
 	if err != nil {
-		return nil, fmt.Errorf("transport: bidder %d dial auctioneer: %w", b.ID, err)
+		return nil, fmt.Errorf("transport: bidder %d: %w", b.ID, err)
 	}
-	c := NewConn(conn)
+	return res, nil
+}
+
+// submitOnce performs one submission attempt over a fresh connection:
+// submit, await ack, await result. The caller retries on failure; the
+// nonce makes the resend idempotent on the auctioneer.
+func (b *BidderClient) submitOnce(addr string, sub Submission) (*Result, error) {
+	conn, err := b.dial(addr)
+	if err != nil {
+		return nil, fmt.Errorf("dial auctioneer: %w", err)
+	}
+	c := NewConnTimeout(conn, b.Timeout)
 	defer c.Close()
-	if err := c.Send(KindSubmission, NewSubmission(b.ID, locSub, bidSub)); err != nil {
+	if err := c.Send(KindSubmission, sub); err != nil {
 		return nil, err
 	}
 	var ack struct{}
 	if err := c.Expect(KindSubmissionAck, &ack); err != nil {
-		return nil, fmt.Errorf("transport: bidder %d submission rejected: %w", b.ID, err)
+		return nil, fmt.Errorf("submission rejected: %w", err)
 	}
+	c.SetIdleTimeout(b.AwaitTimeout)
 	var res Result
 	if err := c.Expect(KindResult, &res); err != nil {
-		return nil, fmt.Errorf("transport: bidder %d await result: %w", b.ID, err)
+		return nil, fmt.Errorf("await result: %w", err)
 	}
 	return &res, nil
+}
+
+// fetchKeyRing is FetchKeyRing under the client's retry policy and dialer.
+func (b *BidderClient) fetchKeyRing(addr string) (*mask.KeyRing, error) {
+	var ring *mask.KeyRing
+	err := b.withRetry(uint64(b.ID)+1, func() error {
+		conn, err := b.dial(addr)
+		if err != nil {
+			return fmt.Errorf("dial ttp: %w", err)
+		}
+		c := NewConnTimeout(conn, b.Timeout)
+		defer c.Close()
+		if err := c.Send(KindKeyRingRequest, struct{}{}); err != nil {
+			return err
+		}
+		var reply KeyRingReply
+		if err := c.Expect(KindKeyRingReply, &reply); err != nil {
+			return err
+		}
+		ring = reply.ToRing()
+		return nil
+	})
+	return ring, err
+}
+
+// withRetry runs op up to the policy's attempt budget, backing off between
+// tries. A *PeerError with Retryable=false is terminal — the peer has
+// rejected us and retrying cannot change its mind. The jitter rng is
+// seeded from jitterSeed and created only when a retry actually happens,
+// so a fault-free run draws nothing extra.
+func (b *BidderClient) withRetry(jitterSeed uint64, op func() error) error {
+	attempts := b.Retry.attempts()
+	var jitter *rand.Rand
+	var last error
+	for attempt := 0; attempt < attempts; attempt++ {
+		if attempt > 0 {
+			if jitter == nil {
+				jitter = rand.New(rand.NewSource(int64(jitterSeed)))
+			}
+			time.Sleep(b.Retry.delay(attempt-1, jitter))
+		}
+		err := op()
+		if err == nil {
+			return nil
+		}
+		var pe *PeerError
+		if errors.As(err, &pe) && !pe.Retryable {
+			return err
+		}
+		last = err
+	}
+	return fmt.Errorf("after %d attempts: %w", attempts, last)
 }

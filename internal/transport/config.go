@@ -12,23 +12,45 @@ import (
 	"lppa/internal/obs"
 )
 
+// DefaultFrameTimeout bounds reading one frame's body once its length
+// prefix has arrived. Tighter than the idle timeout so a slow-loris peer
+// trickling a frame byte by byte is dropped within seconds instead of
+// holding a handler for the whole idle budget.
+const DefaultFrameTimeout = 30 * time.Second
+
 // Config carries the operational knobs shared by TTPServer and
 // AuctioneerServer. The zero value is a working default: DefaultIdleTimeout,
-// slog.Default(), no metrics, first-price charging.
+// DefaultFrameTimeout, slog.Default(), no metrics, first-price charging,
+// full attendance required.
 type Config struct {
-	// IdleTimeout bounds each read/write on accepted connections; zero
-	// means DefaultIdleTimeout.
+	// IdleTimeout bounds the wait for each next frame on accepted
+	// connections; zero means DefaultIdleTimeout.
 	IdleTimeout time.Duration
+	// FrameTimeout bounds reading one frame's body after its header
+	// arrives; zero means DefaultFrameTimeout.
+	FrameTimeout time.Duration
 	// Logger receives server-side errors; nil means slog.Default().
 	Logger *slog.Logger
 	// Metrics, when non-nil, records connections accepted, wire bytes
-	// in/out, per-submission service latency, timeout drops, and — on the
+	// in/out, per-submission service latency, timeout drops, rejected
+	// frames, deduplicated replays, excluded bidders, and — on the
 	// auctioneer — round phase timings plus the core comparison counters.
 	// Nil disables all instrumentation at zero cost.
 	Metrics *obs.Registry
 	// SecondPrice switches the auctioneer to clearing-price charging.
 	// Ignored by the TTP server.
 	SecondPrice bool
+	// Quorum is the minimum number of distinct submissions the auctioneer
+	// will run a degraded round with when StragglerTimeout fires; zero
+	// means all bidders are required. Ignored by the TTP server.
+	Quorum int
+	// StragglerTimeout bounds the auctioneer's collection phase, measured
+	// from server start. When it fires with at least Quorum submissions
+	// collected the round proceeds without the stragglers (they are
+	// reported in RoundOutcome.Excluded); with fewer, the round fails with
+	// round.ErrQuorumNotReached instead of hanging. Zero waits forever,
+	// the pre-hardening behavior. Ignored by the TTP server.
+	StragglerTimeout time.Duration
 }
 
 func (c Config) idleTimeout() time.Duration {
@@ -36,6 +58,13 @@ func (c Config) idleTimeout() time.Duration {
 		return DefaultIdleTimeout
 	}
 	return c.IdleTimeout
+}
+
+func (c Config) frameTimeout() time.Duration {
+	if c.FrameTimeout <= 0 {
+		return DefaultFrameTimeout
+	}
+	return c.FrameTimeout
 }
 
 func (c Config) logger() *slog.Logger {
@@ -75,6 +104,9 @@ type netObs struct {
 	bytesOut *obs.Counter
 	subLat   *obs.Histogram
 	timeouts *obs.Counter
+	rejects  *obs.Counter
+	replays  *obs.Counter
+	excluded *obs.Counter
 }
 
 func newNetObs(reg *obs.Registry, role string) *netObs {
@@ -88,6 +120,31 @@ func newNetObs(reg *obs.Registry, role string) *netObs {
 		bytesOut: reg.Counter("lppa_transport_bytes_written_total", l),
 		subLat:   reg.Histogram("lppa_transport_submission_seconds", nil, l),
 		timeouts: reg.Counter("lppa_transport_timeouts_total", l),
+		rejects:  reg.Counter("lppa_transport_frames_rejected_total", l),
+		replays:  reg.Counter("lppa_transport_replays_deduped_total", l),
+		excluded: reg.Counter("lppa_transport_bidders_excluded_total", l),
+	}
+}
+
+// reject tallies one rejected frame or submission (malformed, duplicate,
+// out of protocol, or arriving outside the collection window).
+func (o *netObs) reject() {
+	if o != nil {
+		o.rejects.Inc()
+	}
+}
+
+// replay tallies one idempotent resubmission deduplicated by nonce.
+func (o *netObs) replay() {
+	if o != nil {
+		o.replays.Inc()
+	}
+}
+
+// exclude tallies bidders dropped from a degraded quorum round.
+func (o *netObs) exclude(n int) {
+	if o != nil && n > 0 {
+		o.excluded.Add(uint64(n))
 	}
 }
 

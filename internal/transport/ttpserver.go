@@ -25,10 +25,12 @@ type TTPServer struct {
 	ttp    *ttp.TTP
 	ln     net.Listener
 	log    *slog.Logger
-	// IdleTimeout bounds each read/write on accepted connections
-	// (DefaultIdleTimeout when zero at construction).
-	idleTimeout time.Duration
-	ob          *netObs
+	// idleTimeout bounds the wait for each next frame on accepted
+	// connections; frameTimeout bounds reading one frame body
+	// (DefaultIdleTimeout / DefaultFrameTimeout when zero at construction).
+	idleTimeout  time.Duration
+	frameTimeout time.Duration
+	ob           *netObs
 
 	wg     sync.WaitGroup
 	mu     sync.Mutex
@@ -58,9 +60,10 @@ func NewTTPServerWithConfig(params core.Params, seed []byte, rd, cr uint64, ln n
 		ring:        ring,
 		ttp:         trusted,
 		ln:          ln,
-		log:         cfg.logger(),
-		idleTimeout: cfg.idleTimeout(),
-		ob:          newNetObs(cfg.Metrics, "ttp"),
+		log:          cfg.logger(),
+		idleTimeout:  cfg.idleTimeout(),
+		frameTimeout: cfg.frameTimeout(),
+		ob:           newNetObs(cfg.Metrics, "ttp"),
 	}
 	s.wg.Add(1)
 	go s.acceptLoop()
@@ -102,7 +105,7 @@ func (s *TTPServer) acceptLoop() {
 		s.wg.Add(1)
 		go func() {
 			defer s.wg.Done()
-			s.handle(NewConnTimeout(s.ob.accept(conn), s.idleTimeout))
+			s.handle(NewConnTimeouts(s.ob.accept(conn), s.idleTimeout, s.frameTimeout))
 		}()
 	}
 }
@@ -119,6 +122,7 @@ func (s *TTPServer) handle(c *Conn) {
 		case KindKeyRingRequest:
 			var req struct{}
 			if err := c.RecvPayload(&req); err != nil {
+				s.ob.reject()
 				return
 			}
 			if err := c.Send(KindKeyRingReply, RingToWire(s.ring)); err != nil {
@@ -128,6 +132,13 @@ func (s *TTPServer) handle(c *Conn) {
 		case KindChargeBatch:
 			var batch ChargeBatch
 			if err := c.RecvPayload(&batch); err != nil {
+				s.ob.reject()
+				return
+			}
+			if err := batch.Validate(); err != nil {
+				s.ob.reject()
+				s.log.Error("ttp: malformed charge batch", "err", err)
+				_ = c.Send(KindError, ErrorMsg{Reason: err.Error()})
 				return
 			}
 			results := s.ttp.ProcessBatch(batch.Requests)
@@ -136,6 +147,7 @@ func (s *TTPServer) handle(c *Conn) {
 				return
 			}
 		default:
+			s.ob.reject()
 			_ = c.Send(KindError, ErrorMsg{Reason: fmt.Sprintf("unexpected message kind %d", env.Kind)})
 			return
 		}
@@ -159,6 +171,32 @@ func FetchKeyRing(addr string) (*mask.KeyRing, error) {
 		return nil, err
 	}
 	return reply.ToRing(), nil
+}
+
+// submitChargesRetry is SubmitCharges with simple capped exponential
+// backoff: the TTP is infrastructure the auctioneer operator controls, so
+// a short blip (restart, connection reset) should not void a whole round
+// of collected submissions. Permanent peer rejections are not retried.
+func submitChargesRetry(addr string, reqs []core.ChargeRequest, attempts int, base time.Duration) ([]WireChargeResult, error) {
+	if attempts < 1 {
+		attempts = 1
+	}
+	var last error
+	for attempt := 0; attempt < attempts; attempt++ {
+		if attempt > 0 {
+			time.Sleep(base << (attempt - 1))
+		}
+		res, err := SubmitCharges(addr, reqs)
+		if err == nil {
+			return res, nil
+		}
+		var pe *PeerError
+		if errors.As(err, &pe) && !pe.Retryable {
+			return nil, err
+		}
+		last = err
+	}
+	return nil, fmt.Errorf("transport: submit charges failed after %d attempts: %w", attempts, last)
 }
 
 // SubmitCharges sends a charge batch to the TTP (auctioneer side).

@@ -10,6 +10,8 @@
 package transport
 
 import (
+	"bytes"
+	"encoding/binary"
 	"encoding/gob"
 	"fmt"
 	"io"
@@ -20,8 +22,30 @@ import (
 	"lppa/internal/ttp"
 )
 
-// Protocol version, checked in every hello.
-const protocolVersion = 1
+// Protocol version, checked in every frame. Version 2 switched the wire
+// format from a single long-lived gob stream to self-contained
+// length-prefixed frames, so a receiver can cap and reject a frame before
+// allocating for it and a retrying sender can resend a frame verbatim.
+const protocolVersion = 2
+
+// Wire hardening caps. A peer-supplied length or count beyond these is
+// rejected before any allocation happens, so a hostile 2 GB length prefix
+// costs the server nothing.
+const (
+	// MaxFrameBytes caps one frame's payload. The largest legitimate
+	// frame is a submission (≲ a few hundred KB at production parameters);
+	// 16 MiB leaves wide headroom without letting a peer balloon memory.
+	MaxFrameBytes = 16 << 20
+	// MaxDigestsPerSet caps any single digest set in a submission or
+	// charge request. Prefix families and range covers are O(log domain)
+	// — tens of digests — so 4096 is far beyond any honest submission.
+	MaxDigestsPerSet = 4096
+	// MaxSealedBytes caps a sealed-bid ciphertext (nonce + GCM tag +
+	// value, well under 100 bytes when honest).
+	MaxSealedBytes = 1024
+	// MaxChargeRequests caps one charge batch.
+	MaxChargeRequests = 1 << 16
+)
 
 // MsgKind discriminates top-level messages.
 type MsgKind int
@@ -102,11 +126,49 @@ type WireChannelBid struct {
 // Submission is a bidder's complete round submission.
 type Submission struct {
 	BidderID int
+	// Nonce identifies this (bidder, round) submission across retries: a
+	// client resending after a broken connection reuses the nonce, and the
+	// auctioneer treats a matching (BidderID, Nonce) pair as an idempotent
+	// replay rather than a duplicate.
+	Nonce    uint64
 	XFamily  DigestSet
 	YFamily  DigestSet
 	XRange   DigestSet
 	YRange   DigestSet
 	Channels []WireChannelBid
+}
+
+// Validate rejects malformed submissions before any further processing:
+// wrong channel count for the round's parameters, digest sets beyond the
+// hardening cap, or oversized sealed ciphertexts.
+func (s Submission) Validate(params core.Params) error {
+	if len(s.Channels) != params.Channels {
+		return fmt.Errorf("transport: submission has %d channel bids, round has %d channels",
+			len(s.Channels), params.Channels)
+	}
+	sets := []struct {
+		name string
+		n    int
+	}{
+		{"x family", len(s.XFamily)}, {"y family", len(s.YFamily)},
+		{"x range", len(s.XRange)}, {"y range", len(s.YRange)},
+	}
+	for _, set := range sets {
+		if set.n > MaxDigestsPerSet {
+			return fmt.Errorf("transport: submission %s has %d digests, cap %d", set.name, set.n, MaxDigestsPerSet)
+		}
+	}
+	for r, cb := range s.Channels {
+		if len(cb.Family) > MaxDigestsPerSet || len(cb.Range) > MaxDigestsPerSet {
+			return fmt.Errorf("transport: channel %d bid has %d+%d digests, cap %d",
+				r, len(cb.Family), len(cb.Range), MaxDigestsPerSet)
+		}
+		if len(cb.Sealed) > MaxSealedBytes {
+			return fmt.Errorf("transport: channel %d sealed bid is %d bytes, cap %d",
+				r, len(cb.Sealed), MaxSealedBytes)
+		}
+	}
+	return nil
 }
 
 // NewSubmission assembles the wire submission from protocol objects.
@@ -165,6 +227,24 @@ type ChargeBatch struct {
 	Requests []core.ChargeRequest
 }
 
+// Validate rejects malformed charge batches before processing: too many
+// requests, oversized sealed ciphertexts, or digest families beyond the
+// hardening cap.
+func (b ChargeBatch) Validate() error {
+	if len(b.Requests) > MaxChargeRequests {
+		return fmt.Errorf("transport: charge batch has %d requests, cap %d", len(b.Requests), MaxChargeRequests)
+	}
+	for i, r := range b.Requests {
+		if len(r.Sealed) > MaxSealedBytes || len(r.RunnerUpSealed) > MaxSealedBytes {
+			return fmt.Errorf("transport: charge request %d sealed bid exceeds %d bytes", i, MaxSealedBytes)
+		}
+		if len(r.Family) > MaxDigestsPerSet {
+			return fmt.Errorf("transport: charge request %d has %d family digests, cap %d", i, len(r.Family), MaxDigestsPerSet)
+		}
+	}
+	return nil
+}
+
 // WireChargeResult mirrors ttp.ChargeResult with the error flattened to a
 // string (gob cannot carry interface values).
 type WireChargeResult struct {
@@ -192,10 +272,25 @@ func ChargeResultsToWire(rs []ttp.ChargeResult) []WireChargeResult {
 	return out
 }
 
-// ErrorMsg reports a protocol failure to the peer.
+// ErrorMsg reports a protocol failure to the peer. Retryable marks
+// transient conditions (the round is mid-allocation and the result will be
+// available shortly) that a client should retry after backoff, as opposed
+// to permanent rejections (malformed submission, duplicate id).
 type ErrorMsg struct {
-	Reason string
+	Reason    string
+	Retryable bool
 }
+
+// PeerError is a protocol-level rejection received from the remote party
+// (a KindError frame). Receivers use errors.As to distinguish a peer's
+// verdict — permanent unless Retryable — from transient transport
+// failures, which are always worth retrying.
+type PeerError struct {
+	Reason    string
+	Retryable bool
+}
+
+func (e *PeerError) Error() string { return "transport: peer error: " + e.Reason }
 
 // deadliner is the optional deadline surface of net.Conn; the Conn
 // wrapper arms it when a timeout is configured so a stalled peer cannot
@@ -205,88 +300,190 @@ type deadliner interface {
 	SetWriteDeadline(time.Time) error
 }
 
-// Conn wraps a bidirectional stream with gob encoding of enveloped
+// EncodeFrame serializes one enveloped message to its complete wire form:
+// a 4-byte big-endian payload length followed by a self-contained gob
+// stream holding the envelope and the body. Self-contained frames cost a
+// re-sent type description per message but make every frame independently
+// decodable — a retrying client can resend one verbatim and a fuzzer can
+// attack the decoder one frame at a time.
+func EncodeFrame(kind MsgKind, payload any) ([]byte, error) {
+	var buf bytes.Buffer
+	buf.Write(make([]byte, frameHeaderLen))
+	enc := gob.NewEncoder(&buf)
+	if err := enc.Encode(Envelope{Version: protocolVersion, Kind: kind}); err != nil {
+		return nil, fmt.Errorf("transport: encode envelope: %w", err)
+	}
+	if err := enc.Encode(payload); err != nil {
+		return nil, fmt.Errorf("transport: encode payload: %w", err)
+	}
+	b := buf.Bytes()
+	n := len(b) - frameHeaderLen
+	if n > MaxFrameBytes {
+		return nil, fmt.Errorf("transport: frame payload %d bytes exceeds cap %d", n, MaxFrameBytes)
+	}
+	binary.BigEndian.PutUint32(b[:frameHeaderLen], uint32(n))
+	return b, nil
+}
+
+// frameHeaderLen is the length-prefix size.
+const frameHeaderLen = 4
+
+// DecodeFrame parses one complete wire frame (as produced by EncodeFrame)
+// and returns its envelope plus a decoder positioned at the payload. The
+// length prefix is validated against the actual frame size and the
+// MaxFrameBytes cap before anything is decoded.
+func DecodeFrame(frame []byte) (Envelope, *gob.Decoder, error) {
+	if len(frame) < frameHeaderLen {
+		return Envelope{}, nil, fmt.Errorf("transport: frame shorter than header (%d bytes)", len(frame))
+	}
+	n := binary.BigEndian.Uint32(frame[:frameHeaderLen])
+	if n > MaxFrameBytes {
+		return Envelope{}, nil, fmt.Errorf("transport: frame length %d exceeds cap %d", n, MaxFrameBytes)
+	}
+	if int(n) != len(frame)-frameHeaderLen {
+		return Envelope{}, nil, fmt.Errorf("transport: frame length %d, have %d payload bytes", n, len(frame)-frameHeaderLen)
+	}
+	return decodeFrameBody(frame[frameHeaderLen:])
+}
+
+// decodeFrameBody decodes and validates the envelope of one frame payload.
+func decodeFrameBody(body []byte) (Envelope, *gob.Decoder, error) {
+	dec := gob.NewDecoder(bytes.NewReader(body))
+	var env Envelope
+	if err := dec.Decode(&env); err != nil {
+		return env, nil, fmt.Errorf("transport: recv envelope: %w", err)
+	}
+	if env.Version != protocolVersion {
+		return env, nil, fmt.Errorf("transport: protocol version %d, want %d", env.Version, protocolVersion)
+	}
+	if env.Kind < KindKeyRingRequest || env.Kind > KindError {
+		return env, nil, fmt.Errorf("transport: unknown message kind %d", env.Kind)
+	}
+	return env, dec, nil
+}
+
+// Conn wraps a bidirectional stream with length-prefixed framed gob
 // messages. It is not safe for concurrent use.
 type Conn struct {
-	rw      io.ReadWriteCloser
-	enc     *gob.Encoder
-	dec     *gob.Decoder
-	timeout time.Duration
+	rw io.ReadWriteCloser
+	// idleTimeout bounds the wait for the next frame to start; frameTimeout
+	// bounds reading the frame body once its header has arrived. The split
+	// lets a server wait patiently between messages while still dropping a
+	// slow-loris peer that trickles a frame byte by byte.
+	idleTimeout  time.Duration
+	frameTimeout time.Duration
+	// pending is the current frame's payload decoder, set by RecvEnvelope
+	// and consumed by RecvPayload.
+	pending *gob.Decoder
 }
 
-// NewConn wraps a stream.
+// NewConn wraps a stream with no I/O deadlines.
 func NewConn(rw io.ReadWriteCloser) *Conn {
-	return &Conn{rw: rw, enc: gob.NewEncoder(rw), dec: gob.NewDecoder(rw)}
+	return &Conn{rw: rw}
 }
 
-// NewConnTimeout wraps a stream with a per-operation I/O deadline. The
-// deadline applies to each Send/Recv individually (it is re-armed per
-// call), so long rounds are fine as long as the peer keeps making
-// progress. Streams without deadline support (e.g. in-memory pipes in
-// tests) ignore the timeout.
+// NewConnTimeout wraps a stream with one per-operation I/O deadline used
+// both between frames and within them. Streams without deadline support
+// (e.g. in-memory pipes in tests) ignore the timeout.
 func NewConnTimeout(rw io.ReadWriteCloser, timeout time.Duration) *Conn {
-	c := NewConn(rw)
-	c.timeout = timeout
-	return c
+	return &Conn{rw: rw, idleTimeout: timeout, frameTimeout: timeout}
 }
 
-func (c *Conn) armRead() {
-	if c.timeout <= 0 {
-		return
-	}
-	if d, ok := c.rw.(deadliner); ok {
-		_ = d.SetReadDeadline(time.Now().Add(c.timeout))
-	}
+// NewConnTimeouts wraps a stream with separate deadlines: idle bounds the
+// wait for a frame to start, frame bounds reading its body. Both are
+// re-armed per frame, so long rounds are fine as long as the peer keeps
+// making frame-level progress.
+func NewConnTimeouts(rw io.ReadWriteCloser, idle, frame time.Duration) *Conn {
+	return &Conn{rw: rw, idleTimeout: idle, frameTimeout: frame}
 }
 
-func (c *Conn) armWrite() {
-	if c.timeout <= 0 {
+// SetIdleTimeout changes the between-frames deadline; a client uses this
+// to wait longer for the round result than for a submission ack.
+func (c *Conn) SetIdleTimeout(d time.Duration) { c.idleTimeout = d }
+
+func (c *Conn) arm(d time.Duration, read bool) {
+	dl, ok := c.rw.(deadliner)
+	if !ok {
 		return
 	}
-	if d, ok := c.rw.(deadliner); ok {
-		_ = d.SetWriteDeadline(time.Now().Add(c.timeout))
+	// d <= 0 means "no deadline": clear any deadline armed for an earlier
+	// exchange, otherwise a client that drops its per-exchange timeout for
+	// an unbounded result wait would still trip the stale one.
+	var t time.Time
+	if d > 0 {
+		t = time.Now().Add(d)
+	}
+	if read {
+		_ = dl.SetReadDeadline(t)
+	} else {
+		_ = dl.SetWriteDeadline(t)
 	}
 }
 
 // Close closes the underlying stream.
 func (c *Conn) Close() error { return c.rw.Close() }
 
-// Send writes an enveloped message.
+// Send writes an enveloped message as exactly one Write call on the
+// underlying stream — one frame per Write, which is the contract the
+// fault injector (internal/faults) builds on.
 func (c *Conn) Send(kind MsgKind, payload any) error {
-	c.armWrite()
-	if err := c.enc.Encode(Envelope{Version: protocolVersion, Kind: kind}); err != nil {
-		return fmt.Errorf("transport: send envelope: %w", err)
+	frame, err := EncodeFrame(kind, payload)
+	if err != nil {
+		return err
 	}
-	if err := c.enc.Encode(payload); err != nil {
-		return fmt.Errorf("transport: send payload: %w", err)
+	c.arm(c.frameTimeout, false)
+	if _, err := c.rw.Write(frame); err != nil {
+		return fmt.Errorf("transport: send frame: %w", err)
 	}
 	return nil
 }
 
-// RecvEnvelope reads the next envelope and validates the version.
+// readFrame reads the next frame off the wire, rejecting oversize or
+// malformed length prefixes before allocating the body.
+func (c *Conn) readFrame() (Envelope, *gob.Decoder, error) {
+	c.arm(c.idleTimeout, true)
+	var hdr [frameHeaderLen]byte
+	if _, err := io.ReadFull(c.rw, hdr[:]); err != nil {
+		return Envelope{}, nil, fmt.Errorf("transport: recv frame header: %w", err)
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n == 0 || n > MaxFrameBytes {
+		return Envelope{}, nil, fmt.Errorf("transport: frame length %d outside (0, %d]", n, MaxFrameBytes)
+	}
+	body := make([]byte, n)
+	c.arm(c.frameTimeout, true)
+	if _, err := io.ReadFull(c.rw, body); err != nil {
+		return Envelope{}, nil, fmt.Errorf("transport: recv frame body: %w", err)
+	}
+	return decodeFrameBody(body)
+}
+
+// RecvEnvelope reads the next frame and validates its envelope. The
+// payload stays pending until RecvPayload.
 func (c *Conn) RecvEnvelope() (Envelope, error) {
-	c.armRead()
-	var env Envelope
-	if err := c.dec.Decode(&env); err != nil {
-		return env, fmt.Errorf("transport: recv envelope: %w", err)
+	env, dec, err := c.readFrame()
+	if err != nil {
+		return env, err
 	}
-	if env.Version != protocolVersion {
-		return env, fmt.Errorf("transport: protocol version %d, want %d", env.Version, protocolVersion)
-	}
+	c.pending = dec
 	return env, nil
 }
 
-// RecvPayload decodes the message body into payload.
+// RecvPayload decodes the pending frame's body into payload.
 func (c *Conn) RecvPayload(payload any) error {
-	c.armRead()
-	if err := c.dec.Decode(payload); err != nil {
+	if c.pending == nil {
+		return fmt.Errorf("transport: no pending frame (RecvEnvelope first)")
+	}
+	dec := c.pending
+	c.pending = nil
+	if err := dec.Decode(payload); err != nil {
 		return fmt.Errorf("transport: recv payload: %w", err)
 	}
 	return nil
 }
 
 // Expect reads an envelope and asserts its kind, then decodes the body.
-// A KindError body is surfaced as an error.
+// A KindError body is surfaced as a *PeerError.
 func (c *Conn) Expect(kind MsgKind, payload any) error {
 	env, err := c.RecvEnvelope()
 	if err != nil {
@@ -297,7 +494,7 @@ func (c *Conn) Expect(kind MsgKind, payload any) error {
 		if err := c.RecvPayload(&em); err != nil {
 			return err
 		}
-		return fmt.Errorf("transport: peer error: %s", em.Reason)
+		return &PeerError{Reason: em.Reason, Retryable: em.Retryable}
 	}
 	if env.Kind != kind {
 		return fmt.Errorf("transport: got message kind %d, want %d", env.Kind, kind)

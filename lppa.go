@@ -52,12 +52,14 @@ package lppa
 
 import (
 	"math/rand"
+	"time"
 
 	"lppa/internal/attack"
 	"lppa/internal/auction"
 	"lppa/internal/bidder"
 	"lppa/internal/core"
 	"lppa/internal/dataset"
+	"lppa/internal/faults"
 	"lppa/internal/geo"
 	"lppa/internal/mask"
 	"lppa/internal/obs"
@@ -164,7 +166,26 @@ type (
 	BidderClient = transport.BidderClient
 	// Result is a bidder's networked round result.
 	Result = transport.Result
+	// RetryPolicy shapes the bidder client's backoff (DESIGN.md §5d).
+	RetryPolicy = transport.RetryPolicy
+	// RoundOutcome summarizes a networked round on the auctioneer side,
+	// including bidders excluded from a degraded quorum round.
+	RoundOutcome = transport.RoundOutcome
+	// TransportConfig carries the servers' operational knobs (timeouts,
+	// quorum, metrics, charging rule).
+	TransportConfig = transport.Config
+	// FaultConfig selects the deterministic fault classes a chaos-injected
+	// connection exhibits (internal/faults; DESIGN.md §5d).
+	FaultConfig = faults.Config
+	// FaultInjector hands out seeded fault-injected connections.
+	FaultInjector = faults.Injector
 )
+
+// NewFaultInjector creates a fault injector whose connection schedules all
+// derive from seed, so any chaos failure replays exactly.
+func NewFaultInjector(seed int64, cfg FaultConfig) *FaultInjector {
+	return faults.NewInjector(seed, cfg)
+}
 
 // Experiment harness types.
 type (
@@ -269,6 +290,22 @@ func WithSecondPrice() RunOption { return round.WithSecondPrice() }
 // revenue, comparison and interning counters. A nil registry disables
 // observation at zero cost, and results are bit-identical either way.
 func WithObserver(reg *Registry) RunOption { return round.WithObserver(reg) }
+
+// WithQuorum lets Run degrade gracefully: bidders whose submissions cannot
+// be produced are excluded (reported in RoundResult.Excluded) as long as at
+// least q usable submissions remain; fewer fail the round with
+// ErrQuorumNotReached. A fault-free round is bit-identical with or without
+// the option.
+func WithQuorum(q int) RunOption { return round.WithQuorum(q) }
+
+// WithStragglerTimeout bounds how long Run waits for any bidder's
+// submission; stragglers are excluded under the WithQuorum rules. Requires
+// WithWorkers.
+func WithStragglerTimeout(d time.Duration) RunOption { return round.WithStragglerTimeout(d) }
+
+// ErrQuorumNotReached reports a round (in-process or networked) that ended
+// with fewer usable submissions than its quorum; test with errors.Is.
+var ErrQuorumNotReached = round.ErrQuorumNotReached
 
 // NewRegistry creates an empty metrics registry for WithObserver or the
 // transport servers.
