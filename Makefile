@@ -3,7 +3,7 @@
 GO ?= go
 CACHE ?= /tmp/lppa-ds.gob
 
-.PHONY: all build test race cover bench bench-json bench-compare alloc-guard fuzz fuzz-short chaos experiments examples metrics-snapshot clean
+.PHONY: all build test race cover bench bench-json bench-compare alloc-guard trace-guard fuzz fuzz-short chaos experiments examples metrics-snapshot trace-snapshot audit-snapshot clean
 
 all: build test
 
@@ -25,16 +25,17 @@ bench:
 
 # Machine-readable snapshot of the auctioneer-path benchmarks. Each PR
 # writes its own file (BENCH_PR1.json parallel pipeline, BENCH_PR2.json
-# interning, BENCH_PR3.json the unified Run API with a nil registry) so
-# bench-compare can diff across PRs. See EXPERIMENTS.md for the narrative.
+# interning, BENCH_PR3.json the unified Run API with a nil registry,
+# BENCH_PR5.json the tracing subsystem) so bench-compare can diff across
+# PRs. See EXPERIMENTS.md for the narrative.
 bench-json:
 	$(GO) test -run=NONE -benchmem \
-		-bench='ZeroAllocMask|ParallelMaskAll|ParallelConflictGraph|ParallelPrivateRound|RankMemoAllocation|MaskDigest|PrivateConflictGraph|InternedIntersect|ConflictGraphN300|RankMemoN300' \
-		. | $(GO) run ./cmd/benchjson > BENCH_PR3.json
+		-bench='ZeroAllocMask|ParallelMaskAll|ParallelConflictGraph|ParallelPrivateRound|RankMemoAllocation|MaskDigest|PrivateConflictGraph|InternedIntersect|ConflictGraphN300|RankMemoN300|RoundTraceOverhead' \
+		. | $(GO) run ./cmd/benchjson > BENCH_PR5.json
 
 # Diff ns/op and allocs/op between the two most recent committed snapshots.
 bench-compare:
-	$(GO) run ./cmd/benchjson -compare BENCH_PR2.json BENCH_PR3.json
+	$(GO) run ./cmd/benchjson -compare BENCH_PR3.json BENCH_PR5.json
 
 # Per-phase/per-layer cost profile of one instrumented N=300 private
 # round, as the observability registry's JSON snapshot. CI uploads it next
@@ -42,6 +43,25 @@ bench-compare:
 metrics-snapshot:
 	$(GO) run ./cmd/lppa-sim -experiment round -n 300 -cache $(CACHE) \
 		-metrics-out METRICS_ROUND.json
+
+# Chrome trace_event snapshot of one instrumented N=300 private round
+# (open TRACE_ROUND.json in ui.perfetto.dev). CI uploads it next to the
+# BENCH_*.json artifacts.
+trace-snapshot:
+	$(GO) run ./cmd/lppa-sim -experiment round -n 300 -cache $(CACHE) \
+		-trace-out TRACE_ROUND.json
+
+# Privacy-leakage audit of the same round: per-bidder masked-digest
+# counts, conflict degrees, and robust-BCM anonymity-set sizes.
+audit-snapshot:
+	$(GO) run ./cmd/lppa-sim -experiment round -n 300 -cache $(CACHE) \
+		-audit-out AUDIT_ROUND.json
+
+# Fail if running a round with WithTrace(nil) — the production default —
+# costs a single allocation over the untraced baseline: disabled tracing
+# must be free. (BenchmarkRoundTraceOverhead reports the ns/op side.)
+trace-guard:
+	$(GO) test -run TestTraceDisabledAllocationFree -count=1 -v .
 
 # Fail if the zero-allocation benchmarks report any allocations: the masked
 # comparison and interned intersection hot paths must stay allocation-free.

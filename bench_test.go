@@ -1254,3 +1254,53 @@ func BenchmarkRankMemoN300(b *testing.B) {
 	b.Run("map-sets", func(b *testing.B) { run(b, true) })
 	b.Run("interned", func(b *testing.B) { run(b, false) })
 }
+
+// BenchmarkRoundTraceOverhead prices the tracing subsystem against a full
+// private round. "off" is the untraced baseline; "disabled" passes
+// WithTrace(nil) — the production default, which must cost exactly what
+// "off" costs (same ns/op ballpark, identical allocs/op; `make
+// trace-guard` enforces the allocation half); "on" runs a live tracer
+// plus flight recorder, the bound on what turning observability on buys
+// you into.
+func BenchmarkRoundTraceOverhead(b *testing.B) {
+	p := core.Params{Channels: 8, Lambda: 2, MaxX: 99, MaxY: 99, BMax: 100}
+	ring, err := mask.DeriveKeyRing([]byte("trace-bench"), p.Channels, 5, 8)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(23))
+	const n = 60
+	pts := make([]geo.Point, n)
+	bids := make([][]uint64, n)
+	for i := range pts {
+		pts[i] = geo.Point{X: uint64(rng.Intn(100)), Y: uint64(rng.Intn(100))}
+		bids[i] = make([]uint64, p.Channels)
+		for r := range bids[i] {
+			bids[i][r] = uint64(rng.Intn(101))
+		}
+	}
+	run := func(b *testing.B, opts []lppa.RunOption) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			in := lppa.RoundInput{Points: pts, Bids: bids,
+				Policy: core.DefaultDisguise(), Rng: rand.New(rand.NewSource(int64(i)))}
+			if _, err := lppa.Run(p, ring, in, opts...); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.Run("off", func(b *testing.B) {
+		run(b, nil)
+	})
+	b.Run("disabled", func(b *testing.B) {
+		run(b, []lppa.RunOption{lppa.WithTrace(nil)})
+	})
+	b.Run("on", func(b *testing.B) {
+		tracer := lppa.NewTracer("bench")
+		fr := lppa.NewFlightRecorder(b.TempDir(), 4, 0)
+		run(b, []lppa.RunOption{lppa.WithTrace(tracer), lppa.WithFlightRecorder(fr)})
+		// Keep the buffer from growing bias into later iterations' numbers.
+		b.StopTimer()
+		tracer.Take()
+	})
+}

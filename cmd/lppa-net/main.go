@@ -21,6 +21,7 @@ import (
 	"math/rand"
 	"net"
 	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof on the default mux for -pprof-addr
 	"os"
 	"strconv"
 	"strings"
@@ -69,6 +70,12 @@ func run(args []string) error {
 		chaosClass   = fs.String("chaos", "", "demo chaos soak: inject this fault class into the first -chaos-bidders bidders (drop|dup|corrupt|truncate|slowloris|crash)")
 		chaosRate    = fs.Float64("chaos-rate", 0.5, "per-frame fault probability for the probabilistic chaos classes")
 		chaosBidders = fs.Int("chaos-bidders", 1, "how many bidders the demo chaos soak injects faults into")
+
+		traceOut   = fs.String("trace-out", "", "write this party's round as a Chrome trace_event JSON when it finishes (demo/auctioneer/bidder); view at ui.perfetto.dev")
+		flightDir  = fs.String("flight-dir", "", "flight-recorder directory: failed, degraded, or SLO-breaching rounds auto-dump their traces (demo/auctioneer)")
+		flightKeep = fs.Int("flight-keep", 8, "round traces the flight recorder ring-buffers for dump context")
+		flightSLO  = fs.Duration("flight-slo", 0, "round-duration SLO: healthy rounds slower than this still dump, 0 disables")
+		pprofAddr  = fs.String("pprof-addr", "", "serve net/http/pprof on this address for live profiling")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -91,10 +98,29 @@ func run(args []string) error {
 	if err != nil {
 		return err
 	}
+	if err := servePprof(*pprofAddr); err != nil {
+		return err
+	}
 
 	chaosCfg, err := parseChaos(*chaosClass, *chaosRate)
 	if err != nil {
 		return err
+	}
+
+	// One tracer per process; in demo mode all three parties share it
+	// (TTP spans under a "ttp" process name), so the exported trace shows
+	// the full cross-party round.
+	var tracer *lppa.Tracer
+	if *traceOut != "" || *flightDir != "" {
+		proc := *role
+		if proc == "demo" {
+			proc = "auctioneer"
+		}
+		tracer = obs.NewTracer(proc)
+	}
+	var flight *lppa.FlightRecorder
+	if *flightDir != "" {
+		flight = obs.NewFlightRecorder(*flightDir, *flightKeep, *flightSLO)
 	}
 
 	switch *role {
@@ -104,6 +130,7 @@ func run(args []string) error {
 			secondPrice: secondPrice, quorum: *quorum, straggler: *straggler,
 			retries: *retries, clientTimeout: *cliTO,
 			chaos: chaosCfg, chaosBidders: *chaosBidders,
+			tracer: tracer, flight: flight, traceOut: *traceOut,
 		}, log, reg)
 	case "ttp":
 		ln, err := net.Listen("tcp", *listen)
@@ -111,7 +138,7 @@ func run(args []string) error {
 			return err
 		}
 		srv, err := transport.NewTTPServerWithConfig(params, []byte(*seedStr), 5, 8, ln,
-			transport.Config{Logger: log, Metrics: reg})
+			transport.Config{Logger: log, Metrics: reg, Tracer: tracer})
 		if err != nil {
 			return err
 		}
@@ -127,7 +154,8 @@ func run(args []string) error {
 		}
 		srv, err := transport.NewAuctioneerServerWithConfig(params, *bidders, *ttpAddr, ln, *seed,
 			transport.Config{Logger: log, Metrics: reg, SecondPrice: secondPrice,
-				Quorum: *quorum, StragglerTimeout: *straggler})
+				Quorum: *quorum, StragglerTimeout: *straggler,
+				Tracer: tracer, FlightRecorder: flight})
 		if err != nil {
 			return err
 		}
@@ -138,6 +166,9 @@ func run(args []string) error {
 		}
 		printOutcome(outcome)
 		if err := srv.Close(); err != nil {
+			return err
+		}
+		if err := writeTrace(tracer, *traceOut); err != nil {
 			return err
 		}
 		lingerForScrape(reg)
@@ -153,17 +184,53 @@ func run(args []string) error {
 		retry := transport.DefaultRetryPolicy
 		retry.MaxAttempts = *retries
 		client := &lppa.BidderClient{ID: *id, Params: params, Policy: lppa.DisguisePolicy{P0: *p0, Decay: 0.95},
-			Retry: retry, Timeout: *cliTO}
+			Retry: retry, Timeout: *cliTO, Tracer: tracer}
 		res, err := client.Participate(*ttpAddr, *aucAddr, lppa.Point{X: *x, Y: *y}, bids,
 			rand.New(rand.NewSource(*seed+int64(*id))))
 		if err != nil {
 			return err
 		}
 		printResult(*res)
-		return nil
+		return writeTrace(tracer, *traceOut)
 	default:
 		return fmt.Errorf("unknown role %q", *role)
 	}
+}
+
+// servePprof exposes net/http/pprof's default-mux handlers when addr is
+// non-empty.
+func servePprof(addr string) error {
+	if addr == "" {
+		return nil
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("pprof listener: %w", err)
+	}
+	fmt.Printf("pprof on http://%s/debug/pprof/\n", ln.Addr())
+	go http.Serve(ln, nil)
+	return nil
+}
+
+// writeTrace dumps everything the tracer buffered as one Chrome
+// trace_event file, loadable in ui.perfetto.dev or chrome://tracing.
+func writeTrace(tracer *lppa.Tracer, path string) error {
+	if tracer == nil || path == "" {
+		return nil
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("trace: %w", err)
+	}
+	if err := obs.WriteChromeTrace(f, tracer.Snapshot()); err != nil {
+		f.Close()
+		return fmt.Errorf("trace: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("trace written to %s (open in ui.perfetto.dev)\n", path)
+	return nil
 }
 
 // serveMetrics starts the optional HTTP metrics endpoint and returns the
@@ -210,6 +277,9 @@ type demoConfig struct {
 	clientTimeout time.Duration
 	chaos         *lppa.FaultConfig
 	chaosBidders  int
+	tracer        *lppa.Tracer
+	flight        *lppa.FlightRecorder
+	traceOut      string
 }
 
 // parseChaos maps a -chaos class name onto a fault config at the given
@@ -241,8 +311,12 @@ func runDemo(params lppa.Params, cfg demoConfig, log *slog.Logger, reg *obs.Regi
 	if err != nil {
 		return err
 	}
+	var ttpTracer *lppa.Tracer
+	if cfg.tracer != nil {
+		ttpTracer = cfg.tracer.Named("ttp")
+	}
 	ttpSrv, err := transport.NewTTPServerWithConfig(params, []byte(cfg.secret), 5, 8, lnTTP,
-		transport.Config{Logger: log, Metrics: reg})
+		transport.Config{Logger: log, Metrics: reg, Tracer: ttpTracer})
 	if err != nil {
 		return err
 	}
@@ -254,7 +328,8 @@ func runDemo(params lppa.Params, cfg demoConfig, log *slog.Logger, reg *obs.Regi
 	}
 	aucSrv, err := transport.NewAuctioneerServerWithConfig(params, n, ttpSrv.Addr().String(), lnAuc, cfg.seed,
 		transport.Config{Logger: log, Metrics: reg, SecondPrice: cfg.secondPrice,
-			Quorum: cfg.quorum, StragglerTimeout: cfg.straggler})
+			Quorum: cfg.quorum, StragglerTimeout: cfg.straggler,
+			Tracer: cfg.tracer, FlightRecorder: cfg.flight})
 	if err != nil {
 		return err
 	}
@@ -286,7 +361,7 @@ func runDemo(params lppa.Params, cfg demoConfig, log *slog.Logger, reg *obs.Regi
 			retry := transport.DefaultRetryPolicy
 			retry.MaxAttempts = cfg.retries
 			client := &lppa.BidderClient{ID: i, Params: params, Policy: lppa.DisguisePolicy{P0: cfg.p0, Decay: 0.95},
-				Retry: retry, Timeout: cfg.clientTimeout}
+				Retry: retry, Timeout: cfg.clientTimeout, Tracer: cfg.tracer}
 			if injector != nil && i < cfg.chaosBidders {
 				// Fault only the auctioneer leg: the key-ring fetch stays
 				// clean so every class exercises the submission path. The
@@ -333,6 +408,9 @@ func runDemo(params lppa.Params, cfg demoConfig, log *slog.Logger, reg *obs.Regi
 		}
 	}
 	printOutcome(outcome)
+	if err := writeTrace(cfg.tracer, cfg.traceOut); err != nil {
+		return err
+	}
 	lingerForScrape(reg)
 	return nil
 }

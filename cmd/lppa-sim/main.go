@@ -16,12 +16,19 @@
 // flag persists the generated dataset so repeat runs start instantly;
 // -format csv emits machine-readable tables; -tiny and -quick shrink
 // everything for smoke runs. -metrics-out dumps the observability
-// registry's JSON snapshot for the instrumented experiments.
+// registry's JSON snapshot for the instrumented experiments; -trace-out
+// records them as a Chrome trace_event file (view at ui.perfetto.dev);
+// -audit-out writes the round experiment's privacy-leakage report;
+// -flight-dir auto-dumps failed or degraded round traces; -pprof-addr
+// serves net/http/pprof.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"net"
+	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof on the default mux for -pprof-addr
 	"os"
 	"runtime"
 	"strconv"
@@ -30,6 +37,7 @@ import (
 	"lppa/internal/dataset"
 	"lppa/internal/geo"
 	"lppa/internal/obs"
+	"lppa/internal/obs/audit"
 	"lppa/internal/sim"
 )
 
@@ -56,6 +64,10 @@ func run(args []string) error {
 		format     = fs.String("format", "text", "table output: text|csv")
 		workers    = fs.Int("workers", runtime.GOMAXPROCS(0), "goroutines for submission encoding and conflict graphs (1 = legacy serial driver)")
 		metricsOut = fs.String("metrics-out", "", "write a JSON metrics snapshot of the instrumented experiments (round, fig5ad, fig5ef) to this file; - for stdout")
+		traceOut   = fs.String("trace-out", "", "write a Chrome trace_event JSON of the instrumented experiments (round, fig5ad, fig5ef) to this file; view at ui.perfetto.dev")
+		auditOut   = fs.String("audit-out", "", "write the round experiment's privacy-leakage audit (per-bidder anonymity sets) as JSON to this file")
+		flightDir  = fs.String("flight-dir", "", "flight-recorder directory: failed or degraded instrumented rounds auto-dump their traces here")
+		pprofAddr  = fs.String("pprof-addr", "", "serve net/http/pprof on this address for live profiling")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -92,9 +104,21 @@ func run(args []string) error {
 	}
 
 	var reg *obs.Registry
-	if *metricsOut != "" {
+	if *metricsOut != "" || *auditOut != "" {
 		reg = obs.NewRegistry()
 	}
+	if err := servePprof(*pprofAddr); err != nil {
+		return err
+	}
+	var tracer *obs.Tracer
+	if *traceOut != "" || *flightDir != "" {
+		tracer = obs.NewTracer("sim")
+	}
+	var flight *obs.FlightRecorder
+	if *flightDir != "" {
+		flight = obs.NewFlightRecorder(*flightDir, 8, 0)
+	}
+	sinks := obsSinks{reg: reg, tracer: tracer, flight: flight, auditOut: *auditOut}
 
 	runOne := func(name string) error {
 		switch name {
@@ -105,15 +129,15 @@ func run(args []string) error {
 		case "fig4c":
 			return runFig4C(ds, *victims, *seed)
 		case "fig5ad":
-			return runFig5AD(ds, *n, *channels, *seed, *quick, effectiveWorkers, reg)
+			return runFig5AD(ds, *n, *channels, *seed, *quick, effectiveWorkers, sinks)
 		case "fig5ef":
 			pops, err := parseInts(*bidders)
 			if err != nil {
 				return err
 			}
-			return runFig5EF(ds, pops, *channels, *seed, *trials, *quick, effectiveWorkers, reg)
+			return runFig5EF(ds, pops, *channels, *seed, *trials, *quick, effectiveWorkers, sinks)
 		case "round":
-			return runRound(ds, *n, *channels, *seed, effectiveWorkers, reg)
+			return runRound(ds, *n, *channels, *seed, effectiveWorkers, sinks)
 		case "multiround":
 			return runMultiRound(ds, *seed, *quick)
 		case "basicleak":
@@ -133,12 +157,61 @@ func run(args []string) error {
 				return fmt.Errorf("%s: %w", name, err)
 			}
 		}
-		return writeMetrics(reg, *metricsOut)
-	}
-	if err := runOne(*experiment); err != nil {
+	} else if err := runOne(*experiment); err != nil {
 		return err
 	}
-	return writeMetrics(reg, *metricsOut)
+	if *metricsOut != "" {
+		if err := writeMetrics(reg, *metricsOut); err != nil {
+			return err
+		}
+	}
+	return writeTrace(tracer, *traceOut)
+}
+
+// obsSinks carries the optional observability outputs into the
+// instrumented experiments.
+type obsSinks struct {
+	reg      *obs.Registry
+	tracer   *obs.Tracer
+	flight   *obs.FlightRecorder
+	auditOut string
+}
+
+// servePprof exposes net/http/pprof's default-mux handlers when addr is
+// non-empty; profiling a long fig5 sweep is then `go tool pprof
+// http://addr/debug/pprof/profile`.
+func servePprof(addr string) error {
+	if addr == "" {
+		return nil
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("pprof listener: %w", err)
+	}
+	fmt.Fprintf(os.Stderr, "pprof on http://%s/debug/pprof/\n", ln.Addr())
+	go http.Serve(ln, nil)
+	return nil
+}
+
+// writeTrace dumps everything the tracer buffered as one Chrome
+// trace_event file, loadable in ui.perfetto.dev or chrome://tracing.
+func writeTrace(tracer *obs.Tracer, path string) error {
+	if tracer == nil || path == "" {
+		return nil
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("trace: %w", err)
+	}
+	if err := obs.WriteChromeTrace(f, tracer.Snapshot()); err != nil {
+		f.Close()
+		return fmt.Errorf("trace: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "trace written to %s (open in ui.perfetto.dev)\n", path)
+	return nil
 }
 
 // writeMetrics dumps the registry snapshot collected by the instrumented
@@ -167,13 +240,16 @@ func writeMetrics(reg *obs.Registry, path string) error {
 
 // runRound executes one instrumented private round (Area 3, population n)
 // and prints its headline numbers; with -metrics-out the full per-phase and
-// per-layer profile lands in the snapshot.
-func runRound(ds *dataset.Dataset, n, channels int, seed int64, workers int, reg *obs.Registry) error {
+// per-layer profile lands in the snapshot, -trace-out records the phase
+// span tree, and -audit-out reports what the round's transcript leaked.
+func runRound(ds *dataset.Dataset, n, channels int, seed int64, workers int, sinks obsSinks) error {
 	cfg := sim.DefaultFig5Config()
 	cfg.Bidders = n
 	cfg.Channels = channels
 	cfg.Workers = workers
-	cfg.Metrics = reg
+	cfg.Metrics = sinks.reg
+	cfg.Trace = sinks.tracer
+	cfg.Flight = sinks.flight
 	res, err := sim.MetricsRound(ds.Areas[2], cfg, seed)
 	if err != nil {
 		return err
@@ -181,6 +257,18 @@ func runRound(ds *dataset.Dataset, n, channels int, seed int64, workers int, reg
 	fmt.Printf("## Instrumented private round (Area 3, N=%d, k=%d, workers=%d)\n\n", n, min(channels, ds.Areas[2].NumChannels()), workers)
 	fmt.Printf("awards: %d, revenue: %d, satisfaction: %.3f, voided: %d, submission bytes: %d\n",
 		len(res.Outcome.Assignments), res.Outcome.Revenue, res.Outcome.Satisfaction(), res.Voided, res.SubmissionBytes)
+	if sinks.auditOut == "" {
+		return nil
+	}
+	rep, err := audit.Round(res, audit.Options{Area: ds.Areas[2], Metrics: sinks.reg})
+	if err != nil {
+		return fmt.Errorf("audit: %w", err)
+	}
+	if err := rep.WriteJSON(sinks.auditOut); err != nil {
+		return fmt.Errorf("audit: %w", err)
+	}
+	fmt.Fprint(os.Stderr, rep.Summary())
+	fmt.Fprintf(os.Stderr, "audit written to %s\n", sinks.auditOut)
 	return nil
 }
 
@@ -241,12 +329,14 @@ func runFig4C(ds *dataset.Dataset, victims int, seed int64) error {
 	return render(sim.Fig4CTable(points))
 }
 
-func runFig5AD(ds *dataset.Dataset, n, channels int, seed int64, quick bool, workers int, reg *obs.Registry) error {
+func runFig5AD(ds *dataset.Dataset, n, channels int, seed int64, quick bool, workers int, sinks obsSinks) error {
 	cfg := sim.DefaultFig5Config()
 	cfg.Bidders = n
 	cfg.Channels = channels
 	cfg.Workers = workers
-	cfg.Metrics = reg
+	cfg.Metrics = sinks.reg
+	cfg.Trace = sinks.tracer
+	cfg.Flight = sinks.flight
 	if quick {
 		cfg.Bidders = 25
 		cfg.Channels = 30
@@ -260,12 +350,14 @@ func runFig5AD(ds *dataset.Dataset, n, channels int, seed int64, quick bool, wor
 	return render(sim.Fig5ADTable(points, baseline))
 }
 
-func runFig5EF(ds *dataset.Dataset, pops []int, channels int, seed int64, trials int, quick bool, workers int, reg *obs.Registry) error {
+func runFig5EF(ds *dataset.Dataset, pops []int, channels int, seed int64, trials int, quick bool, workers int, sinks obsSinks) error {
 	cfg := sim.DefaultFig5Config()
 	cfg.Channels = channels
 	cfg.Trials = trials
 	cfg.Workers = workers
-	cfg.Metrics = reg
+	cfg.Metrics = sinks.reg
+	cfg.Trace = sinks.tracer
+	cfg.Flight = sinks.flight
 	if quick {
 		cfg.Trials = 1
 		cfg.Channels = 30

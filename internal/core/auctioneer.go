@@ -40,6 +40,10 @@ type Auctioneer struct {
 	// set; the memo it leaves behind is representation-independent.
 	rank      [][]int
 	rankOrder [][]int
+	// colCalls[r] is the masked-intersection count spent building column
+	// r's rank memo. Filled only on observed auctioneers (SetObserver):
+	// the unobserved hot path stays uncounted and byte-identical.
+	colCalls []uint64
 
 	// ob, when non-nil, routes lazy cache builds and memo lookups through
 	// their counted twins (observe.go). Nil — the default — keeps every
@@ -170,6 +174,10 @@ func (a *Auctioneer) columnRank(r int) []int {
 		a.rank[r] = rank
 		a.rankOrder[r] = order
 		if a.ob != nil {
+			if a.colCalls == nil {
+				a.colCalls = make([]uint64, a.params.Channels)
+			}
+			a.colCalls[r] = st.Calls
 			a.ob.rankBuilds.Inc()
 			a.ob.flushStats(&st)
 		}
@@ -241,6 +249,36 @@ func (a *Auctioneer) Rankings() [][]int {
 		out[r] = a.RankChannel(r)
 	}
 	return out
+}
+
+// DigestCounts returns, per bidder, how many masked digests that bidder
+// exposed to the auctioneer: the location families and range covers plus
+// every channel bid's family and cover. This is the auctioneer-observable
+// surface the privacy audit (internal/obs/audit) tallies.
+func (a *Auctioneer) DigestCounts() []int {
+	out := make([]int, a.N())
+	for i := range out {
+		l := a.locs[i]
+		total := l.XFamily.Len() + l.YFamily.Len() + l.XRange.Len() + l.YRange.Len()
+		for r := range a.bids[i].Channels {
+			cb := &a.bids[i].Channels[r]
+			total += cb.Family.Len() + cb.Range.Len()
+		}
+		out[i] = total
+	}
+	return out
+}
+
+// ComparisonsPerChannel returns how many masked set intersections the
+// rank-memo build spent per channel — the auctioneer's per-column work,
+// and an upper bound on the ordering information each column leaked.
+// Populated only on observed auctioneers (SetObserver) and only for
+// columns actually built; unobserved runs return nil.
+func (a *Auctioneer) ComparisonsPerChannel() []uint64 {
+	if a.colCalls == nil {
+		return nil
+	}
+	return append([]uint64(nil), a.colCalls...)
 }
 
 // ChargeRequest is what the auctioneer forwards to the TTP for one awarded

@@ -56,6 +56,13 @@ type Config struct {
 	// frame CloseAfterFrames is fully written — the frame is delivered,
 	// then the peer is gone (a bidder crashing after submitting).
 	CloseAfterFrames int
+	// Observer, when non-nil, is called once per fault actually applied,
+	// with the fault class ("drop", "dup", "corrupt", "truncate", "delay",
+	// "slowloris", "kill", "close") and the 1-based frame index it hit.
+	// Calls happen outside the connection's schedule lock but on the
+	// writing goroutine; observers that record into spans or counters must
+	// be safe for concurrent use across connections.
+	Observer func(kind string, frame int)
 }
 
 // Conn wraps a net.Conn with the fault schedule drawn from one seeded
@@ -89,16 +96,19 @@ type frameSchedule struct {
 	flip                      float64 // fraction into the frame of the corrupted byte
 }
 
-func (c *Conn) draw() (frameSchedule, bool) {
+// draw returns the schedule for the next frame along with its 1-based
+// index (0 when the connection was already dead) and whether the
+// connection is still alive.
+func (c *Conn) draw() (frameSchedule, int, bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if c.killed {
-		return frameSchedule{}, false
+		return frameSchedule{}, 0, false
 	}
 	c.frames++
 	if c.cfg.KillAfterFrames > 0 && c.frames > c.cfg.KillAfterFrames {
 		c.killed = true
-		return frameSchedule{}, false
+		return frameSchedule{}, c.frames, false
 	}
 	var s frameSchedule
 	s.drop = c.rng.Float64() < c.cfg.DropFrame
@@ -111,7 +121,7 @@ func (c *Conn) draw() (frameSchedule, bool) {
 	}
 	s.cut = c.rng.Float64()
 	s.flip = c.rng.Float64()
-	return s, true
+	return s, c.frames, true
 }
 
 func (c *Conn) kill() {
@@ -122,32 +132,48 @@ func (c *Conn) kill() {
 }
 
 func (c *Conn) Write(p []byte) (int, error) {
-	s, alive := c.draw()
+	s, frame, alive := c.draw()
+	observe := func(kind string) {
+		if c.cfg.Observer != nil {
+			c.cfg.Observer(kind, frame)
+		}
+	}
 	if !alive {
+		if frame > 0 {
+			observe("kill") // first fatal frame; later writes stay silent
+		}
 		_ = c.Conn.Close()
 		return 0, ErrInjectedKill
 	}
 	if s.delay > 0 {
+		observe("delay")
 		time.Sleep(s.delay)
 	}
 	if s.drop {
+		observe("drop")
 		return len(p), nil
 	}
 	data := p
 	if s.corrupt && len(p) > 0 {
+		observe("corrupt")
 		data = append([]byte(nil), p...)
 		data[int(s.flip*float64(len(data)))%len(data)] ^= 0xff
 	}
 	if s.trunc && len(p) > 1 {
+		observe("truncate")
 		cut := 1 + int(s.cut*float64(len(p)-1))%(len(p)-1)
 		_, _ = c.writeOut(data[:cut])
 		c.kill()
 		return len(p), nil // the writer believes the frame went out
 	}
+	if c.cfg.SlowChunk > 0 && c.cfg.SlowChunk < len(data) {
+		observe("slowloris")
+	}
 	if _, err := c.writeOut(data); err != nil {
 		return 0, err
 	}
 	if s.dup {
+		observe("dup")
 		if _, err := c.writeOut(data); err != nil {
 			return 0, err
 		}
@@ -156,6 +182,7 @@ func (c *Conn) Write(p []byte) (int, error) {
 	closeNow := c.cfg.CloseAfterFrames > 0 && c.frames >= c.cfg.CloseAfterFrames && !c.killed
 	c.mu.Unlock()
 	if closeNow {
+		observe("close")
 		c.kill()
 	}
 	return len(p), nil

@@ -284,3 +284,52 @@ func TestListenerWrapsAccepts(t *testing.T) {
 		t.Fatalf("accepted conn is %T, want *faults.Conn", conn)
 	}
 }
+
+// TestObserverReportsAppliedFaults pins the Observer hook: each applied
+// fault class is reported exactly when it fires, with its frame index.
+func TestObserverReportsAppliedFaults(t *testing.T) {
+	type event struct {
+		kind  string
+		frame int
+	}
+	run := func(cfg Config, n int) []event {
+		var got []event
+		cfg.Observer = func(kind string, frame int) { got = append(got, event{kind, frame}) }
+		m := &memConn{}
+		c := Wrap(m, 7, cfg)
+		for _, f := range frames(n, 16) {
+			_, _ = c.Write(f)
+		}
+		return got
+	}
+
+	if got := run(Config{DropFrame: 1}, 2); len(got) != 2 || got[0] != (event{"drop", 1}) || got[1] != (event{"drop", 2}) {
+		t.Fatalf("drop events = %+v", got)
+	}
+	if got := run(Config{DupFrame: 1}, 1); len(got) != 1 || got[0] != (event{"dup", 1}) {
+		t.Fatalf("dup events = %+v", got)
+	}
+	if got := run(Config{CorruptFrame: 1}, 1); len(got) != 1 || got[0].kind != "corrupt" {
+		t.Fatalf("corrupt events = %+v", got)
+	}
+	if got := run(Config{TruncateFrame: 1}, 3); len(got) != 1 || got[0] != (event{"truncate", 1}) {
+		t.Fatalf("truncate events = %+v (connection dies after the first)", got)
+	}
+	if got := run(Config{DelayProb: 1, MaxDelay: time.Microsecond}, 1); len(got) != 1 || got[0].kind != "delay" {
+		t.Fatalf("delay events = %+v", got)
+	}
+	if got := run(Config{SlowChunk: 4}, 1); len(got) != 1 || got[0] != (event{"slowloris", 1}) {
+		t.Fatalf("slowloris events = %+v", got)
+	}
+	// kill fires once on the first fatal frame, then stays silent.
+	if got := run(Config{KillAfterFrames: 1}, 4); len(got) != 1 || got[0] != (event{"kill", 2}) {
+		t.Fatalf("kill events = %+v", got)
+	}
+	if got := run(Config{CloseAfterFrames: 1}, 3); len(got) != 1 || got[0] != (event{"close", 1}) {
+		t.Fatalf("close events = %+v", got)
+	}
+	// The zero config reports nothing.
+	if got := run(Config{}, 5); len(got) != 0 {
+		t.Fatalf("zero config events = %+v", got)
+	}
+}

@@ -110,6 +110,12 @@ func (r *Registry) WriteJSON(w io.Writer) error {
 	return enc.Encode(r.Snapshot())
 }
 
+// promEscaper escapes a label value per the text exposition format
+// (version 0.0.4): backslash, double-quote, and newline only. Go's %q is
+// close but wrong — it also escapes tabs, control bytes, and non-ASCII
+// runes, which Prometheus expects raw UTF-8.
+var promEscaper = strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+
 // promLabels renders a label set plus one extra label (for histogram le)
 // in exposition syntax.
 func promLabels(labels []Label, extra ...Label) string {
@@ -120,7 +126,7 @@ func promLabels(labels []Label, extra ...Label) string {
 	sort.SliceStable(all, func(i, j int) bool { return all[i].Key < all[j].Key })
 	parts := make([]string, len(all))
 	for i, l := range all {
-		parts[i] = fmt.Sprintf("%s=%q", l.Key, l.Value)
+		parts[i] = l.Key + `="` + promEscaper.Replace(l.Value) + `"`
 	}
 	return "{" + strings.Join(parts, ",") + "}"
 }
@@ -180,18 +186,69 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 	return nil
 }
 
-// Handler serves the registry over HTTP: /metrics (or any path ending in
-// /metrics) answers in Prometheus text format, every other path answers
-// with the JSON snapshot — so one listener covers both a Prometheus
-// scrape target and a curl-able debug endpoint.
+// promContentType and jsonContentType are the two representations the
+// handler can serve.
+const (
+	promContentType = "text/plain; version=0.0.4; charset=utf-8"
+	jsonContentType = "application/json; charset=utf-8"
+)
+
+// negotiate picks a representation from an Accept header. It returns
+// "prom", "json", or "" (no acceptable representation). An empty header,
+// */*, or text/* with no JSON preference falls back to the path default
+// passed in.
+func negotiate(accept, pathDefault string) string {
+	if strings.TrimSpace(accept) == "" {
+		return pathDefault
+	}
+	wantJSON, wantProm, wildcard := false, false, false
+	for _, part := range strings.Split(accept, ",") {
+		mt := strings.TrimSpace(strings.SplitN(part, ";", 2)[0])
+		switch {
+		case mt == "application/json" || mt == "application/*":
+			wantJSON = true
+		case mt == "text/plain" || mt == "text/*":
+			wantProm = true
+		case mt == "*/*" || mt == "":
+			wildcard = true
+		}
+	}
+	switch {
+	case wantJSON && wantProm:
+		return pathDefault // both acceptable: the path decides
+	case wantJSON:
+		return "json"
+	case wantProm:
+		return "prom"
+	case wildcard:
+		return pathDefault
+	}
+	return ""
+}
+
+// Handler serves the registry over HTTP with Accept content negotiation:
+// a client asking for application/json gets the JSON snapshot, one
+// asking for text/plain gets the Prometheus text format, and a request
+// accepting neither is refused with 406. Absent a deciding Accept header
+// (missing, */*, or both types acceptable), the path picks: /metrics —
+// or any path ending in /metrics — serves Prometheus text (the scrape
+// convention), everything else serves JSON. So one listener covers both
+// a Prometheus scrape target and a curl-able debug endpoint.
 func (r *Registry) Handler() http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		pathDefault := "json"
 		if strings.HasSuffix(req.URL.Path, "/metrics") {
-			w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-			_ = r.WritePrometheus(w)
-			return
+			pathDefault = "prom"
 		}
-		w.Header().Set("Content-Type", "application/json; charset=utf-8")
-		_ = r.WriteJSON(w)
+		switch negotiate(req.Header.Get("Accept"), pathDefault) {
+		case "prom":
+			w.Header().Set("Content-Type", promContentType)
+			_ = r.WritePrometheus(w)
+		case "json":
+			w.Header().Set("Content-Type", jsonContentType)
+			_ = r.WriteJSON(w)
+		default:
+			http.Error(w, "acceptable representations: application/json, text/plain", http.StatusNotAcceptable)
+		}
 	})
 }

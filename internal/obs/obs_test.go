@@ -2,6 +2,8 @@ package obs
 
 import (
 	"encoding/json"
+	"io"
+	"net/http"
 	"net/http/httptest"
 	"strings"
 	"sync"
@@ -127,6 +129,9 @@ func TestPrometheusGolden(t *testing.T) {
 	r := NewRegistry()
 	r.Counter("lppa_rounds_total").Add(2)
 	r.Counter("lppa_comparisons_total", L("layer", "graph")).Add(41)
+	// Escaping: backslash, quote, and newline must be escaped; tab and
+	// other bytes must pass through raw (0.0.4 text format).
+	r.Counter("lppa_comparisons_total", L("layer", "a\\b\"c\nd\te")).Add(7)
 	r.Gauge("lppa_round_workers").Set(4)
 	h := r.Histogram("lppa_round_phase_seconds", []float64{0.01, 0.1, 1}, L("phase", "encode"))
 	h.Observe(0.005)
@@ -134,8 +139,9 @@ func TestPrometheusGolden(t *testing.T) {
 	h.Observe(0.05)
 	h.Observe(5)
 
-	const want = `# TYPE lppa_comparisons_total counter
-lppa_comparisons_total{layer="graph"} 41
+	want := "# TYPE lppa_comparisons_total counter\n" +
+		"lppa_comparisons_total{layer=\"a\\\\b\\\"c\\nd\te\"} 7\n" +
+		`lppa_comparisons_total{layer="graph"} 41
 # TYPE lppa_round_phase_seconds histogram
 lppa_round_phase_seconds_bucket{le="0.01",phase="encode"} 1
 lppa_round_phase_seconds_bucket{le="0.1",phase="encode"} 3
@@ -209,5 +215,70 @@ func TestHandlerServesBothFormats(t *testing.T) {
 	body, ct = get("/vars")
 	if !strings.Contains(body, `"x_total": 1`) || !strings.Contains(ct, "application/json") {
 		t.Fatalf("json endpoint: ct=%q body=%q", ct, body)
+	}
+}
+
+// TestHandlerContentNegotiation covers the Accept header paths: an
+// explicit JSON or text preference overrides the path default, wildcards
+// fall back to it, and an Accept naming neither representation gets 406.
+func TestHandlerContentNegotiation(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("x_total").Inc()
+	srv := httptest.NewServer(r.Handler())
+	defer srv.Close()
+
+	get := func(path, accept string) (int, string, string) {
+		req, err := http.NewRequest("GET", srv.URL+path, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if accept != "" {
+			req.Header.Set("Accept", accept)
+		}
+		resp, err := srv.Client().Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		b, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp.StatusCode, resp.Header.Get("Content-Type"), string(b)
+	}
+
+	cases := []struct {
+		path, accept string
+		status       int
+		wantCT       string // substring
+	}{
+		{"/metrics", "", 200, "text/plain"},
+		{"/metrics", "application/json", 200, "application/json"},
+		{"/metrics", "*/*", 200, "text/plain"},
+		{"/metrics", "text/plain;q=0.9, application/json;q=0.1", 200, "text/plain"},
+		{"/vars", "", 200, "application/json"},
+		{"/vars", "text/plain", 200, "text/plain"},
+		{"/vars", "text/*", 200, "text/plain"},
+		{"/vars", "*/*", 200, "application/json"},
+		{"/metrics", "application/xml", 406, ""},
+		{"/vars", "image/png, text/html", 406, ""},
+	}
+	for _, c := range cases {
+		status, ct, body := get(c.path, c.accept)
+		if status != c.status {
+			t.Fatalf("%s Accept=%q: status %d, want %d (body %q)", c.path, c.accept, status, c.status, body)
+		}
+		if c.wantCT != "" && !strings.Contains(ct, c.wantCT) {
+			t.Fatalf("%s Accept=%q: Content-Type %q, want substring %q", c.path, c.accept, ct, c.wantCT)
+		}
+		if status == 200 {
+			wantBody := "x_total 1"
+			if strings.Contains(c.wantCT, "json") {
+				wantBody = `"x_total": 1`
+			}
+			if !strings.Contains(body, wantBody) {
+				t.Fatalf("%s Accept=%q: body %q missing %q", c.path, c.accept, body, wantBody)
+			}
+		}
 	}
 }

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
+	"strconv"
 	"time"
 
 	"lppa/internal/auction"
@@ -50,6 +51,8 @@ type runConfig struct {
 	quorum      int
 	straggler   time.Duration
 	reg         *obs.Registry
+	tracer      *obs.Tracer
+	flight      *obs.FlightRecorder
 }
 
 // WithWorkers bounds the goroutines used for submission encoding and
@@ -156,6 +159,29 @@ func WithStragglerTimeout(d time.Duration) Option {
 	}
 }
 
+// WithTrace records the round into tracer as one root "round" span with a
+// child span per phase (encode, conflict_graph, allocate, charge) —
+// mirroring the WithObserver phase timings — plus a straggler_excluded
+// event per bidder a degraded quorum round dropped. A nil tracer is the
+// same as omitting the option; results are bit-identical either way.
+func WithTrace(tracer *obs.Tracer) Option {
+	return func(c *runConfig) error {
+		c.tracer = tracer
+		return nil
+	}
+}
+
+// WithFlightRecorder auto-dumps the round's trace through fr when the
+// round fails, degrades below full attendance, or exceeds fr's latency
+// SLO. Requires WithTrace: the recorder dumps the spans the tracer
+// collected. A nil recorder is the same as omitting the option.
+func WithFlightRecorder(fr *obs.FlightRecorder) Option {
+	return func(c *runConfig) error {
+		c.flight = fr
+		return nil
+	}
+}
+
 // WithoutInterning makes the auctioneer evaluate masked set operations on
 // the map-based mask.Set representation instead of interned ID slices
 // (DESIGN.md §5b). Ablation/testing knob: results are identical either
@@ -165,6 +191,69 @@ func WithoutInterning() Option {
 		c.noIntern = true
 		return nil
 	}
+}
+
+// phaser pairs the metrics PhaseTimer with tracing spans so both views of
+// the round agree on phase boundaries. With a nil tracer every span field
+// stays nil and the span calls are no-ops, so an untraced round runs the
+// pre-tracing code path bit-identically.
+type phaser struct {
+	timer  *obs.PhaseTimer
+	tracer *obs.Tracer
+	root   *obs.Span
+	cur    *obs.Span
+}
+
+// phase closes the current phase (timer and span) and opens the named one
+// as a child of the round root.
+func (p *phaser) phase(name string) {
+	p.timer.Phase(name)
+	p.cur.End()
+	p.cur = nil
+	if p.tracer != nil {
+		p.cur = p.tracer.StartSpan(name, p.root.Context())
+	}
+}
+
+// stop closes the current phase without opening another (round over or
+// aborting).
+func (p *phaser) stop() {
+	p.timer.Stop()
+	p.cur.End()
+	p.cur = nil
+}
+
+// finish closes the round root span — recording the failure and any
+// quorum exclusions — and hands the trace to the flight recorder.
+func (p *phaser) finish(res *Result, err error, flight *obs.FlightRecorder) {
+	p.cur.End()
+	p.cur = nil
+	if p.root == nil {
+		return
+	}
+	if err != nil {
+		p.root.SetError(err.Error())
+	}
+	degraded := res != nil && len(res.Excluded) > 0
+	if degraded {
+		for _, id := range res.Excluded {
+			p.root.Event("straggler_excluded", obs.L("bidder", strconv.Itoa(id)))
+		}
+	}
+	p.root.End()
+	if flight == nil {
+		return
+	}
+	rt := &obs.RoundTrace{
+		Label:    "round",
+		Degraded: degraded,
+		Duration: p.root.Duration,
+		Spans:    p.tracer.TakeTrace(p.root.Ctx.Trace),
+	}
+	if err != nil {
+		rt.Err = err.Error()
+	}
+	_, _ = flight.Record(rt)
 }
 
 // roundObs caches the round-level metric handles for one Run.
@@ -326,6 +415,23 @@ func Run(params core.Params, ring *mask.KeyRing, in Input, opts ...Option) (*Res
 		// for it; per-bidder seeding makes abandonment safe.
 		return nil, fmt.Errorf("round: WithStragglerTimeout requires the seeded pipeline (add WithWorkers)")
 	}
+	if cfg.flight != nil && cfg.tracer == nil {
+		return nil, fmt.Errorf("round: WithFlightRecorder requires WithTrace")
+	}
+	ph := &phaser{timer: cfg.reg.PhaseTimer("lppa_round_phase_seconds", nil), tracer: cfg.tracer}
+	if cfg.tracer != nil {
+		ph.root = cfg.tracer.StartTrace("round",
+			obs.L("bidders", strconv.Itoa(len(in.Points))),
+			obs.L("channels", strconv.Itoa(params.Channels)))
+	}
+	res, err := run(params, ring, in, &cfg, ph)
+	ph.finish(res, err, cfg.flight)
+	return res, err
+}
+
+// run is the Run body: everything between option validation and trace
+// finalization, with phase boundaries reported through ph.
+func run(params core.Params, ring *mask.KeyRing, in Input, cfg *runConfig, ph *phaser) (*Result, error) {
 	n := len(in.Points)
 	if n == 0 {
 		return nil, fmt.Errorf("round: no bidders")
@@ -346,7 +452,6 @@ func Run(params core.Params, ring *mask.KeyRing, in Input, opts ...Option) (*Res
 		return nil, fmt.Errorf("round: %d points, %d policies", n, len(policies))
 	}
 
-	timer := cfg.reg.PhaseTimer("lppa_round_phase_seconds", nil)
 	ro := newRoundObs(cfg.reg)
 	rng := in.Rng
 
@@ -359,7 +464,7 @@ func Run(params core.Params, ring *mask.KeyRing, in Input, opts ...Option) (*Res
 		return nil, err
 	}
 
-	timer.Phase("encode")
+	ph.phase("encode")
 	var (
 		locs       []*core.LocationSubmission
 		subs       []*core.BidSubmission
@@ -378,7 +483,7 @@ func Run(params core.Params, ring *mask.KeyRing, in Input, opts ...Option) (*Res
 			effQuorum = n
 		}
 		if effQuorum > n {
-			timer.Stop()
+			ph.stop()
 			return nil, fmt.Errorf("round: quorum %d exceeds population %d", effQuorum, n)
 		}
 		var (
@@ -399,7 +504,7 @@ func Run(params core.Params, ring *mask.KeyRing, in Input, opts ...Option) (*Res
 			}
 		}
 		if len(keep) < effQuorum {
-			timer.Stop()
+			ph.stop()
 			return nil, fmt.Errorf("%w: %d of %d usable submissions, need %d",
 				ErrQuorumNotReached, len(keep), n, effQuorum)
 		}
@@ -418,13 +523,13 @@ func Run(params core.Params, ring *mask.KeyRing, in Input, opts ...Option) (*Res
 		locs, subs, bytesTotal, err = encodeSerial(params, ring, in.Points, in.Bids, samplers, rng)
 	}
 	if err != nil {
-		timer.Stop()
+		ph.stop()
 		return nil, err
 	}
 
 	auc, err := core.NewAuctioneer(params, locs, subs)
 	if err != nil {
-		timer.Stop()
+		ph.stop()
 		return nil, err
 	}
 	auc.SetWorkers(workers)
@@ -436,16 +541,16 @@ func Run(params core.Params, ring *mask.KeyRing, in Input, opts ...Option) (*Res
 	// The graph build is rng-free, so forcing it here (instead of letting
 	// the allocator build it lazily) changes nothing except giving the
 	// phase its own wall-time series.
-	timer.Phase("conflict_graph")
+	ph.phase("conflict_graph")
 	auc.ConflictGraph()
 
-	timer.Phase("allocate")
+	ph.phase("allocate")
 	res := &Result{Auctioneer: auc, SubmissionBytes: bytesTotal}
 	switch {
 	case cfg.secondPrice:
 		awards, err := auc.AllocateAwards(rng)
 		if err != nil {
-			timer.Stop()
+			ph.stop()
 			return nil, err
 		}
 		out := &auction.Outcome{
@@ -457,7 +562,7 @@ func Run(params core.Params, ring *mask.KeyRing, in Input, opts ...Option) (*Res
 			out.Assignments[i] = aw.Assignment
 		}
 		res.Outcome = out
-		timer.Phase("charge")
+		ph.phase("charge")
 		tallyCharges(res, trusted.ProcessBatch(auc.ChargeRequestsSecondPrice(awards)))
 	case cfg.interactive:
 		// The validity oracle interleaves TTP round trips with the
@@ -466,7 +571,7 @@ func Run(params core.Params, ring *mask.KeyRing, in Input, opts ...Option) (*Res
 		validity := func(i, r int) bool { return trusted.ValidateAward(auc.SealedBid(i, r)) }
 		assignments, voided, err := auc.AllocateWithValidity(validity, rng)
 		if err != nil {
-			timer.Stop()
+			ph.stop()
 			return nil, err
 		}
 		res.Outcome = &auction.Outcome{
@@ -475,7 +580,7 @@ func Run(params core.Params, ring *mask.KeyRing, in Input, opts ...Option) (*Res
 			Bidders:     n,
 		}
 		res.Voided = len(voided)
-		timer.Phase("charge")
+		ph.phase("charge")
 		tallyCharges(res, trusted.ProcessBatch(auc.ChargeRequests(assignments)))
 	default:
 		// Batch charging (the paper's section V.C.2): the allocation
@@ -485,7 +590,7 @@ func Run(params core.Params, ring *mask.KeyRing, in Input, opts ...Option) (*Res
 		// the performance cost Fig. 5(e)(f) charts.
 		assignments, err := auc.Allocate(rng)
 		if err != nil {
-			timer.Stop()
+			ph.stop()
 			return nil, err
 		}
 		res.Outcome = &auction.Outcome{
@@ -493,7 +598,7 @@ func Run(params core.Params, ring *mask.KeyRing, in Input, opts ...Option) (*Res
 			Charges:     make([]uint64, len(assignments)),
 			Bidders:     n,
 		}
-		timer.Phase("charge")
+		ph.phase("charge")
 		tallyCharges(res, trusted.ProcessBatch(auc.ChargeRequests(assignments)))
 	}
 	// A compacted quorum round allocated over the surviving population;
@@ -506,7 +611,7 @@ func Run(params core.Params, ring *mask.KeyRing, in Input, opts ...Option) (*Res
 		}
 		res.Excluded = excluded
 	}
-	timer.Stop()
+	ph.stop()
 	if ro != nil {
 		ro.note(res, workers, bytesTotal, countDigests(locs, subs))
 	}

@@ -47,6 +47,13 @@ type Fig5Config struct {
 	// runs (phase timings, comparison counters, round totals). Results are
 	// bit-identical with or without it.
 	Metrics *obs.Registry
+	// Trace, when non-nil, records every private round as a span tree
+	// (round root + phase children) into the tracer. Like Metrics, results
+	// are bit-identical with or without it.
+	Trace *obs.Tracer
+	// Flight, when non-nil, ring-buffers each round's trace and auto-dumps
+	// on failure or degradation. Requires Trace.
+	Flight *obs.FlightRecorder
 }
 
 // runPrivate dispatches one private round through the serial or parallel
@@ -56,6 +63,12 @@ func (cfg Fig5Config) runPrivate(params core.Params, ring *mask.KeyRing, pts []g
 	opts := []round.Option{round.WithObserver(cfg.Metrics)}
 	if cfg.Workers > 1 {
 		opts = append(opts, round.WithWorkers(cfg.Workers))
+	}
+	if cfg.Trace != nil {
+		opts = append(opts, round.WithTrace(cfg.Trace))
+	}
+	if cfg.Flight != nil {
+		opts = append(opts, round.WithFlightRecorder(cfg.Flight))
 	}
 	return round.Run(params, ring, round.Input{Points: pts, Bids: bids, Policy: policy, Rng: rng}, opts...)
 }

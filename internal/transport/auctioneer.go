@@ -8,6 +8,7 @@ import (
 	"math/rand"
 	"net"
 	"sort"
+	"strconv"
 	"sync"
 	"time"
 
@@ -58,12 +59,18 @@ type AuctioneerServer struct {
 	log     *slog.Logger
 	rng     *rand.Rand
 	// secondPrice switches charging to the clearing-price rule.
-	secondPrice bool
+	secondPrice  bool
 	idleTimeout  time.Duration
 	frameTimeout time.Duration
 	straggler    time.Duration
 	reg          *obs.Registry
 	ob           *netObs
+	tracer       *obs.Tracer
+	flight       *obs.FlightRecorder
+	// root is the round's root span (nil when untraced); recv_submission
+	// spans and phase spans hang off it unless the sender supplied its
+	// own wire trace context.
+	root *obs.Span
 
 	// wg tracks the acceptor, the coordinator, and every live handler;
 	// Shutdown waits on it. Round completion is signaled by done instead,
@@ -145,11 +152,18 @@ func NewAuctioneerServerWithConfig(params core.Params, bidders int, ttpAddr stri
 		straggler:    cfg.StragglerTimeout,
 		reg:          cfg.Metrics,
 		ob:           newNetObs(cfg.Metrics, "auctioneer"),
+		tracer:       cfg.Tracer,
+		flight:       cfg.FlightRecorder,
 		arrived:      make(chan struct{}, 1),
 		stop:         make(chan struct{}),
 		subs:         make(map[int]Submission, bidders),
 		conns:        make(map[int]*Conn, bidders),
 		done:         make(chan struct{}),
+	}
+	if s.tracer != nil {
+		s.root = s.tracer.StartTrace("round",
+			obs.L("bidders", strconv.Itoa(bidders)),
+			obs.L("channels", strconv.Itoa(params.Channels)))
 	}
 	s.wg.Add(2)
 	go s.acceptLoop()
@@ -274,6 +288,7 @@ func (s *AuctioneerServer) startRound() {
 		return
 	}
 	s.ob.exclude(len(outcome.Excluded))
+	s.finishTrace("", len(outcome.Excluded) > 0)
 
 	s.mu.Lock()
 	s.state = stateDone
@@ -313,15 +328,62 @@ func (s *AuctioneerServer) fail(err error) {
 		_ = c.Send(KindError, ErrorMsg{Reason: err.Error()})
 		c.Close()
 	}
+	s.finishTrace(err.Error(), false)
 	s.err = err
 	close(s.done)
 }
 
+// finishTrace ends the round's root span and, when a flight recorder is
+// configured, records the round — which auto-dumps the trace to disk on
+// failure, degradation, or an SLO miss.
+func (s *AuctioneerServer) finishTrace(errStr string, degraded bool) {
+	if s.tracer == nil {
+		return
+	}
+	if errStr != "" {
+		s.root.SetError(errStr)
+	}
+	s.root.End()
+	if s.flight == nil {
+		return
+	}
+	rt := &obs.RoundTrace{
+		Label:    "round",
+		Err:      errStr,
+		Degraded: degraded,
+		Duration: s.root.Duration,
+		Spans:    s.tracer.Snapshot(),
+	}
+	path, err := s.flight.Record(rt)
+	switch {
+	case err != nil:
+		s.log.Error("auctioneer: flight recorder dump", "err", err)
+	case path != "":
+		s.log.Info("auctioneer: flight recorder dumped round trace", "path", path)
+	}
+}
+
 // rejectConn answers a connection with a protocol error and closes it.
-func (s *AuctioneerServer) rejectConn(c *Conn, reason string, retryable bool) {
+// span, when non-nil, is marked failed with the same reason.
+func (s *AuctioneerServer) rejectConn(c *Conn, span *obs.Span, reason string, retryable bool) {
 	s.ob.reject()
+	span.SetError(reason)
 	_ = c.Send(KindError, ErrorMsg{Reason: reason, Retryable: retryable})
 	c.Close()
+}
+
+// recvSpan opens the per-submission span, parented onto the sender's
+// wire trace context when the frame carried one, else onto the round's
+// root span. Returns nil (a no-op span) when tracing is off.
+func (s *AuctioneerServer) recvSpan(c *Conn, bidder int) *obs.Span {
+	if s.tracer == nil {
+		return nil
+	}
+	parent := s.root.Context()
+	if tc := c.LastTrace(); tc.Valid() {
+		parent = tc.SpanContext()
+	}
+	return s.tracer.StartSpan("recv_submission", parent, obs.L("bidder", strconv.Itoa(bidder)))
 }
 
 func (s *AuctioneerServer) receiveSubmission(c *Conn) {
@@ -333,6 +395,9 @@ func (s *AuctioneerServer) receiveSubmission(c *Conn) {
 	if err := c.Expect(KindSubmission, &sub); err != nil {
 		s.ob.noteErr(err)
 		s.ob.reject()
+		if s.tracer != nil {
+			s.root.Event("frame_rejected", obs.L("err", err.Error()))
+		}
 		s.log.Error("auctioneer recv submission", "err", err)
 		c.Close()
 		return
@@ -340,13 +405,15 @@ func (s *AuctioneerServer) receiveSubmission(c *Conn) {
 	if s.ob != nil {
 		s.ob.subLat.ObserveDuration(time.Since(start))
 	}
+	span := s.recvSpan(c, sub.BidderID)
+	defer span.End()
 	if err := sub.Validate(s.params); err != nil {
 		s.log.Error("auctioneer: malformed submission", "bidder", sub.BidderID, "err", err)
-		s.rejectConn(c, err.Error(), false)
+		s.rejectConn(c, span, err.Error(), false)
 		return
 	}
 	if sub.BidderID < 0 || sub.BidderID >= s.bidders {
-		s.rejectConn(c, "bidder id out of range", false)
+		s.rejectConn(c, span, "bidder id out of range", false)
 		return
 	}
 
@@ -356,7 +423,7 @@ func (s *AuctioneerServer) receiveSubmission(c *Conn) {
 		if prev, ok := s.subs[sub.BidderID]; ok {
 			if prev.Nonce != sub.Nonce {
 				s.mu.Unlock()
-				s.rejectConn(c, "duplicate bidder id", false)
+				s.rejectConn(c, span, "duplicate bidder id", false)
 				return
 			}
 			// Idempotent replay: the bidder lost its connection and
@@ -368,6 +435,7 @@ func (s *AuctioneerServer) receiveSubmission(c *Conn) {
 				old.Close()
 			}
 			s.ob.replay()
+			span.Event("replay_deduped")
 			_ = c.Send(KindSubmissionAck, struct{}{})
 			return
 		}
@@ -381,7 +449,7 @@ func (s *AuctioneerServer) receiveSubmission(c *Conn) {
 		}
 	case stateRunning:
 		s.mu.Unlock()
-		s.rejectConn(c, "round in progress, retry shortly", true)
+		s.rejectConn(c, span, "round in progress, retry shortly", true)
 	case stateDone:
 		prev, submitted := s.subs[sub.BidderID]
 		res, haveResult := s.results[sub.BidderID]
@@ -390,16 +458,17 @@ func (s *AuctioneerServer) receiveSubmission(c *Conn) {
 			// A bidder that crashed after submitting and restarted:
 			// replay its stored result.
 			s.ob.replay()
+			span.Event("replay_deduped")
 			_ = c.Send(KindSubmissionAck, struct{}{})
 			_ = c.Send(KindResult, res)
 			c.Close()
 			return
 		}
-		s.rejectConn(c, "round already closed", false)
+		s.rejectConn(c, span, "round already closed", false)
 	default: // stateFailed
 		reason := s.failReason
 		s.mu.Unlock()
-		s.rejectConn(c, "round failed: "+reason, false)
+		s.rejectConn(c, span, "round failed: "+reason, false)
 	}
 }
 
@@ -427,9 +496,18 @@ func (s *AuctioneerServer) runRound(subs map[int]Submission) (*RoundOutcome, map
 	auc.SetObserver(s.reg)
 	timer := s.reg.PhaseTimer("lppa_round_phase_seconds", nil)
 	defer timer.Stop()
-	timer.Phase("conflict_graph")
+	// cur mirrors the timer's current phase as a child span of the round
+	// root; with tracing off every operation is a nil no-op.
+	var cur *obs.Span
+	phase := func(name string) {
+		timer.Phase(name)
+		cur.End()
+		cur = s.tracer.StartSpan(name, s.root.Context())
+	}
+	defer func() { cur.End() }()
+	phase("conflict_graph")
 	auc.ConflictGraph()
-	timer.Phase("allocate")
+	phase("allocate")
 	var reqs []core.ChargeRequest
 	if s.secondPrice {
 		awards, err := auc.AllocateAwards(s.rng)
@@ -444,7 +522,7 @@ func (s *AuctioneerServer) runRound(subs map[int]Submission) (*RoundOutcome, map
 		}
 		reqs = auc.ChargeRequests(assignments)
 	}
-	timer.Phase("charge")
+	phase("charge")
 	wireResults, err := submitChargesRetry(s.ttpAddr, reqs, 3, 100*time.Millisecond)
 	if err != nil {
 		return nil, nil, fmt.Errorf("transport: settle with ttp: %w", err)
@@ -454,6 +532,9 @@ func (s *AuctioneerServer) runRound(subs map[int]Submission) (*RoundOutcome, map
 	for id := 0; id < s.bidders; id++ {
 		if _, ok := subs[id]; !ok {
 			outcome.Excluded = append(outcome.Excluded, id)
+			if s.tracer != nil {
+				s.root.Event("straggler_excluded", obs.L("bidder", strconv.Itoa(id)))
+			}
 		}
 	}
 	results := make(map[int]Result, len(ids))

@@ -5,11 +5,13 @@ import (
 	"fmt"
 	"math/rand"
 	"net"
+	"strconv"
 	"time"
 
 	"lppa/internal/core"
 	"lppa/internal/geo"
 	"lppa/internal/mask"
+	"lppa/internal/obs"
 )
 
 // RetryPolicy shapes the client's capped exponential backoff: attempt k
@@ -84,6 +86,13 @@ type BidderClient struct {
 	// Dial overrides connection establishment; nil means net.Dial. Tests
 	// use it to interpose the fault injector.
 	Dial func(network, addr string) (net.Conn, error)
+	// Tracer, when non-nil, records the bidder's spans (fetch_keyring,
+	// encode, submit, with retry events) under a per-round participate
+	// root, and stamps the submit span's context into outgoing frames so
+	// auctioneer-side spans parent onto it. The client labels its spans
+	// "bidder-<ID>" via a Named view, so one tracer can serve a whole
+	// in-process fleet. Nil disables tracing at zero cost.
+	Tracer *obs.Tracer
 }
 
 func (b *BidderClient) dial(addr string) (net.Conn, error) {
@@ -105,37 +114,60 @@ func (b *BidderClient) dial(addr string) (net.Conn, error) {
 // through bid encoding; the submission nonce is drawn after encoding and
 // the jitter rng is derived from it only when a retry actually happens.
 func (b *BidderClient) Participate(ttpAddr, auctioneerAddr string, loc geo.Point, bids []uint64, rng *rand.Rand) (*Result, error) {
-	ring, err := b.fetchKeyRing(ttpAddr)
+	var tr *obs.Tracer
+	if b.Tracer != nil {
+		tr = b.Tracer.Named("bidder-" + strconv.Itoa(b.ID))
+	}
+	root := tr.StartTrace("participate", obs.L("bidder", strconv.Itoa(b.ID)))
+	res, err := b.participate(tr, root, ttpAddr, auctioneerAddr, loc, bids, rng)
+	if err != nil {
+		root.SetError(err.Error())
+	}
+	root.End()
+	return res, err
+}
+
+func (b *BidderClient) participate(tr *obs.Tracer, root *obs.Span, ttpAddr, auctioneerAddr string, loc geo.Point, bids []uint64, rng *rand.Rand) (*Result, error) {
+	fetch := tr.StartSpan("fetch_keyring", root.Context())
+	ring, err := b.fetchKeyRing(ttpAddr, fetch)
+	fetch.End()
 	if err != nil {
 		return nil, fmt.Errorf("transport: bidder %d: %w", b.ID, err)
 	}
 
+	encSpan := tr.StartSpan("encode", root.Context())
 	locSub, err := core.NewLocationSubmission(b.Params, ring, loc)
 	if err != nil {
+		encSpan.End()
 		return nil, fmt.Errorf("transport: bidder %d location: %w", b.ID, err)
 	}
 	var sampler *core.DisguiseSampler
 	if b.Policy.P0 < 1 {
 		sampler, err = core.NewDisguiseSampler(b.Policy, b.Params.BMax)
 		if err != nil {
+			encSpan.End()
 			return nil, err
 		}
 	}
 	enc, err := core.NewBidEncoder(b.Params, ring, sampler, rng)
 	if err != nil {
+		encSpan.End()
 		return nil, err
 	}
 	bidSub, err := enc.Encode(bids, rng)
 	if err != nil {
+		encSpan.End()
 		return nil, fmt.Errorf("transport: bidder %d bids: %w", b.ID, err)
 	}
+	encSpan.End()
 
 	sub := NewSubmission(b.ID, locSub, bidSub)
 	sub.Nonce = rng.Uint64()
 
+	submit := tr.StartSpan("submit", root.Context())
 	var res *Result
-	err = b.withRetry(sub.Nonce, func() error {
-		r, err := b.submitOnce(auctioneerAddr, sub)
+	err = b.withRetry(sub.Nonce, submit, func() error {
+		r, err := b.submitOnce(auctioneerAddr, sub, submit.Context())
 		if err != nil {
 			return err
 		}
@@ -143,22 +175,27 @@ func (b *BidderClient) Participate(ttpAddr, auctioneerAddr string, loc geo.Point
 		return nil
 	})
 	if err != nil {
+		submit.SetError(err.Error())
+		submit.End()
 		return nil, fmt.Errorf("transport: bidder %d: %w", b.ID, err)
 	}
+	submit.End()
 	return res, nil
 }
 
 // submitOnce performs one submission attempt over a fresh connection:
 // submit, await ack, await result. The caller retries on failure; the
-// nonce makes the resend idempotent on the auctioneer.
-func (b *BidderClient) submitOnce(addr string, sub Submission) (*Result, error) {
+// nonce makes the resend idempotent on the auctioneer. sc, when valid,
+// rides the submission frame so the auctioneer's span parents onto the
+// bidder's.
+func (b *BidderClient) submitOnce(addr string, sub Submission, sc obs.SpanContext) (*Result, error) {
 	conn, err := b.dial(addr)
 	if err != nil {
 		return nil, fmt.Errorf("dial auctioneer: %w", err)
 	}
 	c := NewConnTimeout(conn, b.Timeout)
 	defer c.Close()
-	if err := c.Send(KindSubmission, sub); err != nil {
+	if err := c.SendTraced(KindSubmission, sub, ToTraceContext(sc)); err != nil {
 		return nil, err
 	}
 	var ack struct{}
@@ -173,17 +210,19 @@ func (b *BidderClient) submitOnce(addr string, sub Submission) (*Result, error) 
 	return &res, nil
 }
 
-// fetchKeyRing is FetchKeyRing under the client's retry policy and dialer.
-func (b *BidderClient) fetchKeyRing(addr string) (*mask.KeyRing, error) {
+// fetchKeyRing is FetchKeyRing under the client's retry policy and
+// dialer. span, when non-nil, records retry events and its context rides
+// the request frame.
+func (b *BidderClient) fetchKeyRing(addr string, span *obs.Span) (*mask.KeyRing, error) {
 	var ring *mask.KeyRing
-	err := b.withRetry(uint64(b.ID)+1, func() error {
+	err := b.withRetry(uint64(b.ID)+1, span, func() error {
 		conn, err := b.dial(addr)
 		if err != nil {
 			return fmt.Errorf("dial ttp: %w", err)
 		}
 		c := NewConnTimeout(conn, b.Timeout)
 		defer c.Close()
-		if err := c.Send(KindKeyRingRequest, struct{}{}); err != nil {
+		if err := c.SendTraced(KindKeyRingRequest, struct{}{}, ToTraceContext(span.Context())); err != nil {
 			return err
 		}
 		var reply KeyRingReply
@@ -200,13 +239,19 @@ func (b *BidderClient) fetchKeyRing(addr string) (*mask.KeyRing, error) {
 // tries. A *PeerError with Retryable=false is terminal — the peer has
 // rejected us and retrying cannot change its mind. The jitter rng is
 // seeded from jitterSeed and created only when a retry actually happens,
-// so a fault-free run draws nothing extra.
-func (b *BidderClient) withRetry(jitterSeed uint64, op func() error) error {
+// so a fault-free run draws nothing extra. Each retry is recorded as an
+// event on span (nil-safe).
+func (b *BidderClient) withRetry(jitterSeed uint64, span *obs.Span, op func() error) error {
 	attempts := b.Retry.attempts()
 	var jitter *rand.Rand
 	var last error
 	for attempt := 0; attempt < attempts; attempt++ {
 		if attempt > 0 {
+			if span != nil {
+				span.Event("retry",
+					obs.L("attempt", strconv.Itoa(attempt)),
+					obs.L("err", last.Error()))
+			}
 			if jitter == nil {
 				jitter = rand.New(rand.NewSource(int64(jitterSeed)))
 			}

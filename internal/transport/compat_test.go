@@ -1,0 +1,151 @@
+package transport
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/gob"
+	"net"
+	"testing"
+
+	"lppa/internal/obs"
+)
+
+// legacyEnvelope mirrors the pre-trace wire envelope: just version and
+// kind, no Trace field. Gob matches struct fields by name and ignores the
+// top-level type name, so decoding through this type is exactly what a
+// peer built before the trace change does.
+type legacyEnvelope struct {
+	Version int
+	Kind    MsgKind
+}
+
+// TestTracedFrameDecodesOnLegacyPeer pins the new→old direction: a frame
+// encoded by a trace-aware sender — traced or not — must decode cleanly on
+// a peer whose Envelope predates the Trace field, envelope and payload
+// both.
+func TestTracedFrameDecodesOnLegacyPeer(t *testing.T) {
+	cases := []struct {
+		name string
+		tc   TraceContext
+	}{
+		{"untraced", TraceContext{}},
+		{"traced", TraceContext{TraceID: 0xfeedface, SpanID: 0x1234}},
+	}
+	for _, tt := range cases {
+		t.Run(tt.name, func(t *testing.T) {
+			frame, err := EncodeFrameTraced(KindError, ErrorMsg{Reason: "busy", Retryable: true}, tt.tc)
+			if err != nil {
+				t.Fatal(err)
+			}
+			dec := gob.NewDecoder(bytes.NewReader(frame[frameHeaderLen:]))
+			var env legacyEnvelope
+			if err := dec.Decode(&env); err != nil {
+				t.Fatalf("legacy peer rejected envelope: %v", err)
+			}
+			if env.Version != protocolVersion || env.Kind != KindError {
+				t.Fatalf("legacy peer decoded envelope %+v", env)
+			}
+			var em ErrorMsg
+			if err := dec.Decode(&em); err != nil {
+				t.Fatalf("legacy peer rejected payload: %v", err)
+			}
+			if em.Reason != "busy" || !em.Retryable {
+				t.Fatalf("legacy peer decoded payload %+v", em)
+			}
+		})
+	}
+}
+
+// TestLegacyFrameDecodesOnNewPeer pins the old→new direction: a frame
+// built by a sender that has never heard of TraceContext decodes on the
+// current peer with a zero (invalid) trace and an intact payload.
+func TestLegacyFrameDecodesOnNewPeer(t *testing.T) {
+	var buf bytes.Buffer
+	buf.Write(make([]byte, frameHeaderLen))
+	enc := gob.NewEncoder(&buf)
+	if err := enc.Encode(legacyEnvelope{Version: protocolVersion, Kind: KindResult}); err != nil {
+		t.Fatal(err)
+	}
+	if err := enc.Encode(Result{BidderID: 5, Won: true, Channel: 2, Price: 42}); err != nil {
+		t.Fatal(err)
+	}
+	frame := buf.Bytes()
+	binary.BigEndian.PutUint32(frame[:frameHeaderLen], uint32(len(frame)-frameHeaderLen))
+
+	env, dec, err := DecodeFrame(frame)
+	if err != nil {
+		t.Fatalf("new peer rejected legacy frame: %v", err)
+	}
+	if env.Kind != KindResult {
+		t.Fatalf("kind = %d, want %d", env.Kind, KindResult)
+	}
+	if env.Trace.Valid() {
+		t.Fatalf("legacy frame produced a valid trace context %+v", env.Trace)
+	}
+	var res Result
+	if err := dec.Decode(&res); err != nil {
+		t.Fatalf("payload: %v", err)
+	}
+	if res.BidderID != 5 || !res.Won || res.Channel != 2 || res.Price != 42 {
+		t.Fatalf("payload = %+v", res)
+	}
+}
+
+// TestUntracedFrameBytesStable pins the observed-twin property at the
+// wire: EncodeFrame and EncodeFrameTraced with a zero context produce
+// byte-identical frames (the zero Trace struct is omitted from the gob
+// value), while a valid context actually changes the bytes — the field
+// rides the wire only when tracing is on.
+func TestUntracedFrameBytesStable(t *testing.T) {
+	plain, err := EncodeFrame(KindSubmissionAck, struct{}{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	zero, err := EncodeFrameTraced(KindSubmissionAck, struct{}{}, TraceContext{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(plain, zero) {
+		t.Fatal("zero-trace frame differs from untraced frame")
+	}
+	traced, err := EncodeFrameTraced(KindSubmissionAck, struct{}{}, TraceContext{TraceID: 1, SpanID: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(plain, traced) {
+		t.Fatal("traced frame is byte-identical to untraced frame; trace context never made the wire")
+	}
+}
+
+// TestTraceContextRidesConn pins end-to-end propagation through the Conn
+// layer: the receiver's LastTrace reflects the sender's span context for
+// traced frames and resets to zero for untraced ones.
+func TestTraceContextRidesConn(t *testing.T) {
+	client, server := net.Pipe()
+	sender, receiver := NewConn(client), NewConn(server)
+	defer sender.Close()
+	defer receiver.Close()
+
+	want := ToTraceContext(obs.SpanContext{Trace: 77, Span: 99})
+	go func() {
+		_ = sender.SendTraced(KindSubmissionAck, struct{}{}, want)
+		_ = sender.Send(KindSubmissionAck, struct{}{})
+	}()
+
+	if _, err := receiver.RecvEnvelope(); err != nil {
+		t.Fatal(err)
+	}
+	if got := receiver.LastTrace(); got != want {
+		t.Fatalf("LastTrace = %+v, want %+v", got, want)
+	}
+	var v struct{}
+	if err := receiver.RecvPayload(&v); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := receiver.RecvEnvelope(); err != nil {
+		t.Fatal(err)
+	}
+	if got := receiver.LastTrace(); got.Valid() {
+		t.Fatalf("LastTrace after untraced frame = %+v, want zero", got)
+	}
+}

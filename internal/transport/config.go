@@ -51,6 +51,19 @@ type Config struct {
 	// round.ErrQuorumNotReached instead of hanging. Zero waits forever,
 	// the pre-hardening behavior. Ignored by the TTP server.
 	StragglerTimeout time.Duration
+	// Tracer, when non-nil, records the server's spans: one root round
+	// span on the auctioneer (with conflict_graph/allocate/charge phase
+	// children) plus a recv_submission span per accepted submission that
+	// parents onto the sender's wire trace context. The auctioneer
+	// assumes the tracer is dedicated to one round; reuse a tracer across
+	// rounds only via Named views on the same buffer. Nil disables
+	// tracing at zero cost.
+	Tracer *obs.Tracer
+	// FlightRecorder, when non-nil (auctioneer only, requires Tracer),
+	// buffers the round's trace and auto-dumps it to disk when the round
+	// fails, degrades below full attendance, or exceeds the recorder's
+	// latency SLO.
+	FlightRecorder *obs.FlightRecorder
 }
 
 func (c Config) idleTimeout() time.Duration {

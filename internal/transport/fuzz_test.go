@@ -61,12 +61,40 @@ func goldenFrames(tb testing.TB) [][]byte {
 	return frames
 }
 
+// tracedGoldenFrames returns trace-bearing variants of a few golden
+// payloads, so the fuzzer also mutates frames whose envelope carries a
+// TraceContext (a different gob value shape than the zero-trace frames).
+func tracedGoldenFrames(tb testing.TB) [][]byte {
+	tb.Helper()
+	tc := TraceContext{TraceID: 0x0102030405060708, SpanID: 0x1112131415161718}
+	payloads := []struct {
+		kind MsgKind
+		body any
+	}{
+		{KindKeyRingRequest, struct{}{}},
+		{KindSubmissionAck, struct{}{}},
+		{KindError, ErrorMsg{Reason: "traced", Retryable: false}},
+	}
+	frames := make([][]byte, 0, len(payloads))
+	for _, pl := range payloads {
+		f, err := EncodeFrameTraced(pl.kind, pl.body, tc)
+		if err != nil {
+			tb.Fatalf("encode traced kind %d: %v", pl.kind, err)
+		}
+		frames = append(frames, f)
+	}
+	return frames
+}
+
 // FuzzDecodeFrame hammers the frame decoder — the exact bytes an attacker
 // controls — with mutations of every golden frame. The decoder must never
 // panic, and every accepted envelope must decode (or cleanly reject) as
 // the payload type its kind dictates.
 func FuzzDecodeFrame(f *testing.F) {
 	for _, frame := range goldenFrames(f) {
+		f.Add(frame)
+	}
+	for _, frame := range tracedGoldenFrames(f) {
 		f.Add(frame)
 	}
 	f.Add([]byte{})
@@ -131,6 +159,24 @@ func TestGoldenFramesRoundTrip(t *testing.T) {
 		}
 		if dec == nil {
 			t.Fatalf("frame %d: nil payload decoder", i)
+		}
+	}
+}
+
+// TestTracedGoldenFramesRoundTrip keeps the traced corpus honest: every
+// trace-bearing frame decodes with its trace context intact.
+func TestTracedGoldenFramesRoundTrip(t *testing.T) {
+	want := TraceContext{TraceID: 0x0102030405060708, SpanID: 0x1112131415161718}
+	for i, frame := range tracedGoldenFrames(t) {
+		env, dec, err := DecodeFrame(frame)
+		if err != nil {
+			t.Fatalf("traced frame %d: %v", i, err)
+		}
+		if env.Trace != want {
+			t.Errorf("traced frame %d: trace = %+v, want %+v", i, env.Trace, want)
+		}
+		if dec == nil {
+			t.Fatalf("traced frame %d: nil payload decoder", i)
 		}
 	}
 }

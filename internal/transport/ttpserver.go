@@ -12,6 +12,7 @@ import (
 
 	"lppa/internal/core"
 	"lppa/internal/mask"
+	"lppa/internal/obs"
 	"lppa/internal/ttp"
 )
 
@@ -31,6 +32,7 @@ type TTPServer struct {
 	idleTimeout  time.Duration
 	frameTimeout time.Duration
 	ob           *netObs
+	tracer       *obs.Tracer
 
 	wg     sync.WaitGroup
 	mu     sync.Mutex
@@ -56,14 +58,15 @@ func NewTTPServerWithConfig(params core.Params, seed []byte, rd, cr uint64, ln n
 		return nil, err
 	}
 	s := &TTPServer{
-		params:      params,
-		ring:        ring,
-		ttp:         trusted,
-		ln:          ln,
+		params:       params,
+		ring:         ring,
+		ttp:          trusted,
+		ln:           ln,
 		log:          cfg.logger(),
 		idleTimeout:  cfg.idleTimeout(),
 		frameTimeout: cfg.frameTimeout(),
 		ob:           newNetObs(cfg.Metrics, "ttp"),
+		tracer:       cfg.Tracer,
 	}
 	s.wg.Add(1)
 	go s.acceptLoop()
@@ -110,6 +113,16 @@ func (s *TTPServer) acceptLoop() {
 	}
 }
 
+// serveSpan opens a span for one TTP exchange, parented onto the
+// requester's wire trace context when the frame carried one. Returns nil
+// (a no-op span) when tracing is off.
+func (s *TTPServer) serveSpan(name string, c *Conn) *obs.Span {
+	if s.tracer == nil {
+		return nil
+	}
+	return s.tracer.StartSpan(name, c.LastTrace().SpanContext())
+}
+
 func (s *TTPServer) handle(c *Conn) {
 	defer c.Close()
 	for {
@@ -125,7 +138,10 @@ func (s *TTPServer) handle(c *Conn) {
 				s.ob.reject()
 				return
 			}
-			if err := c.Send(KindKeyRingReply, RingToWire(s.ring)); err != nil {
+			span := s.serveSpan("serve_keyring", c)
+			err := c.Send(KindKeyRingReply, RingToWire(s.ring))
+			span.End()
+			if err != nil {
 				s.log.Error("ttp send key ring", "err", err)
 				return
 			}
@@ -135,14 +151,19 @@ func (s *TTPServer) handle(c *Conn) {
 				s.ob.reject()
 				return
 			}
+			span := s.serveSpan("serve_charges", c)
 			if err := batch.Validate(); err != nil {
 				s.ob.reject()
 				s.log.Error("ttp: malformed charge batch", "err", err)
+				span.SetError(err.Error())
+				span.End()
 				_ = c.Send(KindError, ErrorMsg{Reason: err.Error()})
 				return
 			}
 			results := s.ttp.ProcessBatch(batch.Requests)
-			if err := c.Send(KindChargeReply, ChargeReply{Results: ChargeResultsToWire(results)}); err != nil {
+			err := c.Send(KindChargeReply, ChargeReply{Results: ChargeResultsToWire(results)})
+			span.End()
+			if err != nil {
 				s.log.Error("ttp send charges", "err", err)
 				return
 			}

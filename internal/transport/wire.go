@@ -19,6 +19,7 @@ import (
 
 	"lppa/internal/core"
 	"lppa/internal/mask"
+	"lppa/internal/obs"
 	"lppa/internal/ttp"
 )
 
@@ -63,10 +64,36 @@ const (
 	KindError
 )
 
-// Envelope frames every message with a version and kind.
+// Envelope frames every message with a version and kind. Trace is the
+// sender's span context; the zero TraceContext (untraced) is omitted
+// from the gob encoding entirely, so untraced frames carry no trace
+// bytes, and peers that predate the field skip it on decode (gob matches
+// struct fields by name and ignores unknown ones). Both directions are
+// pinned by compat tests.
 type Envelope struct {
 	Version int
 	Kind    MsgKind
+	Trace   TraceContext
+}
+
+// TraceContext carries a span identity across the wire so the receiver's
+// spans can parent onto the sender's. Zero means "not traced".
+type TraceContext struct {
+	TraceID uint64
+	SpanID  uint64
+}
+
+// Valid reports whether the context names a real span.
+func (t TraceContext) Valid() bool { return t.TraceID != 0 && t.SpanID != 0 }
+
+// SpanContext converts to the obs span identity.
+func (t TraceContext) SpanContext() obs.SpanContext {
+	return obs.SpanContext{Trace: obs.TraceID(t.TraceID), Span: obs.SpanID(t.SpanID)}
+}
+
+// ToTraceContext converts an obs span identity to its wire form.
+func ToTraceContext(c obs.SpanContext) TraceContext {
+	return TraceContext{TraceID: uint64(c.Trace), SpanID: uint64(c.Span)}
 }
 
 // KeyRingReply carries the secret material from the TTP to a bidder.
@@ -307,10 +334,17 @@ type deadliner interface {
 // decodable — a retrying client can resend one verbatim and a fuzzer can
 // attack the decoder one frame at a time.
 func EncodeFrame(kind MsgKind, payload any) ([]byte, error) {
+	return EncodeFrameTraced(kind, payload, TraceContext{})
+}
+
+// EncodeFrameTraced is EncodeFrame with a span context stamped into the
+// envelope. The zero TraceContext produces bytes identical to an
+// untraced frame.
+func EncodeFrameTraced(kind MsgKind, payload any, tc TraceContext) ([]byte, error) {
 	var buf bytes.Buffer
 	buf.Write(make([]byte, frameHeaderLen))
 	enc := gob.NewEncoder(&buf)
-	if err := enc.Encode(Envelope{Version: protocolVersion, Kind: kind}); err != nil {
+	if err := enc.Encode(Envelope{Version: protocolVersion, Kind: kind, Trace: tc}); err != nil {
 		return nil, fmt.Errorf("transport: encode envelope: %w", err)
 	}
 	if err := enc.Encode(payload); err != nil {
@@ -375,6 +409,10 @@ type Conn struct {
 	// pending is the current frame's payload decoder, set by RecvEnvelope
 	// and consumed by RecvPayload.
 	pending *gob.Decoder
+	// lastTrace is the trace context of the most recently received
+	// envelope, kept so Expect-style helpers that hide the envelope can
+	// still surface the sender's span identity (LastTrace).
+	lastTrace TraceContext
 }
 
 // NewConn wraps a stream with no I/O deadlines.
@@ -427,7 +465,12 @@ func (c *Conn) Close() error { return c.rw.Close() }
 // underlying stream — one frame per Write, which is the contract the
 // fault injector (internal/faults) builds on.
 func (c *Conn) Send(kind MsgKind, payload any) error {
-	frame, err := EncodeFrame(kind, payload)
+	return c.SendTraced(kind, payload, TraceContext{})
+}
+
+// SendTraced is Send with a span context stamped into the envelope.
+func (c *Conn) SendTraced(kind MsgKind, payload any, tc TraceContext) error {
+	frame, err := EncodeFrameTraced(kind, payload, tc)
 	if err != nil {
 		return err
 	}
@@ -466,8 +509,13 @@ func (c *Conn) RecvEnvelope() (Envelope, error) {
 		return env, err
 	}
 	c.pending = dec
+	c.lastTrace = env.Trace
 	return env, nil
 }
+
+// LastTrace returns the trace context of the most recently received
+// envelope (zero when the sender was untraced).
+func (c *Conn) LastTrace() TraceContext { return c.lastTrace }
 
 // RecvPayload decodes the pending frame's body into payload.
 func (c *Conn) RecvPayload(payload any) error {

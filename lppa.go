@@ -51,6 +51,7 @@
 package lppa
 
 import (
+	"io"
 	"math/rand"
 	"time"
 
@@ -63,6 +64,7 @@ import (
 	"lppa/internal/geo"
 	"lppa/internal/mask"
 	"lppa/internal/obs"
+	"lppa/internal/obs/audit"
 	"lppa/internal/privacy"
 	"lppa/internal/round"
 	"lppa/internal/sim"
@@ -140,6 +142,22 @@ type (
 	// WritePrometheus methods or serve its Handler over HTTP. See
 	// DESIGN.md §5c.
 	Registry = obs.Registry
+	// Tracer buffers distributed round spans; hand one to WithTrace, a
+	// TransportConfig, or a BidderClient and export with WriteChromeTrace.
+	// See DESIGN.md §5e.
+	Tracer = obs.Tracer
+	// Span is one timed operation in a round trace.
+	Span = obs.Span
+	// FlightRecorder ring-buffers round traces and auto-dumps them on
+	// failure, quorum degradation, or an SLO breach.
+	FlightRecorder = obs.FlightRecorder
+	// AuditReport is the per-round privacy-leakage audit (AUDIT_ROUND.json).
+	AuditReport = audit.Report
+	// AuditOptions configures AuditRound (attacker model, coverage area,
+	// metrics fold-in).
+	AuditOptions = audit.Options
+	// BidderAudit is one bidder's leakage tally inside an AuditReport.
+	BidderAudit = audit.BidderAudit
 )
 
 // Attack and metric types.
@@ -310,6 +328,41 @@ var ErrQuorumNotReached = round.ErrQuorumNotReached
 // NewRegistry creates an empty metrics registry for WithObserver or the
 // transport servers.
 func NewRegistry() *Registry { return obs.NewRegistry() }
+
+// NewTracer creates a tracer whose spans report proc as their process
+// name; its Named method derives same-buffer views for co-located parties.
+func NewTracer(proc string) *Tracer { return obs.NewTracer(proc) }
+
+// NewFlightRecorder creates a flight recorder that keeps the last keep
+// round traces in memory and dumps the ring into dir when a round fails,
+// degrades to quorum, or (slo > 0) overruns slo.
+func NewFlightRecorder(dir string, keep int, slo time.Duration) *FlightRecorder {
+	return obs.NewFlightRecorder(dir, keep, slo)
+}
+
+// WriteChromeTrace exports spans in Chrome trace_event format — load the
+// file in ui.perfetto.dev or chrome://tracing.
+func WriteChromeTrace(w io.Writer, spans []*Span) error { return obs.WriteChromeTrace(w, spans) }
+
+// WriteTraceSummary renders a human-readable per-trace span tree.
+func WriteTraceSummary(w io.Writer, spans []*Span) error { return obs.WriteTraceSummary(w, spans) }
+
+// WithTrace records the round as a span tree in tracer: a round root with
+// encode/conflict_graph/allocate/charge phase children. A nil tracer is a
+// no-op; results are bit-identical either way. See DESIGN.md §5e.
+func WithTrace(tracer *Tracer) RunOption { return round.WithTrace(tracer) }
+
+// WithFlightRecorder ring-buffers each traced round and auto-dumps the
+// ring on failure or quorum degradation. Requires WithTrace.
+func WithFlightRecorder(fr *FlightRecorder) RunOption { return round.WithFlightRecorder(fr) }
+
+// AuditRound tallies what one round's transcript exposed to the
+// auctioneer — masked digest counts, conflict degrees, per-channel
+// comparison work — and, given a coverage area, the anonymity-set size
+// the paper's transcript attacker achieves against each bidder.
+func AuditRound(res *RoundResult, opts AuditOptions) (*AuditReport, error) {
+	return audit.Round(res, opts)
+}
 
 // RunPrivate executes a full LPPA round in-process (batch TTP charging,
 // the paper's design).

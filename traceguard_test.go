@@ -1,0 +1,58 @@
+package lppa_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"lppa"
+	"lppa/internal/core"
+	"lppa/internal/geo"
+	"lppa/internal/mask"
+)
+
+// TestTraceDisabledAllocationFree is the observed-twin allocation guard
+// (`make trace-guard`): running a round with WithTrace(nil) — the
+// production default — must allocate exactly what the untraced baseline
+// allocates. The variants are measured alternately until they agree:
+// one-time runtime warmup can land a stray allocation in whichever
+// measurement runs first, but a real per-round leak never converges.
+func TestTraceDisabledAllocationFree(t *testing.T) {
+	p := core.Params{Channels: 8, Lambda: 2, MaxX: 99, MaxY: 99, BMax: 100}
+	ring, err := mask.DeriveKeyRing([]byte("trace-guard"), p.Channels, 5, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(23))
+	const n = 60
+	pts := make([]geo.Point, n)
+	bids := make([][]uint64, n)
+	for i := range pts {
+		pts[i] = geo.Point{X: uint64(rng.Intn(100)), Y: uint64(rng.Intn(100))}
+		bids[i] = make([]uint64, p.Channels)
+		for r := range bids[i] {
+			bids[i][r] = uint64(rng.Intn(101))
+		}
+	}
+	run := func(opts ...lppa.RunOption) func() {
+		return func() {
+			in := lppa.RoundInput{Points: pts, Bids: bids,
+				Policy: core.DefaultDisguise(), Rng: rand.New(rand.NewSource(1))}
+			if _, err := lppa.Run(p, ring, in, opts...); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	offFn := run()
+	disFn := run(lppa.WithTrace(nil))
+	offFn() // warm both paths before measuring
+	disFn()
+	var off, disabled float64
+	for i := 0; i < 5; i++ {
+		off = testing.AllocsPerRun(10, offFn)
+		disabled = testing.AllocsPerRun(10, disFn)
+		if off == disabled {
+			return
+		}
+	}
+	t.Errorf("WithTrace(nil) round allocates %.0f allocs, untraced %.0f — disabled tracing must be free", disabled, off)
+}
