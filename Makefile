@@ -26,16 +26,17 @@ bench:
 # Machine-readable snapshot of the auctioneer-path benchmarks. Each PR
 # writes its own file (BENCH_PR1.json parallel pipeline, BENCH_PR2.json
 # interning, BENCH_PR3.json the unified Run API with a nil registry,
-# BENCH_PR5.json the tracing subsystem) so bench-compare can diff across
-# PRs. See EXPERIMENTS.md for the narrative.
+# BENCH_PR5.json the tracing subsystem, BENCH_PR6.json the indexed
+# candidate generation under both density mixes) so bench-compare can diff
+# across PRs. See EXPERIMENTS.md for the narrative.
 bench-json:
 	$(GO) test -run=NONE -benchmem \
-		-bench='ZeroAllocMask|ParallelMaskAll|ParallelConflictGraph|ParallelPrivateRound|RankMemoAllocation|MaskDigest|PrivateConflictGraph|InternedIntersect|ConflictGraphN300|RankMemoN300|RoundTraceOverhead' \
-		. | $(GO) run ./cmd/benchjson > BENCH_PR5.json
+		-bench='ZeroAllocMask|ParallelMaskAll|ParallelConflictGraph|ParallelPrivateRound|RankMemoAllocation|MaskDigest|PrivateConflictGraph|InternedIntersect|ConflictGraphN300|RankMemoN300|RoundTraceOverhead|ConflictGraphIndexed|IndexCursorRow' \
+		. | $(GO) run ./cmd/benchjson > BENCH_PR6.json
 
 # Diff ns/op and allocs/op between the two most recent committed snapshots.
 bench-compare:
-	$(GO) run ./cmd/benchjson -compare BENCH_PR3.json BENCH_PR5.json
+	$(GO) run ./cmd/benchjson -compare BENCH_PR5.json BENCH_PR6.json
 
 # Per-phase/per-layer cost profile of one instrumented N=300 private
 # round, as the observability registry's JSON snapshot. CI uploads it next
@@ -64,10 +65,11 @@ trace-guard:
 	$(GO) test -run TestTraceDisabledAllocationFree -count=1 -v .
 
 # Fail if the zero-allocation benchmarks report any allocations: the masked
-# comparison and interned intersection hot paths must stay allocation-free.
+# comparison, interned intersection, and index candidate-scan hot paths must
+# stay allocation-free.
 alloc-guard:
 	$(GO) test -run=NONE -benchtime=1x -benchmem \
-		-bench='ZeroAllocMask|InternedIntersect' . \
+		-bench='ZeroAllocMask|InternedIntersect|IndexCursorRow' . \
 		| awk '/^Benchmark/ { a = $$(NF-1); if (a+0 != 0) { print "allocs/op regression: " $$0; bad = 1 } print } END { exit bad }'
 
 # Short fuzz pass over every fuzz target (CI smoke; extend -fuzztime locally).

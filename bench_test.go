@@ -1255,6 +1255,96 @@ func BenchmarkRankMemoN300(b *testing.B) {
 	b.Run("interned", func(b *testing.B) { run(b, false) })
 }
 
+// --- Indexed candidate-generation benchmarks (PR 6) ----------------------
+
+// BenchmarkConflictGraphIndexed is the acceptance-criterion build at
+// N=3000 under the two density regimes of DESIGN.md §5f: the all-pairs
+// oracle against the inverted-index candidate path. Sparse-rural (uniform
+// over a 1000×1000 domain) is where the index wins — short posting lists
+// collapse the candidate set far below n². Dense-urban (three tight
+// hotspots on a 100×100 domain) is the skew-guard stress case: posting
+// lists go hot, rows fall back to pairwise probing, and the criterion is
+// only that the index costs ≤ 10 % over the oracle.
+func BenchmarkConflictGraphIndexed(b *testing.B) {
+	const n = 3000
+	regimes := []struct {
+		mix  dataset.DensityMix
+		grid geo.Grid
+	}{
+		{dataset.UrbanMix(), geo.Grid{Rows: 100, Cols: 100, SideMeters: 75_000}},
+		{dataset.RuralMix(), geo.Grid{Rows: 1000, Cols: 1000, SideMeters: 75_000}},
+	}
+	for _, re := range regimes {
+		p := core.Params{Channels: 1, Lambda: re.mix.Lambda,
+			MaxX: uint64(re.grid.Cols - 1), MaxY: uint64(re.grid.Rows - 1), BMax: 100}
+		ring, err := mask.DeriveKeyRing([]byte("ixbench-"+re.mix.Name), 1, 5, 8)
+		if err != nil {
+			b.Fatal(err)
+		}
+		pts := re.mix.Points(re.grid, n, rand.New(rand.NewSource(3)))
+		subs, err := core.NewLocationSubmissions(p, ring, pts, 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		var name string
+		switch re.mix.Name {
+		case "urban":
+			name = "dense-urban"
+		default:
+			name = "sparse-rural"
+		}
+		b.Run(name+"/oracle", func(b *testing.B) {
+			var edges int
+			for i := 0; i < b.N; i++ {
+				edges = core.BuildConflictGraph(subs).Edges()
+			}
+			b.ReportMetric(float64(edges), "edges")
+		})
+		b.Run(name+"/indexed", func(b *testing.B) {
+			var edges int
+			for i := 0; i < b.N; i++ {
+				edges = core.BuildConflictGraphIndexed(subs, 1).Edges()
+			}
+			b.ReportMetric(float64(edges), "edges")
+		})
+	}
+}
+
+// BenchmarkIndexCursorRow pins the steady-state candidate scan: once the
+// cursor's scratch buffers have grown to the hottest row, Row must not
+// allocate (the -benchmem column is the acceptance criterion, 0 allocs/op;
+// `make alloc-guard` enforces it).
+func BenchmarkIndexCursorRow(b *testing.B) {
+	m, err := mask.NewMasker(make(mask.Key, 32))
+	if err != nil {
+		b.Fatal(err)
+	}
+	dict := mask.NewDict()
+	mkSet := func(lo, cnt uint64) mask.IntSet {
+		vs := make([]uint64, cnt)
+		for i := range vs {
+			vs[i] = lo + uint64(i)
+		}
+		return dict.InternSet(m.MaskSet(vs))
+	}
+	const n = 256
+	ix := mask.NewIndex(n)
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < n; i++ {
+		lo := uint64(rng.Intn(64))
+		ix.Add(mkSet(lo, 11), mkSet(lo, 18))
+	}
+	cur := ix.Cursor()
+	for i := 0; i < n; i++ {
+		cur.Row(i) // grow the scratch buffers to steady state
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cur.Row(i % n)
+	}
+}
+
 // BenchmarkRoundTraceOverhead prices the tracing subsystem against a full
 // private round. "off" is the untraced baseline; "disabled" passes
 // WithTrace(nil) — the production default, which must cost exactly what

@@ -63,6 +63,8 @@ func run(args []string) error {
 		trials     = fs.Int("trials", 3, "independent trials per fig5ef cell (mean ± 95% CI)")
 		format     = fs.String("format", "text", "table output: text|csv")
 		workers    = fs.Int("workers", runtime.GOMAXPROCS(0), "goroutines for submission encoding and conflict graphs (1 = legacy serial driver)")
+		density    = fs.String("density", "", "bidder placement for the round experiment: urban|rural|mixed (default: uniform)")
+		indexed    = fs.Bool("indexed", false, "build conflict graphs from inverted-index candidates (bit-identical results, different cost profile)")
 		metricsOut = fs.String("metrics-out", "", "write a JSON metrics snapshot of the instrumented experiments (round, fig5ad, fig5ef) to this file; - for stdout")
 		traceOut   = fs.String("trace-out", "", "write a Chrome trace_event JSON of the instrumented experiments (round, fig5ad, fig5ef) to this file; view at ui.perfetto.dev")
 		auditOut   = fs.String("audit-out", "", "write the round experiment's privacy-leakage audit (per-bidder anonymity sets) as JSON to this file")
@@ -75,6 +77,14 @@ func run(args []string) error {
 	effectiveWorkers := *workers
 	if effectiveWorkers < 1 {
 		effectiveWorkers = runtime.GOMAXPROCS(0)
+	}
+	var mix *dataset.DensityMix
+	if *density != "" {
+		m, err := dataset.ParseDensity(*density)
+		if err != nil {
+			return err
+		}
+		mix = &m
 	}
 	fmt.Fprintf(os.Stderr, "workers: %d (GOMAXPROCS %d)\n", effectiveWorkers, runtime.GOMAXPROCS(0))
 	switch *format {
@@ -129,15 +139,15 @@ func run(args []string) error {
 		case "fig4c":
 			return runFig4C(ds, *victims, *seed)
 		case "fig5ad":
-			return runFig5AD(ds, *n, *channels, *seed, *quick, effectiveWorkers, sinks)
+			return runFig5AD(ds, *n, *channels, *seed, *quick, effectiveWorkers, *indexed, sinks)
 		case "fig5ef":
 			pops, err := parseInts(*bidders)
 			if err != nil {
 				return err
 			}
-			return runFig5EF(ds, pops, *channels, *seed, *trials, *quick, effectiveWorkers, sinks)
+			return runFig5EF(ds, pops, *channels, *seed, *trials, *quick, effectiveWorkers, *indexed, sinks)
 		case "round":
-			return runRound(ds, *n, *channels, *seed, effectiveWorkers, sinks)
+			return runRound(ds, *n, *channels, *seed, effectiveWorkers, mix, *indexed, sinks)
 		case "multiround":
 			return runMultiRound(ds, *seed, *quick)
 		case "basicleak":
@@ -242,19 +252,27 @@ func writeMetrics(reg *obs.Registry, path string) error {
 // and prints its headline numbers; with -metrics-out the full per-phase and
 // per-layer profile lands in the snapshot, -trace-out records the phase
 // span tree, and -audit-out reports what the round's transcript leaked.
-func runRound(ds *dataset.Dataset, n, channels int, seed int64, workers int, sinks obsSinks) error {
+func runRound(ds *dataset.Dataset, n, channels int, seed int64, workers int, mix *dataset.DensityMix, indexed bool, sinks obsSinks) error {
 	cfg := sim.DefaultFig5Config()
 	cfg.Bidders = n
 	cfg.Channels = channels
 	cfg.Workers = workers
+	cfg.Density = mix
+	cfg.Indexed = indexed
 	cfg.Metrics = sinks.reg
 	cfg.Trace = sinks.tracer
 	cfg.Flight = sinks.flight
+	placement := "uniform"
+	if mix != nil {
+		placement = mix.Name
+		cfg.Lambda = mix.Lambda
+	}
 	res, err := sim.MetricsRound(ds.Areas[2], cfg, seed)
 	if err != nil {
 		return err
 	}
-	fmt.Printf("## Instrumented private round (Area 3, N=%d, k=%d, workers=%d)\n\n", n, min(channels, ds.Areas[2].NumChannels()), workers)
+	fmt.Printf("## Instrumented private round (Area 3, N=%d, k=%d, workers=%d, density=%s, indexed=%t)\n\n",
+		n, min(channels, ds.Areas[2].NumChannels()), workers, placement, indexed)
 	fmt.Printf("awards: %d, revenue: %d, satisfaction: %.3f, voided: %d, submission bytes: %d\n",
 		len(res.Outcome.Assignments), res.Outcome.Revenue, res.Outcome.Satisfaction(), res.Voided, res.SubmissionBytes)
 	if sinks.auditOut == "" {
@@ -329,11 +347,12 @@ func runFig4C(ds *dataset.Dataset, victims int, seed int64) error {
 	return render(sim.Fig4CTable(points))
 }
 
-func runFig5AD(ds *dataset.Dataset, n, channels int, seed int64, quick bool, workers int, sinks obsSinks) error {
+func runFig5AD(ds *dataset.Dataset, n, channels int, seed int64, quick bool, workers int, indexed bool, sinks obsSinks) error {
 	cfg := sim.DefaultFig5Config()
 	cfg.Bidders = n
 	cfg.Channels = channels
 	cfg.Workers = workers
+	cfg.Indexed = indexed
 	cfg.Metrics = sinks.reg
 	cfg.Trace = sinks.tracer
 	cfg.Flight = sinks.flight
@@ -350,11 +369,12 @@ func runFig5AD(ds *dataset.Dataset, n, channels int, seed int64, quick bool, wor
 	return render(sim.Fig5ADTable(points, baseline))
 }
 
-func runFig5EF(ds *dataset.Dataset, pops []int, channels int, seed int64, trials int, quick bool, workers int, sinks obsSinks) error {
+func runFig5EF(ds *dataset.Dataset, pops []int, channels int, seed int64, trials int, quick bool, workers int, indexed bool, sinks obsSinks) error {
 	cfg := sim.DefaultFig5Config()
 	cfg.Channels = channels
 	cfg.Trials = trials
 	cfg.Workers = workers
+	cfg.Indexed = indexed
 	cfg.Metrics = sinks.reg
 	cfg.Trace = sinks.tracer
 	cfg.Flight = sinks.flight

@@ -187,3 +187,35 @@ func NewPopulation(area *dataset.Area, n int, cfg Config, rng *rand.Rand) (*Popu
 
 // N reports the population size.
 func (p *Population) N() int { return len(p.SUs) }
+
+// PlaceCells builds SUs at caller-chosen cells (e.g. a dataset.DensityMix
+// placement), drawing β from cfg exactly like Place.
+func PlaceCells(cells []geo.Cell, cfg Config, rng *rand.Rand) []SU {
+	sus := make([]SU, len(cells))
+	for i, c := range cells {
+		sus[i] = SU{
+			ID:   i,
+			Cell: c,
+			Beta: cfg.BetaMin + rng.Float64()*(cfg.BetaMax-cfg.BetaMin),
+		}
+	}
+	return sus
+}
+
+// NewPopulationAt is NewPopulation over an explicit placement, letting
+// density-mix experiments choose the geometry while bids still come from
+// the area's coverage maps.
+func NewPopulationAt(area *dataset.Area, cells []geo.Cell, cfg Config, rng *rand.Rand) (*Population, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if len(cells) < 1 {
+		return nil, fmt.Errorf("bidder: population size %d must be ≥ 1", len(cells))
+	}
+	p := &Population{SUs: PlaceCells(cells, cfg, rng)}
+	p.Bids = make([][]uint64, len(cells))
+	for i, su := range p.SUs {
+		p.Bids[i] = BidVector(su, area, cfg, rng)
+	}
+	return p, nil
+}

@@ -1,0 +1,91 @@
+package conflict
+
+import "sync"
+
+// Candidate-driven graph construction (DESIGN.md §5f): instead of probing
+// all n²/2 pairs, a candidate cursor proposes, per row, a superset of the
+// row's true conflict partners (e.g. from mask.Index posting-list joins),
+// and only those candidates are confirmed with the exact predicate. Because
+// an adjacency bit's position depends only on (i, j) — never on evaluation
+// order — the result is bit-identical to BuildFromPredicate whenever the
+// cursor's supersets are sound, for every worker count.
+
+// CandidateCursor yields candidate partners row by row. Row(i) must return
+// a duplicate-free slice of indices j with i < j < n containing every j
+// that truly conflicts with i (supersets are fine — false candidates are
+// discarded by the predicate). The returned slice may be reused; it is only
+// valid until the next Row call on the same cursor.
+type CandidateCursor interface {
+	Row(i int) []uint32
+}
+
+// BuildFromCandidates constructs the graph by confirming, for each row,
+// only the cursor's candidates with pred. pred is called for i < j, at most
+// once per pair, exactly as in BuildFromPredicate.
+func BuildFromCandidates(n int, cur CandidateCursor, pred func(i, j int) bool) *Graph {
+	g := NewGraph(n)
+	for i := 0; i < n; i++ {
+		for _, j := range cur.Row(i) {
+			if pred(i, int(j)) {
+				g.AddEdge(i, int(j))
+			}
+		}
+	}
+	return g
+}
+
+// BuildFromCandidatesParallel is BuildFromCandidates sharded across at most
+// workers goroutines, mirroring BuildFromPredicateParallel's two-phase
+// shape: worker w owns rows i ≡ w (mod workers) and sets upper-triangle
+// bits from its own cursor's candidates, then after a barrier the lower
+// triangle is mirrored from an immutable snapshot. Cursors carry per-row
+// scratch state, so newCursor is invoked once per worker — serially, on the
+// calling goroutine, letting callers keep every cursor for post-build
+// statistics. pred must be safe for concurrent calls with distinct (i, j).
+func BuildFromCandidatesParallel(n int, newCursor func() CandidateCursor, pred func(i, j int) bool, workers int) *Graph {
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		return BuildFromCandidates(n, newCursor(), pred)
+	}
+	g := NewGraph(n)
+	cursors := make([]CandidateCursor, workers)
+	for w := range cursors {
+		cursors[w] = newCursor()
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			cur := cursors[w]
+			for i := w; i < n; i += workers {
+				row := g.adj[i*g.words : (i+1)*g.words]
+				for _, j := range cur.Row(i) {
+					if pred(i, int(j)) {
+						row[j/64] |= 1 << (j % 64)
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	upper := append([]uint64(nil), g.adj...)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for j := w; j < n; j += workers {
+				row := g.adj[j*g.words : (j+1)*g.words]
+				for i := 0; i < j; i++ {
+					if upper[i*g.words+j/64]&(1<<(j%64)) != 0 {
+						row[i/64] |= 1 << (i % 64)
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	return g
+}

@@ -1,0 +1,102 @@
+package conflict
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// sliceCursor replays precomputed candidate rows (tests only).
+type sliceCursor struct {
+	rows [][]uint32
+}
+
+func (c *sliceCursor) Row(i int) []uint32 { return c.rows[i] }
+
+// candidateRows derives per-row candidates from a pair set, optionally
+// inflating each row with spurious extras the predicate must discard.
+func candidateRows(n int, truth map[[2]int]bool, noise int, rng *rand.Rand) [][]uint32 {
+	rows := make([][]uint32, n)
+	for i := 0; i < n; i++ {
+		seen := map[uint32]bool{}
+		for j := i + 1; j < n; j++ {
+			if truth[[2]int{i, j}] {
+				rows[i] = append(rows[i], uint32(j))
+				seen[uint32(j)] = true
+			}
+		}
+		for k := 0; k < noise && i < n-1; k++ {
+			j := uint32(i + 1 + rng.Intn(n-i-1))
+			if !seen[j] {
+				seen[j] = true
+				rows[i] = append(rows[i], j)
+			}
+		}
+	}
+	return rows
+}
+
+func randomTruth(n int, density float64, rng *rand.Rand) map[[2]int]bool {
+	truth := map[[2]int]bool{}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if rng.Float64() < density {
+				truth[[2]int{i, j}] = true
+			}
+		}
+	}
+	return truth
+}
+
+// TestBuildFromCandidatesMatchesPredicate pins the oracle contract: with a
+// sound candidate superset (exact rows, or rows inflated with spurious
+// candidates) the graph is bit-identical to the all-pairs build.
+func TestBuildFromCandidatesMatchesPredicate(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for _, n := range []int{0, 1, 2, 17, 64, 130} {
+		for _, density := range []float64{0, 0.05, 0.5, 1} {
+			truth := randomTruth(n, density, rng)
+			pred := func(i, j int) bool { return truth[[2]int{i, j}] }
+			oracle := BuildFromPredicate(n, pred)
+			for _, noise := range []int{0, 3} {
+				cur := &sliceCursor{rows: candidateRows(n, truth, noise, rng)}
+				got := BuildFromCandidates(n, cur, pred)
+				if !got.Equal(oracle) {
+					t.Fatalf("n=%d density=%g noise=%d: candidate graph differs from oracle", n, density, noise)
+				}
+			}
+		}
+	}
+}
+
+// TestBuildFromCandidatesParallelMatchesSerial sweeps worker counts: every
+// count must produce the bit-identical graph, and the factory must be
+// invoked once per worker, serially.
+func TestBuildFromCandidatesParallelMatchesSerial(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	const n = 97
+	truth := randomTruth(n, 0.1, rng)
+	pred := func(i, j int) bool { return truth[[2]int{i, j}] }
+	rows := candidateRows(n, truth, 2, rng)
+	oracle := BuildFromPredicate(n, pred)
+
+	for _, workers := range []int{1, 2, 3, 4, 8, 200} {
+		made := 0
+		got := BuildFromCandidatesParallel(n, func() CandidateCursor {
+			made++
+			return &sliceCursor{rows: rows}
+		}, pred, workers)
+		if !got.Equal(oracle) {
+			t.Fatalf("workers=%d: parallel candidate graph differs from oracle", workers)
+		}
+		wantCursors := workers
+		if wantCursors > n {
+			wantCursors = n
+		}
+		if wantCursors < 1 {
+			wantCursors = 1
+		}
+		if made != wantCursors {
+			t.Fatalf("workers=%d: %d cursors created, want %d", workers, made, wantCursors)
+		}
+	}
+}

@@ -31,6 +31,14 @@ type Auctioneer struct {
 	// identical either way by construction).
 	noIntern bool
 
+	// indexed switches conflict-candidate generation onto the inverted
+	// digest index (EnableIndexedCandidates, graphbuild.go). iloc and
+	// locIndex cache the interned location view and the index, built once by
+	// internedView — submissions are immutable, so neither is invalidated.
+	indexed  bool
+	iloc     []internedLocation
+	locIndex *mask.Index
+
 	// Per-column comparison memo, built lazily by columnRank: rankOrder[r]
 	// is all bidders sorted by descending masked bid (ties in index
 	// order), rank[r][i] the dense rank of bidder i (equal masked bids
@@ -87,25 +95,10 @@ func (a *Auctioneer) SetWorkers(w int) { a.workers = w }
 func (a *Auctioneer) DisableInterning() { a.noIntern = true }
 
 // ConflictGraph lazily builds and returns the masked-submission conflict
-// graph.
+// graph through the shared builder (graphbuild.go).
 func (a *Auctioneer) ConflictGraph() *conflict.Graph {
 	if a.graph == nil {
-		switch {
-		case a.ob != nil:
-			a.graph = a.buildGraphObserved()
-		case a.noIntern && a.workers > 1:
-			a.graph = conflict.BuildFromPredicateParallel(len(a.locs), func(i, j int) bool {
-				return Conflicts(a.locs[i], a.locs[j])
-			}, a.workers)
-		case a.noIntern:
-			a.graph = conflict.BuildFromPredicate(len(a.locs), func(i, j int) bool {
-				return Conflicts(a.locs[i], a.locs[j])
-			})
-		case a.workers > 1:
-			a.graph = BuildConflictGraphParallel(a.locs, a.workers)
-		default:
-			a.graph = BuildConflictGraph(a.locs)
-		}
+		a.graph = a.buildGraph()
 	}
 	return a.graph
 }

@@ -1,0 +1,267 @@
+package core
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"lppa/internal/conflict"
+	"lppa/internal/geo"
+	"lppa/internal/mask"
+	"lppa/internal/obs"
+)
+
+// Density shapes for the indexed-candidate equivalence suite: the index
+// must agree with the all-pairs oracle from the sparse regime (few posting
+// collisions) through pathological stacking (every posting list hot).
+
+func shapePoints(p Params, shape string, n int, seed int64) []geo.Point {
+	rng := rand.New(rand.NewSource(seed))
+	pts := make([]geo.Point, n)
+	clamp := func(v int64, max uint64) uint64 {
+		if v < 0 {
+			return 0
+		}
+		if uint64(v) > max {
+			return max
+		}
+		return uint64(v)
+	}
+	switch shape {
+	case "uniform":
+		for i := range pts {
+			pts[i] = geo.Point{X: uint64(rng.Intn(int(p.MaxX + 1))), Y: uint64(rng.Intn(int(p.MaxY + 1)))}
+		}
+	case "clustered":
+		centers := make([]geo.Point, 3)
+		for c := range centers {
+			centers[c] = geo.Point{X: uint64(rng.Intn(int(p.MaxX + 1))), Y: uint64(rng.Intn(int(p.MaxY + 1)))}
+		}
+		for i := range pts {
+			c := centers[rng.Intn(len(centers))]
+			pts[i] = geo.Point{
+				X: clamp(int64(c.X)+int64(rng.NormFloat64()*3), p.MaxX),
+				Y: clamp(int64(c.Y)+int64(rng.NormFloat64()*3), p.MaxY),
+			}
+		}
+	case "line":
+		// One shared row: X postings collide massively, Y decides conflicts.
+		for i := range pts {
+			pts[i] = geo.Point{X: uint64(rng.Intn(int(p.MaxX + 1))), Y: p.MaxY / 2}
+		}
+	case "stacked":
+		// Few distinct positions, heavily duplicated — every posting list of
+		// the occupied digests is maximally hot.
+		for i := range pts {
+			pts[i] = geo.Point{X: uint64(5 * rng.Intn(3)), Y: uint64(5 * rng.Intn(3))}
+		}
+	default:
+		panic("unknown shape " + shape)
+	}
+	return pts
+}
+
+var densityShapes = []string{"uniform", "clustered", "line", "stacked"}
+
+func locSubs(t testing.TB, p Params, pts []geo.Point) []*LocationSubmission {
+	t.Helper()
+	ring, err := mask.DeriveKeyRing([]byte("index-equivalence"), p.Channels, 5, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	subs, err := NewLocationSubmissions(p, ring, pts, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return subs
+}
+
+// TestIndexedGraphMatchesOracle is the equivalence grid: every density
+// shape × worker count must yield a graph bit-identical to the all-pairs
+// oracle (itself pinned against the map-based predicate).
+func TestIndexedGraphMatchesOracle(t *testing.T) {
+	p := testParams()
+	for _, shape := range densityShapes {
+		for _, n := range []int{1, 2, 37, 120} {
+			subs := locSubs(t, p, shapePoints(p, shape, n, 0xC0FFEE))
+			oracle := BuildConflictGraph(subs)
+			raw := conflict.BuildFromPredicate(n, func(i, j int) bool {
+				return Conflicts(subs[i], subs[j])
+			})
+			if !oracle.Equal(raw) {
+				t.Fatalf("%s/n=%d: interned oracle differs from map-based predicate", shape, n)
+			}
+			for _, workers := range []int{1, 2, 5, 16} {
+				if got := BuildConflictGraphIndexed(subs, workers); !got.Equal(oracle) {
+					t.Fatalf("%s/n=%d/workers=%d: indexed graph differs from oracle", shape, n, workers)
+				}
+			}
+		}
+	}
+}
+
+// TestAuctioneerIndexedKnob pins the option plumbing: EnableIndexedCandidates
+// changes no answer (graph, allocation inputs), PrepareCandidates reports
+// whether an index is in play, and DisableInterning wins over indexed mode.
+func TestAuctioneerIndexedKnob(t *testing.T) {
+	p := testParams()
+	for _, workers := range []int{1, 4} {
+		oracleAuc, pts, bids := randomRound(t, p, 60, 99)
+		oracleAuc.SetWorkers(workers)
+		oracle := oracleAuc.ConflictGraph()
+
+		indexed := buildRound(t, p, pts, bids, 1099)
+		indexed.SetWorkers(workers)
+		indexed.EnableIndexedCandidates()
+		if !indexed.PrepareCandidates() {
+			t.Fatal("PrepareCandidates reported no index in indexed mode")
+		}
+		if st := indexed.IndexStats(); st.Bidders != 60 || st.Postings == 0 {
+			t.Fatalf("IndexStats = %+v, want 60 bidders with postings", st)
+		}
+		if !indexed.ConflictGraph().Equal(oracle) {
+			t.Fatalf("workers=%d: indexed auctioneer graph differs from oracle", workers)
+		}
+
+		// Interning disabled: the indexed knob must be ignored, not break.
+		ablated := buildRound(t, p, pts, bids, 2099)
+		ablated.SetWorkers(workers)
+		ablated.DisableInterning()
+		ablated.EnableIndexedCandidates()
+		if ablated.PrepareCandidates() {
+			t.Fatal("PrepareCandidates built an index under DisableInterning")
+		}
+		if st := ablated.IndexStats(); st != (mask.IndexStats{}) {
+			t.Fatalf("IndexStats under DisableInterning = %+v, want zero", st)
+		}
+		if !ablated.ConflictGraph().Equal(oracle) {
+			t.Fatalf("workers=%d: DisableInterning+indexed graph differs from oracle", workers)
+		}
+	}
+}
+
+// FuzzIndexedEquivalence replays arbitrary (seed, population, shape,
+// workers, interning) tuples: the indexed graph must stay bit-identical to
+// the all-pairs oracle on every one. All inputs derive from the fuzz
+// arguments, so any failure replays deterministically from its corpus file
+// (the FuzzDecodeFrame convention).
+func FuzzIndexedEquivalence(f *testing.F) {
+	for shape := uint8(0); shape < 4; shape++ {
+		f.Add(int64(1), uint8(20), shape, uint8(1), false)
+		f.Add(int64(2), uint8(45), shape, uint8(3), false)
+	}
+	f.Add(int64(3), uint8(10), uint8(0), uint8(2), true)
+	f.Add(int64(0), uint8(0), uint8(0), uint8(0), false)
+
+	p := testParams()
+	f.Fuzz(func(t *testing.T, seed int64, nRaw, shapeRaw, workersRaw uint8, noIntern bool) {
+		n := int(nRaw%48) + 1
+		shape := densityShapes[int(shapeRaw)%len(densityShapes)]
+		workers := int(workersRaw%5) + 1
+		subs := locSubs(t, p, shapePoints(p, shape, n, seed))
+
+		oracle := conflict.BuildFromPredicate(n, func(i, j int) bool {
+			return Conflicts(subs[i], subs[j])
+		})
+		if got := BuildConflictGraphIndexed(subs, workers); !got.Equal(oracle) {
+			t.Fatalf("seed=%d shape=%s n=%d workers=%d: indexed graph differs from oracle", seed, shape, n, workers)
+		}
+		if noIntern {
+			// The ablated representation must agree too (the indexed knob
+			// falls back to this oracle under DisableInterning).
+			if got := BuildConflictGraph(subs); !got.Equal(oracle) {
+				t.Fatalf("seed=%d shape=%s n=%d: interned oracle differs from map-based", seed, shape, n)
+			}
+		}
+	})
+}
+
+// TestIndexObserverCounters pins the instrumentation contract: an observed
+// indexed build reports candidates exactly equal to the X-axis match count
+// (no hot rows at this size), confirms exactly equal to the edge count, a
+// plausible postings-scanned tally, and one index-build timing — while the
+// graph stays bit-identical to the unobserved build.
+func TestIndexObserverCounters(t *testing.T) {
+	p := testParams()
+	auc, pts, bids := randomRound(t, p, 50, 7)
+	auc.EnableIndexedCandidates()
+	reg := obs.NewRegistry()
+	auc.SetObserver(reg)
+	g := auc.ConflictGraph()
+
+	plain := buildRound(t, p, pts, bids, 1007)
+	plain.EnableIndexedCandidates()
+	if !g.Equal(plain.ConflictGraph()) {
+		t.Fatal("observed indexed graph differs from unobserved")
+	}
+
+	subs := locSubs(t, p, pts)
+	wantCandidates := uint64(0)
+	for i := range subs {
+		for j := i + 1; j < len(subs); j++ {
+			if subs[i].XFamily.Intersects(subs[j].XRange) {
+				wantCandidates++
+			}
+		}
+	}
+
+	snap := reg.Snapshot()
+	if got := snap.Counters["lppa_index_candidates_total"]; got != wantCandidates {
+		t.Errorf("candidates = %d, want %d", got, wantCandidates)
+	}
+	if got := snap.Counters["lppa_index_oracle_confirms_total"]; got != uint64(g.Edges()) {
+		t.Errorf("confirms = %d, want %d edges", got, g.Edges())
+	}
+	scanned := snap.Counters["lppa_index_postings_scanned_total"]
+	if scanned < wantCandidates {
+		t.Errorf("postings scanned = %d < candidates = %d (no hot rows expected)", scanned, wantCandidates)
+	}
+	hist, ok := snap.Histograms["lppa_index_build_seconds"]
+	if !ok || hist.Count != 1 {
+		t.Errorf("index build histogram = %+v, want one observation", hist)
+	}
+}
+
+// TestIndexCountersExported is the exporter golden: the index series render
+// in both the Prometheus text format and the JSON snapshot with the exact
+// values the registry holds.
+func TestIndexCountersExported(t *testing.T) {
+	p := testParams()
+	auc, _, _ := randomRound(t, p, 40, 13)
+	auc.EnableIndexedCandidates()
+	reg := obs.NewRegistry()
+	auc.SetObserver(reg)
+	auc.ConflictGraph()
+
+	snap := reg.Snapshot()
+	var prom bytes.Buffer
+	if err := reg.WritePrometheus(&prom); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{
+		"lppa_index_postings_scanned_total",
+		"lppa_index_candidates_total",
+		"lppa_index_oracle_confirms_total",
+	} {
+		v, ok := snap.Counters[name]
+		if !ok {
+			t.Fatalf("JSON snapshot missing %s", name)
+		}
+		if v == 0 {
+			t.Errorf("%s = 0, want activity on a conflicting population", name)
+		}
+		for _, line := range []string{
+			fmt.Sprintf("# TYPE %s counter\n", name),
+			fmt.Sprintf("%s %d\n", name, v),
+		} {
+			if !bytes.Contains(prom.Bytes(), []byte(line)) {
+				t.Errorf("Prometheus output missing %q", line)
+			}
+		}
+	}
+	if !bytes.Contains(prom.Bytes(), []byte("# TYPE lppa_index_build_seconds histogram\n")) ||
+		!bytes.Contains(prom.Bytes(), []byte("lppa_index_build_seconds_count 1\n")) {
+		t.Error("Prometheus output missing lppa_index_build_seconds histogram series")
+	}
+}

@@ -23,8 +23,10 @@ type internedLocation struct {
 // It also reports how many digests passed through the dictionary and how
 // many were distinct (dictionary misses) — the difference is the intern
 // hit count the observability layer exports. Callers that do not observe
-// ignore both.
-func internLocations(subs []*LocationSubmission) (out []internedLocation, total, distinct int) {
+// ignore both. A non-nil ix is populated incrementally during the same
+// ingest pass: each bidder's X family and X range cover are posted as they
+// are interned (graphbuild.go; nil skips the index entirely).
+func internLocations(subs []*LocationSubmission, ix *mask.Index) (out []internedLocation, total, distinct int) {
 	var dict *mask.Dict
 	if len(subs) > 0 {
 		s := subs[0]
@@ -40,6 +42,9 @@ func internLocations(subs []*LocationSubmission) (out []internedLocation, total,
 			yFamily: dict.InternSet(s.YFamily),
 			xRange:  dict.InternSet(s.XRange),
 			yRange:  dict.InternSet(s.YRange),
+		}
+		if ix != nil {
+			ix.Add(out[i].xFamily, out[i].xRange)
 		}
 	}
 	return out, total, dict.Len()

@@ -115,7 +115,7 @@ func Conflicts(a, b *LocationSubmission) bool {
 // reject (intern.go); the graph is identical to evaluating Conflicts
 // directly, pinned by the representation-equivalence tests.
 func BuildConflictGraph(subs []*LocationSubmission) *conflict.Graph {
-	iloc, _, _ := internLocations(subs)
+	iloc, _, _ := internLocations(subs, nil)
 	return conflict.BuildFromPredicate(len(subs), func(i, j int) bool {
 		return iloc[i].conflicts(&iloc[j])
 	})
@@ -127,7 +127,7 @@ func BuildConflictGraph(subs []*LocationSubmission) *conflict.Graph {
 // read concurrently without synchronization, so the resulting graph is
 // bit-for-bit identical to the serial build for every worker count.
 func BuildConflictGraphParallel(subs []*LocationSubmission, workers int) *conflict.Graph {
-	iloc, _, _ := internLocations(subs)
+	iloc, _, _ := internLocations(subs, nil)
 	return conflict.BuildFromPredicateParallel(len(subs), func(i, j int) bool {
 		return iloc[i].conflicts(&iloc[j])
 	}, mask.Workers(workers, len(subs)))

@@ -1,19 +1,16 @@
 package core
 
 import (
-	"sync/atomic"
-
-	"lppa/internal/conflict"
 	"lppa/internal/mask"
 	"lppa/internal/obs"
 )
 
 // Observability wiring for the auctioneer (DESIGN.md §5c). The unobserved
-// hot paths — ConflictGraph's four-way build, columnRank's interned sort,
-// GE's memo lookup — stay byte-identical to before: attaching a registry
-// swaps in counted twins of the same operations, and every predicate
-// outcome is unchanged because the counted mask operations delegate to the
-// uncounted ones.
+// hot paths — the shared conflict-graph builder (graphbuild.go),
+// columnRank's interned sort, GE's memo lookup — stay byte-identical to
+// before: attaching a registry swaps in counted twins of the same
+// operations, and every predicate outcome is unchanged because the counted
+// mask operations delegate to the uncounted ones.
 
 // aucObs holds the auctioneer's counter handles, resolved once in
 // SetObserver so the observed paths never take the registry lock.
@@ -25,6 +22,12 @@ type aucObs struct {
 	internDigests *obs.Counter // digests pushed through intern dictionaries
 	internHits    *obs.Counter // of those, already present (dedup wins)
 	internMisses  *obs.Counter // of those, first sightings (distinct digests)
+
+	// Indexed candidate generation (graphbuild.go, indexed builds only).
+	indexPostings   *obs.Counter   // posting-list entries scanned for candidates
+	indexCandidates *obs.Counter   // candidate pairs handed to the oracle confirm
+	indexConfirms   *obs.Counter   // of those, confirmed as real conflicts
+	indexBuild      *obs.Histogram // seconds interning + posting the index
 }
 
 // SetObserver attaches a metrics registry to the auctioneer. Call it
@@ -44,6 +47,11 @@ func (a *Auctioneer) SetObserver(reg *obs.Registry) {
 		internDigests: reg.Counter("lppa_intern_digests_total"),
 		internHits:    reg.Counter("lppa_intern_hits_total"),
 		internMisses:  reg.Counter("lppa_intern_misses_total"),
+
+		indexPostings:   reg.Counter("lppa_index_postings_scanned_total"),
+		indexCandidates: reg.Counter("lppa_index_candidates_total"),
+		indexConfirms:   reg.Counter("lppa_index_oracle_confirms_total"),
+		indexBuild:      reg.Histogram("lppa_index_build_seconds", nil),
 	}
 }
 
@@ -60,47 +68,6 @@ func (o *aucObs) noteIntern(total, distinct int) {
 func (o *aucObs) flushStats(st *mask.IntersectStats) {
 	o.comparisons.Add(st.Calls)
 	o.bloomRejects.Add(st.BloomRejects)
-}
-
-// buildGraphObserved is the counted twin of ConflictGraph's build switch.
-// Tallies accumulate in atomics (the parallel sweep shares the predicate
-// across workers) and land in the registry once, after the build. The
-// graph itself is bit-for-bit the unobserved one: counted predicates
-// delegate to the same intersections.
-func (a *Auctioneer) buildGraphObserved() *conflict.Graph {
-	var calls, rejects atomic.Uint64
-	var pred func(i, j int) bool
-	if a.noIntern {
-		pred = func(i, j int) bool {
-			n := uint64(1)
-			ok := a.locs[i].XFamily.Intersects(a.locs[j].XRange)
-			if ok {
-				n++
-				ok = a.locs[i].YFamily.Intersects(a.locs[j].YRange)
-			}
-			calls.Add(n)
-			return ok
-		}
-	} else {
-		iloc, total, distinct := internLocations(a.locs)
-		a.ob.noteIntern(total, distinct)
-		pred = func(i, j int) bool {
-			var st mask.IntersectStats
-			ok := iloc[i].conflictsCounted(&iloc[j], &st)
-			calls.Add(st.Calls)
-			rejects.Add(st.BloomRejects)
-			return ok
-		}
-	}
-	var g *conflict.Graph
-	if a.workers > 1 {
-		g = conflict.BuildFromPredicateParallel(len(a.locs), pred, mask.Workers(a.workers, len(a.locs)))
-	} else {
-		g = conflict.BuildFromPredicate(len(a.locs), pred)
-	}
-	a.ob.comparisons.Add(calls.Load())
-	a.ob.bloomRejects.Add(rejects.Load())
-	return g
 }
 
 // geFunc returns the comparator handed to the allocator: GE itself when

@@ -1,0 +1,119 @@
+package dataset
+
+import (
+	"fmt"
+	"math/rand"
+
+	"lppa/internal/geo"
+)
+
+// Density mixes (DESIGN.md §5f): reusable bidder placements spanning the
+// two regimes the indexed conflict-candidate generation must be measured
+// under. Dense urban — most bidders piled into a few hotspots — drives
+// heavy posting-list skew and a candidate set approaching all pairs (the
+// skew guard's territory); sparse rural — uniform placement — keeps
+// posting lists short so the candidate set collapses far below n². The
+// mixes feed lppa-sim -density, the PR-6 benchmarks, and any harness that
+// wants a named, reproducible geometry instead of ad-hoc scatter.
+
+// DensityMix describes how a population is laid out on a grid: an urban
+// fraction placed around clustered hotspots, the remainder uniform.
+type DensityMix struct {
+	// Name identifies the mix in flags and reports.
+	Name string
+	// UrbanFrac is the fraction of bidders placed around cluster centers
+	// (0 = fully uniform, 1 = fully clustered).
+	UrbanFrac float64
+	// Clusters is the hotspot count for the urban share.
+	Clusters int
+	// SpreadCells is the per-cluster scatter (standard deviation, in
+	// cells) around each hotspot.
+	SpreadCells float64
+	// Lambda is the interference half-range (in cells) the mix is
+	// calibrated for — urban geometries pair with a larger λ so conflict
+	// neighborhoods saturate, rural with a smaller one. Consumers that
+	// already fix λ elsewhere may ignore it.
+	Lambda uint64
+}
+
+// UrbanMix is the dense regime: everyone in a handful of tight hotspots,
+// posting lists pathologically hot, candidate set ≈ all pairs.
+func UrbanMix() DensityMix {
+	return DensityMix{Name: "urban", UrbanFrac: 1, Clusters: 3, SpreadCells: 2, Lambda: 3}
+}
+
+// RuralMix is the sparse regime: uniform placement, short posting lists,
+// candidate set ≪ n².
+func RuralMix() DensityMix {
+	return DensityMix{Name: "rural", UrbanFrac: 0, Lambda: 2}
+}
+
+// MixedMix blends both: half the population in suburbs-sized clusters over
+// a uniform backdrop.
+func MixedMix() DensityMix {
+	return DensityMix{Name: "mixed", UrbanFrac: 0.5, Clusters: 4, SpreadCells: 3, Lambda: 2}
+}
+
+// ParseDensity resolves a mix by flag name ("urban", "rural", "mixed").
+func ParseDensity(name string) (DensityMix, error) {
+	switch name {
+	case "urban":
+		return UrbanMix(), nil
+	case "rural":
+		return RuralMix(), nil
+	case "mixed":
+		return MixedMix(), nil
+	}
+	return DensityMix{}, fmt.Errorf("dataset: unknown density mix %q (want urban, rural, or mixed)", name)
+}
+
+// Cells places n bidders on g under the mix: the first ⌊n·UrbanFrac⌉
+// bidders scatter normally around uniformly drawn cluster centers (clamped
+// to the grid), the rest land uniformly. Same rng, same grid, same n —
+// same placement.
+func (m DensityMix) Cells(g geo.Grid, n int, rng *rand.Rand) []geo.Cell {
+	clusters := m.Clusters
+	if clusters < 1 {
+		clusters = 1
+	}
+	type center struct{ row, col float64 }
+	centers := make([]center, clusters)
+	for i := range centers {
+		centers[i] = center{row: float64(rng.Intn(g.Rows)), col: float64(rng.Intn(g.Cols))}
+	}
+	clamp := func(v float64, hi int) int {
+		i := int(v + 0.5)
+		if i < 0 {
+			return 0
+		}
+		if i >= hi {
+			return hi - 1
+		}
+		return i
+	}
+	urban := int(float64(n)*m.UrbanFrac + 0.5)
+	cells := make([]geo.Cell, n)
+	for i := range cells {
+		if i < urban {
+			c := centers[rng.Intn(clusters)]
+			cells[i] = geo.Cell{
+				Row: clamp(c.row+rng.NormFloat64()*m.SpreadCells, g.Rows),
+				Col: clamp(c.col+rng.NormFloat64()*m.SpreadCells, g.Cols),
+			}
+		} else {
+			cells[i] = geo.Cell{Row: rng.Intn(g.Rows), Col: rng.Intn(g.Cols)}
+		}
+	}
+	return cells
+}
+
+// Points is Cells mapped into coordinate space (the location-submission
+// domain).
+func (m DensityMix) Points(g geo.Grid, n int, rng *rand.Rand) []geo.Point {
+	cells := m.Cells(g, n, rng)
+	pts := make([]geo.Point, n)
+	for i, c := range cells {
+		pts[i] = geo.PointOf(c)
+	}
+	return pts
+}

@@ -1,0 +1,75 @@
+package dataset
+
+import (
+	"math/rand"
+	"testing"
+
+	"lppa/internal/geo"
+)
+
+func TestParseDensity(t *testing.T) {
+	for _, name := range []string{"urban", "rural", "mixed"} {
+		m, err := ParseDensity(name)
+		if err != nil {
+			t.Fatalf("ParseDensity(%q): %v", name, err)
+		}
+		if m.Name != name {
+			t.Fatalf("ParseDensity(%q).Name = %q", name, m.Name)
+		}
+	}
+	if _, err := ParseDensity("suburban"); err == nil {
+		t.Fatal("ParseDensity accepted an unknown mix")
+	}
+}
+
+// TestDensityMixGeometry pins the regimes the mixes exist to produce: the
+// urban mix concentrates the population onto far fewer distinct cells than
+// the rural mix spreads it over, every cell stays on-grid, and placement is
+// deterministic under a fixed seed.
+func TestDensityMixGeometry(t *testing.T) {
+	g := geo.Grid{Rows: 100, Cols: 100, SideMeters: 75_000}
+	const n = 500
+	distinct := map[string]int{}
+	for _, m := range []DensityMix{UrbanMix(), RuralMix(), MixedMix()} {
+		cells := m.Cells(g, n, rand.New(rand.NewSource(1)))
+		if len(cells) != n {
+			t.Fatalf("%s: %d cells, want %d", m.Name, len(cells), n)
+		}
+		seen := map[geo.Cell]bool{}
+		for _, c := range cells {
+			if c.Row < 0 || c.Row >= g.Rows || c.Col < 0 || c.Col >= g.Cols {
+				t.Fatalf("%s: cell %+v off grid", m.Name, c)
+			}
+			seen[c] = true
+		}
+		distinct[m.Name] = len(seen)
+
+		again := m.Cells(g, n, rand.New(rand.NewSource(1)))
+		for i := range cells {
+			if cells[i] != again[i] {
+				t.Fatalf("%s: placement not deterministic at index %d", m.Name, i)
+			}
+		}
+	}
+	if distinct["urban"]*2 >= distinct["rural"] {
+		t.Fatalf("urban occupies %d distinct cells vs rural %d — expected heavy clustering",
+			distinct["urban"], distinct["rural"])
+	}
+	if distinct["mixed"] <= distinct["urban"] || distinct["mixed"] >= distinct["rural"] {
+		t.Fatalf("mixed occupies %d distinct cells, want between urban %d and rural %d",
+			distinct["mixed"], distinct["urban"], distinct["rural"])
+	}
+}
+
+// TestDensityPoints pins the Cells→Points mapping against geo.PointOf.
+func TestDensityPoints(t *testing.T) {
+	g := geo.Grid{Rows: 30, Cols: 30, SideMeters: 75_000}
+	m := MixedMix()
+	cells := m.Cells(g, 40, rand.New(rand.NewSource(9)))
+	pts := m.Points(g, 40, rand.New(rand.NewSource(9)))
+	for i, c := range cells {
+		if pts[i] != geo.PointOf(c) {
+			t.Fatalf("point %d = %+v, want %+v", i, pts[i], geo.PointOf(c))
+		}
+	}
+}

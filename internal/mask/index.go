@@ -1,0 +1,221 @@
+package mask
+
+// Inverted candidate index over interned digest IDs (DESIGN.md §5f). The
+// all-pairs conflict scan evaluates every (i, j) even though in sparse
+// geometries almost no pairs share a digest. This index inverts the
+// range-cover sets: for each digest ID it keeps the sorted posting list of
+// bidders whose cover contains that digest, so candidate pairs fall out of
+// posting-list self-joins — bidders sharing no digest never meet — and only
+// candidates are confirmed with the exact IntSet intersection.
+//
+// Soundness rests on the per-axis symmetry of the masked match: a prefix
+// cover represents its integer range exactly, so family(xᵢ) ∩ cover(xⱼ±δ)
+// is non-empty iff |xᵢ−xⱼ| ≤ δ iff family(xⱼ) ∩ cover(xᵢ±δ) is non-empty.
+// Generating candidates one-directionally — row i scans the postings of its
+// own family digests for partners j > i — therefore reaches every truly
+// matching pair at least once, and the oracle confirm discards the rest.
+// The graph built from these candidates is bit-identical to the all-pairs
+// build by construction.
+
+// Index maps each interned digest ID to the ascending posting list of the
+// bidders whose cover set contains it. Populate it incrementally with Add
+// during ingest (one call per bidder, in bidder order — that ordering is
+// what keeps posting lists sorted for free); reading through Cursor seals
+// it against further Adds.
+type Index struct {
+	n        int
+	fam      [][]uint32 // bidder → family digest IDs (borrowed from the immutable IntSet)
+	rng      [][]uint32 // digest ID → bidders whose cover contains it, ascending
+	postings int
+
+	// Skew guard (sealed lazily on first Cursor): a digest whose posting
+	// list exceeds hotCap is "hot" — scanning it per family occurrence would
+	// approach all-pairs work with posting-list overhead on top — and every
+	// row whose family contains a hot digest falls back to plain pairwise
+	// probing of all j > i. That keeps the pathological dense case at oracle
+	// cost instead of above it, and stays complete: any pair whose only
+	// witness digest is hot is reached through its row's full probe.
+	hotCap  int // 0 = auto (max(hotMinPostings, n/8))
+	hot     []bool
+	hotRows []bool
+	sealed  bool
+}
+
+// hotMinPostings floors the auto hot threshold so small populations, where
+// all-pairs is cheap anyway, never trip the guard.
+const hotMinPostings = 64
+
+// NewIndex returns an empty index pre-sized for about n bidders.
+func NewIndex(n int) *Index {
+	return &Index{fam: make([][]uint32, 0, n)}
+}
+
+// SetHotThreshold overrides the skew-guard posting-list threshold (testing
+// and tuning; 0 restores the automatic max(64, n/8)). Call before the first
+// Cursor.
+func (ix *Index) SetHotThreshold(cap int) {
+	if ix.sealed {
+		panic("mask: SetHotThreshold after Cursor")
+	}
+	ix.hotCap = cap
+}
+
+// Add posts one bidder: its family digest IDs are kept for row scans and
+// each cover digest ID gains the bidder on its posting list. Bidders are
+// numbered 0,1,2,… in call order. The IntSets must come from the same Dict
+// and stay immutable (Add borrows their ID slices).
+func (ix *Index) Add(fam, rng IntSet) int {
+	if ix.sealed {
+		panic("mask: Index.Add after Cursor")
+	}
+	i := uint32(ix.n)
+	ix.n++
+	ix.fam = append(ix.fam, fam.ids)
+	for _, id := range rng.ids {
+		if int(id) >= len(ix.rng) {
+			ix.rng = append(ix.rng, make([][]uint32, int(id)+1-len(ix.rng))...)
+		}
+		ix.rng[id] = append(ix.rng[id], i)
+	}
+	ix.postings += len(rng.ids)
+	return int(i)
+}
+
+// IndexStats summarizes a sealed index: posting volume and how much of the
+// population the skew guard diverted to pairwise probing.
+type IndexStats struct {
+	Bidders    int
+	Postings   int
+	HotDigests int
+	HotRows    int
+}
+
+// Stats seals the index and reports its shape.
+func (ix *Index) Stats() IndexStats {
+	ix.seal()
+	st := IndexStats{Bidders: ix.n, Postings: ix.postings}
+	for _, h := range ix.hot {
+		if h {
+			st.HotDigests++
+		}
+	}
+	for _, h := range ix.hotRows {
+		if h {
+			st.HotRows++
+		}
+	}
+	return st
+}
+
+// seal freezes the index and computes the skew guard. Idempotent.
+func (ix *Index) seal() {
+	if ix.sealed {
+		return
+	}
+	ix.sealed = true
+	cap := ix.hotCap
+	if cap <= 0 {
+		cap = ix.n / 8
+		if cap < hotMinPostings {
+			cap = hotMinPostings
+		}
+	}
+	ix.hot = make([]bool, len(ix.rng))
+	ix.hotRows = make([]bool, ix.n)
+	hotAny := false
+	for d, p := range ix.rng {
+		if len(p) > cap {
+			ix.hot[d] = true
+			hotAny = true
+		}
+	}
+	if !hotAny {
+		return
+	}
+	for i, fam := range ix.fam {
+		for _, d := range fam {
+			if int(d) < len(ix.hot) && ix.hot[d] {
+				ix.hotRows[i] = true
+				break
+			}
+		}
+	}
+}
+
+// IndexCursor generates candidate partners row by row. Cursors own their
+// scratch state (a dedup bitset and the output slice), so one sealed Index
+// serves any number of concurrent cursors — one per worker in the parallel
+// build. Not safe for concurrent use of a single cursor.
+type IndexCursor struct {
+	ix      *Index
+	mark    []uint64 // dedup bitset over bidders, cleared after every row
+	out     []uint32
+	scanned uint64
+	emitted uint64
+}
+
+// Cursor seals the index (first call) and returns a fresh cursor.
+func (ix *Index) Cursor() *IndexCursor {
+	ix.seal()
+	return &IndexCursor{ix: ix, mark: make([]uint64, (ix.n+63)/64)}
+}
+
+// Row returns the deduplicated candidate partners j > i of bidder i: every
+// j whose cover posting lists meet i's family digests (a superset of i's
+// true conflict partners above i, by the symmetry argument in the package
+// comment), or all of (i, n) when the skew guard diverted row i. The slice
+// is reused — valid only until the next Row call.
+func (c *IndexCursor) Row(i int) []uint32 {
+	ix := c.ix
+	c.out = c.out[:0]
+	if ix.hotRows[i] {
+		for j := i + 1; j < ix.n; j++ {
+			c.out = append(c.out, uint32(j))
+		}
+		c.emitted += uint64(len(c.out))
+		return c.out
+	}
+	for _, d := range ix.fam[i] {
+		if int(d) >= len(ix.rng) {
+			continue // family digest on no cover: empty posting list
+		}
+		p := ix.rng[d]
+		lo := searchGT(p, uint32(i))
+		c.scanned += uint64(len(p) - lo)
+		for _, j := range p[lo:] {
+			w, b := j/64, uint64(1)<<(j%64)
+			if c.mark[w]&b == 0 {
+				c.mark[w] |= b
+				c.out = append(c.out, j)
+			}
+		}
+	}
+	for _, j := range c.out {
+		c.mark[j/64] &^= 1 << (j % 64)
+	}
+	c.emitted += uint64(len(c.out))
+	return c.out
+}
+
+// Stats reports how many posting entries this cursor scanned and how many
+// candidates it emitted (hot-row probes included — they are candidates the
+// oracle still has to confirm).
+func (c *IndexCursor) Stats() (scanned, emitted uint64) {
+	return c.scanned, c.emitted
+}
+
+// searchGT returns the smallest index in the ascending slice p whose value
+// exceeds v (len(p) if none) — the start of the j > i suffix of a posting
+// list.
+func searchGT(p []uint32, v uint32) int {
+	lo, hi := 0, len(p)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if p[mid] <= v {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}

@@ -48,6 +48,7 @@ type runConfig struct {
 	interactive bool
 	secondPrice bool
 	noIntern    bool
+	indexed     bool
 	quorum      int
 	straggler   time.Duration
 	reg         *obs.Registry
@@ -189,6 +190,22 @@ func WithFlightRecorder(fr *obs.FlightRecorder) Option {
 func WithoutInterning() Option {
 	return func(c *runConfig) error {
 		c.noIntern = true
+		return nil
+	}
+}
+
+// WithIndexedCandidates switches conflict-candidate generation onto the
+// inverted index over interned masked digests (DESIGN.md §5f): candidate
+// pairs come from posting-list self-joins instead of the all-pairs sweep,
+// and only candidates are confirmed with the exact masked intersection.
+// The graph — and therefore the auction result — is bit-identical to the
+// default all-pairs oracle, which stays the verification path; this option
+// only changes how much work finds it. Default off. Combined with
+// WithoutInterning the index is skipped (it requires interned IDs) and the
+// oracle runs unchanged.
+func WithIndexedCandidates() Option {
+	return func(c *runConfig) error {
+		c.indexed = true
 		return nil
 	}
 }
@@ -536,12 +553,27 @@ func run(params core.Params, ring *mask.KeyRing, in Input, cfg *runConfig, ph *p
 	if cfg.noIntern {
 		auc.DisableInterning()
 	}
+	if cfg.indexed {
+		auc.EnableIndexedCandidates()
+	}
 	auc.SetObserver(cfg.reg)
 
 	// The graph build is rng-free, so forcing it here (instead of letting
 	// the allocator build it lazily) changes nothing except giving the
 	// phase its own wall-time series.
 	ph.phase("conflict_graph")
+	if cfg.indexed {
+		// Candidate-generation setup (interning + inverted-index posting)
+		// gets its own child span under conflict_graph, so traces separate
+		// index cost from oracle-confirm cost. Metrics-wise it stays inside
+		// the conflict_graph phase either way.
+		var sp *obs.Span
+		if ph.tracer != nil {
+			sp = ph.tracer.StartSpan("candidate_generation", ph.cur.Context())
+		}
+		auc.PrepareCandidates()
+		sp.End()
+	}
 	auc.ConflictGraph()
 
 	ph.phase("allocate")

@@ -43,6 +43,15 @@ type Fig5Config struct {
 	// consumption order (and hence exact tables) predates the parallel
 	// path.
 	Workers int
+	// Density, when non-nil, overrides the uniform bidder placement with a
+	// named density mix (dense-urban, sparse-rural, or mixed geometry from
+	// internal/dataset). Only MetricsRound honors it today; the Fig. 5
+	// sweeps keep the paper's uniform placement.
+	Density *dataset.DensityMix
+	// Indexed routes conflict-graph construction through the inverted-index
+	// candidate generator (round.WithIndexedCandidates). Results are
+	// bit-identical to the all-pairs path; only the cost profile changes.
+	Indexed bool
 	// Metrics, when non-nil, records every private round the experiment
 	// runs (phase timings, comparison counters, round totals). Results are
 	// bit-identical with or without it.
@@ -63,6 +72,9 @@ func (cfg Fig5Config) runPrivate(params core.Params, ring *mask.KeyRing, pts []g
 	opts := []round.Option{round.WithObserver(cfg.Metrics)}
 	if cfg.Workers > 1 {
 		opts = append(opts, round.WithWorkers(cfg.Workers))
+	}
+	if cfg.Indexed {
+		opts = append(opts, round.WithIndexedCandidates())
 	}
 	if cfg.Trace != nil {
 		opts = append(opts, round.WithTrace(cfg.Trace))

@@ -22,7 +22,13 @@ func MetricsRound(area *dataset.Area, cfg Fig5Config, seed int64) (*round.Result
 		return nil, err
 	}
 	rng := rand.New(rand.NewSource(seed))
-	pop, err := bidder.NewPopulation(area, cfg.Bidders, sc.BidCfg, rng)
+	var pop *bidder.Population
+	if cfg.Density != nil {
+		cells := cfg.Density.Cells(area.Grid, cfg.Bidders, rng)
+		pop, err = bidder.NewPopulationAt(area, cells, sc.BidCfg, rng)
+	} else {
+		pop, err = bidder.NewPopulation(area, cfg.Bidders, sc.BidCfg, rng)
+	}
 	if err != nil {
 		return nil, err
 	}
