@@ -27,16 +27,17 @@ bench:
 # writes its own file (BENCH_PR1.json parallel pipeline, BENCH_PR2.json
 # interning, BENCH_PR3.json the unified Run API with a nil registry,
 # BENCH_PR5.json the tracing subsystem, BENCH_PR6.json the indexed
-# candidate generation under both density mixes) so bench-compare can diff
-# across PRs. See EXPERIMENTS.md for the narrative.
+# candidate generation under both density mixes, BENCH_PR7.json the
+# tile-sharded round) so bench-compare can diff across PRs. See
+# EXPERIMENTS.md for the narrative.
 bench-json:
 	$(GO) test -run=NONE -benchmem \
-		-bench='ZeroAllocMask|ParallelMaskAll|ParallelConflictGraph|ParallelPrivateRound|RankMemoAllocation|MaskDigest|PrivateConflictGraph|InternedIntersect|ConflictGraphN300|RankMemoN300|RoundTraceOverhead|ConflictGraphIndexed|IndexCursorRow' \
-		. | $(GO) run ./cmd/benchjson > BENCH_PR6.json
+		-bench='ZeroAllocMask|ParallelMaskAll|ParallelConflictGraph|ParallelPrivateRound|RankMemoAllocation|MaskDigest|PrivateConflictGraph|InternedIntersect|ConflictGraphN300|RankMemoN300|RoundTraceOverhead|ConflictGraphIndexed|IndexCursorRow|RoundSharded' \
+		. | $(GO) run ./cmd/benchjson > BENCH_PR7.json
 
 # Diff ns/op and allocs/op between the two most recent committed snapshots.
 bench-compare:
-	$(GO) run ./cmd/benchjson -compare BENCH_PR5.json BENCH_PR6.json
+	$(GO) run ./cmd/benchjson -compare BENCH_PR6.json BENCH_PR7.json
 
 # Per-phase/per-layer cost profile of one instrumented N=300 private
 # round, as the observability registry's JSON snapshot. CI uploads it next
@@ -53,9 +54,10 @@ trace-snapshot:
 		-trace-out TRACE_ROUND.json
 
 # Privacy-leakage audit of the same round: per-bidder masked-digest
-# counts, conflict degrees, and robust-BCM anonymity-set sizes.
+# counts, conflict degrees, robust-BCM anonymity-set sizes, and — with the
+# round tile-sharded — the planner's per-tile anonymity sets.
 audit-snapshot:
-	$(GO) run ./cmd/lppa-sim -experiment round -n 300 -cache $(CACHE) \
+	$(GO) run ./cmd/lppa-sim -experiment round -n 300 -shards 4 -cache $(CACHE) \
 		-audit-out AUDIT_ROUND.json
 
 # Fail if running a round with WithTrace(nil) — the production default —
@@ -78,6 +80,7 @@ fuzz:
 	$(GO) test -run=NONE -fuzz=FuzzCoverTiles -fuzztime=10s ./internal/prefix/
 	$(GO) test -run=NONE -fuzz=FuzzOpenValueRejectsGarbage -fuzztime=10s ./internal/mask/
 	$(GO) test -run=NONE -fuzz=FuzzDecodeFrame -fuzztime=10s ./internal/transport/
+	$(GO) test -run=NONE -fuzz=FuzzShardBoundaryEquivalence -fuzztime=10s ./internal/round/
 
 # Quicker smoke of the attacker-facing decoders only (the wire frame parser
 # fed by untrusted peers) — the CI test job runs this on every push.

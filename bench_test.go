@@ -1131,11 +1131,11 @@ func BenchmarkInternedIntersect(b *testing.B) {
 		return dict.InternSet(m.MaskSet(vs))
 	}
 	dict := mask.NewDict()
-	family := mkSet(dict, 0, 11)        // w+1 at w=10
-	coverHit := mkSet(dict, 5, 18)      // 2w−2, overlaps family
-	coverMiss := mkSet(dict, 1000, 18)  // disjoint: Bloom/merge reject
-	large := mkSet(dict, 2000, 400)     // gallop fixture
-	probe := mkSet(dict, 2399, 3)       // tiny, hits large's last ID
+	family := mkSet(dict, 0, 11)       // w+1 at w=10
+	coverHit := mkSet(dict, 5, 18)     // 2w−2, overlaps family
+	coverMiss := mkSet(dict, 1000, 18) // disjoint: Bloom/merge reject
+	large := mkSet(dict, 2000, 400)    // gallop fixture
+	probe := mkSet(dict, 2399, 3)      // tiny, hits large's last ID
 	cases := []struct {
 		name string
 		a, b mask.IntSet
@@ -1342,6 +1342,85 @@ func BenchmarkIndexCursorRow(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		cur.Row(i % n)
+	}
+}
+
+// --- Tile-sharded round benchmarks (PR 7) --------------------------------
+
+// shardedRoundFixture builds the (params, ring, points, bids) tuple for
+// one density regime of DESIGN.md §5g at population n.
+func shardedRoundFixture(b *testing.B, mix dataset.DensityMix, grid geo.Grid, n int) (core.Params, *mask.KeyRing, []geo.Point, [][]uint64) {
+	b.Helper()
+	p := core.Params{Channels: 2, Lambda: mix.Lambda,
+		MaxX: uint64(grid.Cols - 1), MaxY: uint64(grid.Rows - 1), BMax: 15}
+	ring, err := mask.DeriveKeyRing([]byte("shardbench-"+mix.Name), p.Channels, 5, 8)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(3))
+	pts := mix.Points(grid, n, rng)
+	bids := make([][]uint64, n)
+	for i := range bids {
+		bids[i] = make([]uint64, p.Channels)
+		for r := range bids[i] {
+			bids[i][r] = uint64(rng.Intn(int(p.BMax) + 1))
+		}
+	}
+	return p, ring, pts, bids
+}
+
+// BenchmarkRoundSharded is the PR-7 acceptance benchmark: the full private
+// round (encode + plan + conflict graph + rank memos + allocation +
+// charging) end to end, unsharded (shards=0) against the tile-sharded
+// planner at 1, 4, and 8 shards, under the density regimes of DESIGN.md
+// §5f/§5g. Results are bit-identical across the row; only the cost moves.
+// The acceptance criterion is shards=8 ≥ 4× over shards=0 at N=10000 on
+// the mixed regime — the win is work reduction (Σ nᵢ² ≪ n², plus the
+// rank-cursor allocator), not parallelism, so it holds on one core.
+// Channels and the bid ledger are kept small (k=2, BMax=15 → 4-digit bid
+// columns) so submission encoding does not swamp the quadratic phases the
+// sharding targets.
+func BenchmarkRoundSharded(b *testing.B) {
+	regimes := []struct {
+		mix  dataset.DensityMix
+		grid geo.Grid
+		pops []int
+	}{
+		// Urban stays at N=3000: every bidder conflicts with a hotspot-full
+		// of others, so the edge set itself is quadratic and N=10000 would
+		// measure edge handling, not candidate pruning.
+		{dataset.UrbanMix(), geo.Grid{Rows: 100, Cols: 100, SideMeters: 75_000}, []int{3000}},
+		{dataset.RuralMix(), geo.Grid{Rows: 1000, Cols: 1000, SideMeters: 75_000}, []int{3000, 10000}},
+		{dataset.MixedMix(), geo.Grid{Rows: 300, Cols: 300, SideMeters: 75_000}, []int{3000, 10000}},
+	}
+	for _, re := range regimes {
+		for _, n := range re.pops {
+			p, ring, pts, bids := shardedRoundFixture(b, re.mix, re.grid, n)
+			for _, shards := range []int{0, 1, 4, 8} {
+				name := fmt.Sprintf("%s/N=%d/shards=%d", re.mix.Name, n, shards)
+				b.Run(name, func(b *testing.B) {
+					var opts []round.Option
+					if shards > 0 {
+						// The sharded planner composes the PR-6 candidate
+						// index per tile (DESIGN.md §5g); the baseline is
+						// the unsharded default path.
+						opts = append(opts, round.WithShards(shards),
+							round.WithIndexedCandidates())
+					}
+					var awards int
+					for i := 0; i < b.N; i++ {
+						res, err := round.Run(p, ring,
+							round.Input{Points: pts, Bids: bids, Policy: core.DisguisePolicy{P0: 1},
+								Rng: rand.New(rand.NewSource(int64(i)))}, opts...)
+						if err != nil {
+							b.Fatal(err)
+						}
+						awards = len(res.Outcome.Assignments)
+					}
+					b.ReportMetric(float64(awards), "awards")
+				})
+			}
+		}
 	}
 }
 

@@ -65,6 +65,7 @@ func run(args []string) error {
 		workers    = fs.Int("workers", runtime.GOMAXPROCS(0), "goroutines for submission encoding and conflict graphs (1 = legacy serial driver)")
 		density    = fs.String("density", "", "bidder placement for the round experiment: urban|rural|mixed (default: uniform)")
 		indexed    = fs.Bool("indexed", false, "build conflict graphs from inverted-index candidates (bit-identical results, different cost profile)")
+		shards     = fs.Int("shards", 0, "tile-shard the private rounds into this many coarse tiles (0 = unsharded; bit-identical results, different cost profile)")
 		metricsOut = fs.String("metrics-out", "", "write a JSON metrics snapshot of the instrumented experiments (round, fig5ad, fig5ef) to this file; - for stdout")
 		traceOut   = fs.String("trace-out", "", "write a Chrome trace_event JSON of the instrumented experiments (round, fig5ad, fig5ef) to this file; view at ui.perfetto.dev")
 		auditOut   = fs.String("audit-out", "", "write the round experiment's privacy-leakage audit (per-bidder anonymity sets) as JSON to this file")
@@ -139,15 +140,15 @@ func run(args []string) error {
 		case "fig4c":
 			return runFig4C(ds, *victims, *seed)
 		case "fig5ad":
-			return runFig5AD(ds, *n, *channels, *seed, *quick, effectiveWorkers, *indexed, sinks)
+			return runFig5AD(ds, *n, *channels, *seed, *quick, effectiveWorkers, *indexed, *shards, sinks)
 		case "fig5ef":
 			pops, err := parseInts(*bidders)
 			if err != nil {
 				return err
 			}
-			return runFig5EF(ds, pops, *channels, *seed, *trials, *quick, effectiveWorkers, *indexed, sinks)
+			return runFig5EF(ds, pops, *channels, *seed, *trials, *quick, effectiveWorkers, *indexed, *shards, sinks)
 		case "round":
-			return runRound(ds, *n, *channels, *seed, effectiveWorkers, mix, *indexed, sinks)
+			return runRound(ds, *n, *channels, *seed, effectiveWorkers, mix, *indexed, *shards, sinks)
 		case "multiround":
 			return runMultiRound(ds, *seed, *quick)
 		case "basicleak":
@@ -252,13 +253,14 @@ func writeMetrics(reg *obs.Registry, path string) error {
 // and prints its headline numbers; with -metrics-out the full per-phase and
 // per-layer profile lands in the snapshot, -trace-out records the phase
 // span tree, and -audit-out reports what the round's transcript leaked.
-func runRound(ds *dataset.Dataset, n, channels int, seed int64, workers int, mix *dataset.DensityMix, indexed bool, sinks obsSinks) error {
+func runRound(ds *dataset.Dataset, n, channels int, seed int64, workers int, mix *dataset.DensityMix, indexed bool, shards int, sinks obsSinks) error {
 	cfg := sim.DefaultFig5Config()
 	cfg.Bidders = n
 	cfg.Channels = channels
 	cfg.Workers = workers
 	cfg.Density = mix
 	cfg.Indexed = indexed
+	cfg.Shards = shards
 	cfg.Metrics = sinks.reg
 	cfg.Trace = sinks.tracer
 	cfg.Flight = sinks.flight
@@ -271,8 +273,8 @@ func runRound(ds *dataset.Dataset, n, channels int, seed int64, workers int, mix
 	if err != nil {
 		return err
 	}
-	fmt.Printf("## Instrumented private round (Area 3, N=%d, k=%d, workers=%d, density=%s, indexed=%t)\n\n",
-		n, min(channels, ds.Areas[2].NumChannels()), workers, placement, indexed)
+	fmt.Printf("## Instrumented private round (Area 3, N=%d, k=%d, workers=%d, density=%s, indexed=%t, shards=%d)\n\n",
+		n, min(channels, ds.Areas[2].NumChannels()), workers, placement, indexed, shards)
 	fmt.Printf("awards: %d, revenue: %d, satisfaction: %.3f, voided: %d, submission bytes: %d\n",
 		len(res.Outcome.Assignments), res.Outcome.Revenue, res.Outcome.Satisfaction(), res.Voided, res.SubmissionBytes)
 	if sinks.auditOut == "" {
@@ -347,12 +349,13 @@ func runFig4C(ds *dataset.Dataset, victims int, seed int64) error {
 	return render(sim.Fig4CTable(points))
 }
 
-func runFig5AD(ds *dataset.Dataset, n, channels int, seed int64, quick bool, workers int, indexed bool, sinks obsSinks) error {
+func runFig5AD(ds *dataset.Dataset, n, channels int, seed int64, quick bool, workers int, indexed bool, shards int, sinks obsSinks) error {
 	cfg := sim.DefaultFig5Config()
 	cfg.Bidders = n
 	cfg.Channels = channels
 	cfg.Workers = workers
 	cfg.Indexed = indexed
+	cfg.Shards = shards
 	cfg.Metrics = sinks.reg
 	cfg.Trace = sinks.tracer
 	cfg.Flight = sinks.flight
@@ -369,12 +372,13 @@ func runFig5AD(ds *dataset.Dataset, n, channels int, seed int64, quick bool, wor
 	return render(sim.Fig5ADTable(points, baseline))
 }
 
-func runFig5EF(ds *dataset.Dataset, pops []int, channels int, seed int64, trials int, quick bool, workers int, indexed bool, sinks obsSinks) error {
+func runFig5EF(ds *dataset.Dataset, pops []int, channels int, seed int64, trials int, quick bool, workers int, indexed bool, shards int, sinks obsSinks) error {
 	cfg := sim.DefaultFig5Config()
 	cfg.Channels = channels
 	cfg.Trials = trials
 	cfg.Workers = workers
 	cfg.Indexed = indexed
+	cfg.Shards = shards
 	cfg.Metrics = sinks.reg
 	cfg.Trace = sinks.tracer
 	cfg.Flight = sinks.flight

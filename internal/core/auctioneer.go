@@ -39,6 +39,13 @@ type Auctioneer struct {
 	iloc     []internedLocation
 	locIndex *mask.Index
 
+	// plan, when non-nil, switches execution to tile-sharded form
+	// (shard.go): per-tile conflict graphs and rank-memo sorts, merged
+	// bit-identically, plus the rank-cursor allocator. shardIx keeps the
+	// per-tile candidate-index stats of the last sharded indexed build.
+	plan    *ShardPlan
+	shardIx []mask.IndexStats
+
 	// Per-column comparison memo, built lazily by columnRank: rankOrder[r]
 	// is all bidders sorted by descending masked bid (ties in index
 	// order), rank[r][i] the dense rank of bidder i (equal masked bids
@@ -109,11 +116,48 @@ func (a *Auctioneer) rawGE(r, i, j int) bool {
 	return CompareGE(&a.bids[i].Channels[r], &a.bids[j].Channels[r])
 }
 
+// geFactory mints comparator instances for one column. Each call returns
+// a comparator accumulating its masked-intersection tallies into the given
+// stats (observed auctioneers only; unobserved instances ignore it), so
+// parallel per-tile sorts get race-free private instances over the one
+// shared interned column.
+type geFactory = func(st *mask.IntersectStats) func(r, i, j int) bool
+
+// columnGE interns column r (once, at factory creation — the fast path
+// unless noIntern) and returns the comparator factory plus the interned
+// column itself (nil when interning is off) for callers that can exploit
+// digest-set equality directly, like the sharded sort's bid classes.
+// Interned and map-based comparators agree on every pair: CompareGE
+// outcomes depend only on digest equality, which interning preserves
+// exactly.
+func (a *Auctioneer) columnGE(r int) (geFactory, []internedChannelBid) {
+	if a.noIntern {
+		if a.ob == nil {
+			return func(*mask.IntersectStats) func(r, i, j int) bool { return a.rawGE }, nil
+		}
+		return func(st *mask.IntersectStats) func(r, i, j int) bool {
+			return func(r, i, j int) bool { st.Calls++; return a.rawGE(r, i, j) }
+		}, nil
+	}
+	col, total, distinct := internColumn(a.bids, r)
+	if a.ob != nil {
+		a.ob.noteIntern(total, distinct)
+		return func(st *mask.IntersectStats) func(r, i, j int) bool {
+			return func(r, i, j int) bool { return col[i].geCounted(&col[j], st) }
+		}, col
+	}
+	return func(*mask.IntersectStats) func(r, i, j int) bool {
+		return func(r, i, j int) bool { return col[i].ge(&col[j]) }
+	}, col
+}
+
 // columnRank builds (once) and returns the dense rank memo of column r.
 // Masked comparison is order-preserving — CompareGE(i, j) ⟺ the hidden
 // blinded value of i is ≥ j's — so each column admits a total preorder and
-// a single stable sort captures every pairwise outcome. Submissions are
-// immutable after NewAuctioneer, hence the memo never needs invalidation.
+// a single stable sort captures every pairwise outcome; under a shard plan
+// the sort runs per tile and merges (shard.go), leaving the bit-identical
+// memo. Submissions are immutable after NewAuctioneer, hence the memo
+// never needs invalidation.
 func (a *Auctioneer) columnRank(r int) []int {
 	if r < 0 || r >= a.params.Channels {
 		panic(fmt.Sprintf("core: channel %d out of range [0,%d)", r, a.params.Channels))
@@ -124,35 +168,24 @@ func (a *Auctioneer) columnRank(r int) []int {
 	}
 	if a.rank[r] == nil {
 		n := a.N()
-		// ge evaluates the masked comparison on the interned column (the
-		// fast path; the column slice is local and garbage once the memo
-		// stands) or on the map-based sets under noIntern. Both agree on
-		// every pair — CompareGE outcomes depend only on digest equality,
-		// which interning preserves exactly.
-		ge := a.rawGE
+		mk, col := a.columnGE(r)
 		var st mask.IntersectStats
-		if a.noIntern {
-			if a.ob != nil {
-				ge = func(r, i, j int) bool { st.Calls++; return a.rawGE(r, i, j) }
-			}
+		var order []int
+		if a.plan != nil {
+			order = a.shardedOrder(r, mk, col, &st)
 		} else {
-			col, total, distinct := internColumn(a.bids, r)
-			if a.ob != nil {
-				a.ob.noteIntern(total, distinct)
-				ge = func(r, i, j int) bool { return col[i].geCounted(&col[j], &st) }
-			} else {
-				ge = func(r, i, j int) bool { return col[i].ge(&col[j]) }
+			order = make([]int, n)
+			for i := range order {
+				order[i] = i
 			}
+			ge := mk(&st)
+			sort.SliceStable(order, func(x, y int) bool {
+				i, j := order[x], order[y]
+				// Strictly greater: GE(i,j) && !GE(j,i). Ties keep index order.
+				return ge(r, i, j) && !ge(r, j, i)
+			})
 		}
-		order := make([]int, n)
-		for i := range order {
-			order[i] = i
-		}
-		sort.SliceStable(order, func(x, y int) bool {
-			i, j := order[x], order[y]
-			// Strictly greater: GE(i,j) && !GE(j,i). Ties keep index order.
-			return ge(r, i, j) && !ge(r, j, i)
-		})
+		ge := mk(&st)
 		rank := make([]int, n)
 		rk := 0
 		for x, i := range order {
@@ -201,13 +234,38 @@ func fullPresent(n, k int) [][]bool {
 	return present
 }
 
+// allocateAwards is the one allocation entry point behind
+// Allocate/AllocateWithValidity/AllocateAwards. Unsharded it runs the
+// paper's Algorithm 3 against the memo-backed comparator; under a shard
+// plan it runs the rank-cursor engine directly on the per-column memos
+// (auction.AllocateAwardsOrdered), which is bit-identical by construction
+// and skips the two O(n) comparator sweeps per award.
+func (a *Auctioneer) allocateAwards(valid auction.Validity, rng *rand.Rand) ([]auction.Award, []auction.Assignment, error) {
+	n, k := a.N(), a.params.Channels
+	if a.plan != nil {
+		column := func(r int) (order, rank []int) {
+			a.columnRank(r)
+			return a.rankOrder[r], a.rank[r]
+		}
+		return auction.AllocateAwardsOrdered(n, k, fullPresent(n, k), a.ConflictGraph(), column, valid, a.servedHook(), rng)
+	}
+	return auction.AllocateAwards(n, k, fullPresent(n, k), a.ConflictGraph(), a.geFunc(), valid, rng)
+}
+
 // Allocate runs the private spectrum allocation (Algorithm 3 over masked
 // bids). Every bidder participates on every channel — the auctioneer
 // cannot tell zeros apart, which is precisely why disguised zeros can win
 // and later be voided by the TTP.
 func (a *Auctioneer) Allocate(rng *rand.Rand) ([]auction.Assignment, error) {
-	n, k := a.N(), a.params.Channels
-	return auction.Allocate(n, k, fullPresent(n, k), a.ConflictGraph(), a.geFunc(), rng)
+	awards, _, err := a.allocateAwards(nil, rng)
+	if err != nil {
+		return nil, err
+	}
+	assignments := make([]auction.Assignment, len(awards))
+	for i, aw := range awards {
+		assignments[i] = aw.Assignment
+	}
+	return assignments, nil
 }
 
 // SealedBid returns the opaque TTP ciphertext of bidder i's bid on
@@ -221,8 +279,15 @@ func (a *Auctioneer) SealedBid(i, r int) []byte {
 // and void awards (disguised or true zeros) waste the channel in the
 // winner's neighborhood without expelling the bidder.
 func (a *Auctioneer) AllocateWithValidity(valid auction.Validity, rng *rand.Rand) (awarded, voided []auction.Assignment, err error) {
-	n, k := a.N(), a.params.Channels
-	return auction.AllocateWithValidity(n, k, fullPresent(n, k), a.ConflictGraph(), a.geFunc(), valid, rng)
+	awards, voided, err := a.allocateAwards(valid, rng)
+	if err != nil {
+		return nil, nil, err
+	}
+	assignments := make([]auction.Assignment, len(awards))
+	for i, aw := range awards {
+		assignments[i] = aw.Assignment
+	}
+	return assignments, voided, nil
 }
 
 // RankChannel returns all bidders ordered by descending masked bid on
@@ -323,8 +388,7 @@ func (a *Auctioneer) ChargeRequests(assignments []auction.Assignment) []ChargeRe
 // AllocateAwards is Allocate with award-time runner-ups, for second-price
 // charging.
 func (a *Auctioneer) AllocateAwards(rng *rand.Rand) ([]auction.Award, error) {
-	n, k := a.N(), a.params.Channels
-	awards, _, err := auction.AllocateAwards(n, k, fullPresent(n, k), a.ConflictGraph(), a.geFunc(), nil, rng)
+	awards, _, err := a.allocateAwards(nil, rng)
 	return awards, err
 }
 

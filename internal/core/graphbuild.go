@@ -44,7 +44,9 @@ func (a *Auctioneer) PrepareCandidates() bool {
 // surface for benchmarks and tests; building the view on demand mirrors
 // ConflictGraph's laziness.
 func (a *Auctioneer) IndexStats() mask.IndexStats {
-	if a.noIntern || !a.indexed {
+	if a.noIntern || !a.indexed || a.plan != nil {
+		// Sharded indexed builds use tile-local indexes — see
+		// ShardIndexStats (shard.go) — and never build the global one.
 		return mask.IndexStats{}
 	}
 	_, ix := a.internedView()
@@ -64,7 +66,9 @@ func (a *Auctioneer) internedView() ([]internedLocation, *mask.Index) {
 		start = time.Now()
 	}
 	var ix *mask.Index
-	if a.indexed {
+	if a.indexed && a.plan == nil {
+		// Sharded builds post tile-local indexes per shard instead
+		// (buildGraphSharded); a global index would go unread.
 		ix = mask.NewIndex(len(a.locs))
 	}
 	iloc, total, distinct := internLocations(a.locs, ix)
@@ -114,6 +118,9 @@ func buildPairs(n int, pred func(i, j int) bool, workers int) *conflict.Graph {
 // adjacency bit's position by (i, j) alone, and the indexed candidates are
 // a sound superset confirmed by the same predicate the oracle runs.
 func (a *Auctioneer) buildGraph() *conflict.Graph {
+	if a.plan != nil {
+		return a.buildGraphSharded()
+	}
 	n := len(a.locs)
 	workers := 1
 	if a.workers > 1 {

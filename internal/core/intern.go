@@ -34,14 +34,24 @@ func internLocations(subs []*LocationSubmission, ix *mask.Index) (out []interned
 	} else {
 		dict = mask.NewDict()
 	}
+	// Bidders sharing one submission pointer (the batch encoder hands
+	// co-located bidders the same immutable submission) intern once and
+	// share the result; the index is still posted per bidder so the
+	// global candidate rows stay complete.
 	out = make([]internedLocation, len(subs))
+	memo := make(map[*LocationSubmission]int, len(subs))
 	for i, s := range subs {
-		total += s.XFamily.Len() + s.YFamily.Len() + s.XRange.Len() + s.YRange.Len()
-		out[i] = internedLocation{
-			xFamily: dict.InternSet(s.XFamily),
-			yFamily: dict.InternSet(s.YFamily),
-			xRange:  dict.InternSet(s.XRange),
-			yRange:  dict.InternSet(s.YRange),
+		if j, ok := memo[s]; ok {
+			out[i] = out[j]
+		} else {
+			memo[s] = i
+			total += s.XFamily.Len() + s.YFamily.Len() + s.XRange.Len() + s.YRange.Len()
+			out[i] = internedLocation{
+				xFamily: dict.InternSet(s.XFamily),
+				yFamily: dict.InternSet(s.YFamily),
+				xRange:  dict.InternSet(s.XRange),
+				yRange:  dict.InternSet(s.YRange),
+			}
 		}
 		if ix != nil {
 			ix.Add(out[i].xFamily, out[i].xRange)

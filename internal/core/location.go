@@ -64,38 +64,63 @@ func NewLocationSubmissions(params Params, ring *mask.KeyRing, pts []geo.Point, 
 	if err != nil {
 		return nil, fmt.Errorf("core: location masker: %w", err)
 	}
-	out := make([]*LocationSubmission, len(pts))
-	workers = mask.Workers(workers, len(pts))
+	// Duplicate points share one submission: masking is deterministic under
+	// the shared key, so equal points produce byte-identical submissions,
+	// and submissions are immutable once built. first[d] remembers the
+	// earliest bidder at each distinct point — distinct points are visited
+	// in first-appearance order, so the reported bidder on failure is the
+	// same one the per-bidder sweep would have blamed.
+	uniq := make(map[geo.Point]int, len(pts))
+	upts := make([]geo.Point, 0, len(pts))
+	first := make([]int, 0, len(pts))
+	slot := make([]int, len(pts))
+	for i, pt := range pts {
+		d, ok := uniq[pt]
+		if !ok {
+			d = len(upts)
+			uniq[pt] = d
+			upts = append(upts, pt)
+			first = append(first, i)
+		}
+		slot[i] = d
+	}
+
+	usubs := make([]*LocationSubmission, len(upts))
+	workers = mask.Workers(workers, len(upts))
 	if workers <= 1 {
-		for i, pt := range pts {
-			if out[i], err = newLocationSubmission(params, masker, pt); err != nil {
-				return nil, fmt.Errorf("core: bidder %d location: %w", i, err)
+		for d, pt := range upts {
+			if usubs[d], err = newLocationSubmission(params, masker, pt); err != nil {
+				return nil, fmt.Errorf("core: bidder %d location: %w", first[d], err)
 			}
 		}
-		return out, nil
-	}
-	errs := make([]error, workers)
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func(w int) {
-			defer wg.Done()
-			local := masker.Clone()
-			for i := w; i < len(pts); i += workers {
-				sub, err := newLocationSubmission(params, local, pts[i])
-				if err != nil {
-					errs[w] = fmt.Errorf("core: bidder %d location: %w", i, err)
-					return
+	} else {
+		errs := make([]error, workers)
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				local := masker.Clone()
+				for d := w; d < len(upts); d += workers {
+					sub, err := newLocationSubmission(params, local, upts[d])
+					if err != nil {
+						errs[w] = fmt.Errorf("core: bidder %d location: %w", first[d], err)
+						return
+					}
+					usubs[d] = sub
 				}
-				out[i] = sub
-			}
-		}(w)
-	}
-	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return nil, err
+			}(w)
 		}
+		wg.Wait()
+		for _, err := range errs {
+			if err != nil {
+				return nil, err
+			}
+		}
+	}
+	out := make([]*LocationSubmission, len(pts))
+	for i, d := range slot {
+		out[i] = usubs[d]
 	}
 	return out, nil
 }

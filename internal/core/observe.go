@@ -1,6 +1,8 @@
 package core
 
 import (
+	"strconv"
+
 	"lppa/internal/mask"
 	"lppa/internal/obs"
 )
@@ -28,6 +30,23 @@ type aucObs struct {
 	indexCandidates *obs.Counter   // candidate pairs handed to the oracle confirm
 	indexConfirms   *obs.Counter   // of those, confirmed as real conflicts
 	indexBuild      *obs.Histogram // seconds interning + posting the index
+
+	// Per-shard rank-memo telemetry (sharded rounds only; shard.go). The
+	// registry handle is kept so the counters can be minted lazily when a
+	// shard plan arrives — the plan's tile count is unknown at SetObserver
+	// time.
+	reg             *obs.Registry
+	shardRankBuilds []*obs.Counter // per-tile column sorts contributing to memos
+	shardMemoHits   []*obs.Counter // memo entries served to the allocator, by home tile
+}
+
+// ensureShardCounters mints the per-shard counter handles for k tiles.
+func (o *aucObs) ensureShardCounters(k int) {
+	for s := len(o.shardRankBuilds); s < k; s++ {
+		lbl := obs.L("shard", strconv.Itoa(s))
+		o.shardRankBuilds = append(o.shardRankBuilds, o.reg.Counter("lppa_shard_rank_builds_total", lbl))
+		o.shardMemoHits = append(o.shardMemoHits, o.reg.Counter("lppa_shard_rank_memo_hits_total", lbl))
+	}
 }
 
 // SetObserver attaches a metrics registry to the auctioneer. Call it
@@ -52,6 +71,11 @@ func (a *Auctioneer) SetObserver(reg *obs.Registry) {
 		indexCandidates: reg.Counter("lppa_index_candidates_total"),
 		indexConfirms:   reg.Counter("lppa_index_oracle_confirms_total"),
 		indexBuild:      reg.Histogram("lppa_index_build_seconds", nil),
+
+		reg: reg,
+	}
+	if a.plan != nil {
+		a.ob.ensureShardCounters(len(a.plan.Tiles))
 	}
 }
 
@@ -81,5 +105,22 @@ func (a *Auctioneer) geFunc() func(r, i, j int) bool {
 	return func(r, i, j int) bool {
 		hits.Inc()
 		return a.GE(r, i, j)
+	}
+}
+
+// servedHook returns the rank-cursor allocator's telemetry callback: each
+// memo entry the allocator examines counts as one memo hit, attributed to
+// the bidder's home tile. Nil — no callback, no per-entry branch — when
+// unobserved.
+func (a *Auctioneer) servedHook() func(bidder int) {
+	if a.ob == nil {
+		return nil
+	}
+	hits := a.ob.rankMemoHits
+	home := a.plan.Home
+	shard := a.ob.shardMemoHits
+	return func(bidder int) {
+		hits.Inc()
+		shard[home[bidder]].Inc()
 	}
 }

@@ -1,0 +1,84 @@
+package geo
+
+import "fmt"
+
+// TileGrid partitions the coordinate domain into square tiles whose side is
+// a multiple of 2λ. Because the interference predicate is |Δx| < 2λ ∧
+// |Δy| < 2λ, a point's interference square (half-side 2λ−1) overlaps at
+// most one tile boundary per axis, so every conflict pair is contained in
+// the union of a point's home tile and at most three adjacent tiles. That
+// locality is what lets the sharded round build per-tile conflict graphs
+// whose union is exactly the global graph (see internal/core shard.go).
+type TileGrid struct {
+	// Width is the tile side length in grid units, a positive multiple of
+	// 2λ and strictly greater than 2λ−1 (the conflict reach).
+	Width uint64
+	// MaxX, MaxY bound the coordinate domain (inclusive), as in Params.
+	MaxX, MaxY uint64
+	// TilesX, TilesY count tiles per axis.
+	TilesX, TilesY int
+}
+
+// NewTileGrid chooses a tile geometry for about `shards` shards over the
+// domain [0,maxX]×[0,maxY]: tiles per axis is ⌈√shards⌉ and the width is
+// the smallest multiple of 2λ covering the longer side in that many tiles
+// (never below 2λ, so conflicts cross at most one boundary per axis).
+func NewTileGrid(maxX, maxY, lambda uint64, shards int) (TileGrid, error) {
+	if shards < 1 {
+		return TileGrid{}, fmt.Errorf("geo: tile grid needs at least one shard, got %d", shards)
+	}
+	if lambda < 1 {
+		return TileGrid{}, fmt.Errorf("geo: tile grid needs lambda ≥ 1, got %d", lambda)
+	}
+	side := maxX + 1
+	if maxY+1 > side {
+		side = maxY + 1
+	}
+	axis := uint64(1)
+	for axis*axis < uint64(shards) {
+		axis++
+	}
+	unit := 2 * lambda
+	width := (side + axis - 1) / axis // ceil(side/axis)
+	width = ((width + unit - 1) / unit) * unit
+	if width < unit {
+		width = unit
+	}
+	tg := TileGrid{Width: width, MaxX: maxX, MaxY: maxY}
+	tg.TilesX = int(maxX/width) + 1
+	tg.TilesY = int(maxY/width) + 1
+	return tg, nil
+}
+
+// TileOf returns the tile coordinates containing p.
+func (tg TileGrid) TileOf(p Point) (tx, ty uint64) {
+	return p.X / tg.Width, p.Y / tg.Width
+}
+
+// ID packs tile coordinates into one uint64 (the value that gets masked
+// into the routing digest).
+func (tg TileGrid) ID(tx, ty uint64) uint64 { return tx<<32 | ty }
+
+// Tiles reports the total tile count.
+func (tg TileGrid) Tiles() int { return tg.TilesX * tg.TilesY }
+
+// Touched returns the IDs of every tile the square [p.X±delta]×[p.Y±delta]
+// (clamped to the domain) overlaps, home tile first. With delta < Width —
+// the sharded round uses delta = 2λ−1 — the square spans at most two tiles
+// per axis, so the result has at most four entries.
+func (tg TileGrid) Touched(p Point, delta uint64) []uint64 {
+	xlo, xhi := ClampRange(p.X, delta, tg.MaxX)
+	ylo, yhi := ClampRange(p.Y, delta, tg.MaxY)
+	hx, hy := tg.TileOf(p)
+	out := make([]uint64, 0, 4)
+	out = append(out, tg.ID(hx, hy))
+	for tx := xlo / tg.Width; tx <= xhi/tg.Width; tx++ {
+		for ty := ylo / tg.Width; ty <= yhi/tg.Width; ty++ {
+			if tx == hx && ty == hy {
+				continue
+			}
+			out = append(out, tg.ID(tx, ty))
+		}
+	}
+	return out
+}

@@ -1,0 +1,103 @@
+package geo
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestNewTileGridGeometry pins the two invariants the sharded round rests
+// on: the tile width is a positive multiple of 2λ (so the conflict reach
+// 2λ−1 never spans two boundaries), and the grid covers the domain.
+func TestNewTileGridGeometry(t *testing.T) {
+	for _, tc := range []struct {
+		maxX, maxY, lambda uint64
+		shards             int
+	}{
+		{99, 99, 2, 1}, {99, 99, 2, 4}, {99, 99, 2, 8}, {99, 99, 3, 16},
+		{999, 999, 2, 8}, {999, 499, 5, 64}, {7, 7, 4, 9}, {1, 1, 1, 100},
+	} {
+		tg, err := NewTileGrid(tc.maxX, tc.maxY, tc.lambda, tc.shards)
+		if err != nil {
+			t.Fatalf("%+v: %v", tc, err)
+		}
+		if tg.Width == 0 || tg.Width%(2*tc.lambda) != 0 {
+			t.Errorf("%+v: width %d not a positive multiple of 2λ=%d", tc, tg.Width, 2*tc.lambda)
+		}
+		if uint64(tg.TilesX)*tg.Width <= tc.maxX || uint64(tg.TilesY)*tg.Width <= tc.maxY {
+			t.Errorf("%+v: %dx%d tiles of width %d do not cover the domain", tc, tg.TilesX, tg.TilesY, tg.Width)
+		}
+		if tg.Tiles() != tg.TilesX*tg.TilesY {
+			t.Errorf("%+v: Tiles() = %d, want %d", tc, tg.Tiles(), tg.TilesX*tg.TilesY)
+		}
+	}
+	if _, err := NewTileGrid(99, 99, 2, 0); err == nil {
+		t.Error("zero shards accepted")
+	}
+	if _, err := NewTileGrid(99, 99, 0, 4); err == nil {
+		t.Error("zero lambda accepted")
+	}
+}
+
+// TestTouchedProperties checks, over random geometries and points, that
+// Touched lists the home tile first, stays within the four-tile bound for
+// delta = 2λ−1, never repeats a tile, and — the coverage property the
+// sharded graph build needs — contains the home tile of every conflicting
+// partner point.
+func TestTouchedProperties(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 200; trial++ {
+		lambda := uint64(rng.Intn(5) + 1)
+		maxX := uint64(rng.Intn(400) + 4*int(lambda))
+		maxY := uint64(rng.Intn(400) + 4*int(lambda))
+		tg, err := NewTileGrid(maxX, maxY, lambda, rng.Intn(20)+1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		delta := 2*lambda - 1
+		p := Point{X: uint64(rng.Intn(int(maxX + 1))), Y: uint64(rng.Intn(int(maxY + 1)))}
+		touched := tg.Touched(p, delta)
+
+		hx, hy := tg.TileOf(p)
+		if touched[0] != tg.ID(hx, hy) {
+			t.Fatalf("trial %d: home tile not first: %v", trial, touched)
+		}
+		if len(touched) > 4 {
+			t.Fatalf("trial %d: %d tiles touched with delta=%d < width=%d", trial, len(touched), delta, tg.Width)
+		}
+		seen := map[uint64]bool{}
+		for _, id := range touched {
+			if seen[id] {
+				t.Fatalf("trial %d: duplicate tile %d in %v", trial, id, touched)
+			}
+			seen[id] = true
+		}
+
+		// Any conflicting partner's home tile must be touched.
+		for probe := 0; probe < 50; probe++ {
+			q := Point{
+				X: jitter(rng, p.X, 2*lambda+2, maxX),
+				Y: jitter(rng, p.Y, 2*lambda+2, maxY),
+			}
+			if !Conflict(p, q, lambda) {
+				continue
+			}
+			qx, qy := tg.TileOf(q)
+			if !seen[tg.ID(qx, qy)] {
+				t.Fatalf("trial %d: conflict partner %v (tile %d,%d) not in touched set %v of %v",
+					trial, q, qx, qy, touched, p)
+			}
+		}
+	}
+}
+
+func jitter(rng *rand.Rand, v, spread, max uint64) uint64 {
+	d := int64(rng.Intn(2*int(spread)+1)) - int64(spread)
+	r := int64(v) + d
+	if r < 0 {
+		r = 0
+	}
+	if r > int64(max) {
+		r = int64(max)
+	}
+	return uint64(r)
+}

@@ -169,6 +169,12 @@ func sigBit(id uint32) uint64 {
 // Len reports the number of members.
 func (s IntSet) Len() int { return len(s.ids) }
 
+// AppendIDs appends the set's interned member IDs (ascending) to dst and
+// returns the extended slice. IDs are canonical within one Dict — two of
+// its IntSets are equal as sets iff their ID slices are equal — so the
+// appended run works as a grouping key for same-digest-set detection.
+func (s IntSet) AppendIDs(dst []uint32) []uint32 { return append(dst, s.ids...) }
+
 // Contains reports whether id is a member.
 func (s IntSet) Contains(id uint32) bool {
 	if s.sig&sigBit(id) == 0 {

@@ -49,6 +49,7 @@ type runConfig struct {
 	secondPrice bool
 	noIntern    bool
 	indexed     bool
+	shards      int
 	quorum      int
 	straggler   time.Duration
 	reg         *obs.Registry
@@ -361,10 +362,20 @@ func encodeSerial(params core.Params, ring *mask.KeyRing, points []geo.Point, bi
 	locs := make([]*core.LocationSubmission, n)
 	subs := make([]*core.BidSubmission, n)
 	bytesTotal := 0
+	// Location masking draws no randomness and runs under the ring's shared
+	// key, so equal points yield byte-identical immutable submissions —
+	// co-located bidders share one. The bid encoders below still consume
+	// the rng stream bidder by bidder, so the transcript is unchanged.
+	locMemo := make(map[geo.Point]*core.LocationSubmission, n)
 	for i := 0; i < n; i++ {
-		loc, err := core.NewLocationSubmission(params, ring, points[i])
-		if err != nil {
-			return nil, nil, 0, fmt.Errorf("round: bidder %d location: %w", i, err)
+		loc := locMemo[points[i]]
+		if loc == nil {
+			var err error
+			loc, err = core.NewLocationSubmission(params, ring, points[i])
+			if err != nil {
+				return nil, nil, 0, fmt.Errorf("round: bidder %d location: %w", i, err)
+			}
+			locMemo[points[i]] = loc
 		}
 		locs[i] = loc
 		enc, err := core.NewBidEncoder(params, ring, samplers[i], rng)
@@ -557,6 +568,34 @@ func run(params core.Params, ring *mask.KeyRing, in Input, cfg *runConfig, ph *p
 		auc.EnableIndexedCandidates()
 	}
 	auc.SetObserver(cfg.reg)
+
+	if cfg.shards > 0 {
+		// Tile-sharded execution (shard.go): the planner groups the
+		// population — the kept population, under a compacted quorum round —
+		// by masked coarse-tile digest; the auctioneer then builds graphs
+		// and memos per tile. The plan is rng-free and bit-identity is
+		// pinned by the shard equivalence grid.
+		ph.phase("plan")
+		pts := in.Points
+		if len(excluded) > 0 {
+			pts = make([]geo.Point, len(keep))
+			for ci, i := range keep {
+				pts[ci] = in.Points[i]
+			}
+		}
+		plan, err := planShards(params, ring, pts, cfg.shards)
+		if err != nil {
+			ph.stop()
+			return nil, err
+		}
+		if cfg.tracer != nil {
+			plan.OnShard = shardSpans(ph)
+		}
+		if err := auc.SetShardPlan(plan); err != nil {
+			ph.stop()
+			return nil, err
+		}
+	}
 
 	// The graph build is rng-free, so forcing it here (instead of letting
 	// the allocator build it lazily) changes nothing except giving the

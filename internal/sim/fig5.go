@@ -52,6 +52,10 @@ type Fig5Config struct {
 	// candidate generator (round.WithIndexedCandidates). Results are
 	// bit-identical to the all-pairs path; only the cost profile changes.
 	Indexed bool
+	// Shards > 0 runs the private rounds through the tile-sharded planner
+	// (round.WithShards): per-tile conflict graphs and rank memos merged by
+	// border-band reconciliation. Bit-identical to the unsharded round.
+	Shards int
 	// Metrics, when non-nil, records every private round the experiment
 	// runs (phase timings, comparison counters, round totals). Results are
 	// bit-identical with or without it.
@@ -75,6 +79,9 @@ func (cfg Fig5Config) runPrivate(params core.Params, ring *mask.KeyRing, pts []g
 	}
 	if cfg.Indexed {
 		opts = append(opts, round.WithIndexedCandidates())
+	}
+	if cfg.Shards > 0 {
+		opts = append(opts, round.WithShards(cfg.Shards))
 	}
 	if cfg.Trace != nil {
 		opts = append(opts, round.WithTrace(cfg.Trace))

@@ -321,6 +321,13 @@ func WithQuorum(q int) RunOption { return round.WithQuorum(q) }
 // WithWorkers.
 func WithStragglerTimeout(d time.Duration) RunOption { return round.WithStragglerTimeout(d) }
 
+// WithShards partitions the round into k coarse tiles routed by masked
+// digests: per-tile conflict graphs and rank memos are built independently
+// and reconciled across border bands. Results are bit-identical to the
+// unsharded round for any k; only the cost profile changes. See DESIGN.md
+// §5g.
+func WithShards(k int) RunOption { return round.WithShards(k) }
+
 // ErrQuorumNotReached reports a round (in-process or networked) that ended
 // with fewer usable submissions than its quorum; test with errors.Is.
 var ErrQuorumNotReached = round.ErrQuorumNotReached
