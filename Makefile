@@ -3,7 +3,7 @@
 GO ?= go
 CACHE ?= /tmp/lppa-ds.gob
 
-.PHONY: all build test race cover bench bench-json bench-compare alloc-guard trace-guard fuzz fuzz-short chaos experiments examples metrics-snapshot trace-snapshot audit-snapshot clean
+.PHONY: all build test race cover bench bench-json bench-compare alloc-guard trace-guard fuzz fuzz-short chaos epoch-soak experiments examples metrics-snapshot trace-snapshot audit-snapshot clean
 
 all: build test
 
@@ -28,16 +28,17 @@ bench:
 # interning, BENCH_PR3.json the unified Run API with a nil registry,
 # BENCH_PR5.json the tracing subsystem, BENCH_PR6.json the indexed
 # candidate generation under both density mixes, BENCH_PR7.json the
-# tile-sharded round) so bench-compare can diff across PRs. See
-# EXPERIMENTS.md for the narrative.
+# tile-sharded round, BENCH_PR8.json the epochal service and batched
+# accounting) so bench-compare can diff across PRs. See EXPERIMENTS.md
+# for the narrative.
 bench-json:
 	$(GO) test -run=NONE -benchmem \
-		-bench='ZeroAllocMask|ParallelMaskAll|ParallelConflictGraph|ParallelPrivateRound|RankMemoAllocation|MaskDigest|PrivateConflictGraph|InternedIntersect|ConflictGraphN300|RankMemoN300|RoundTraceOverhead|ConflictGraphIndexed|IndexCursorRow|RoundSharded' \
-		. | $(GO) run ./cmd/benchjson > BENCH_PR7.json
+		-bench='ZeroAllocMask|ParallelMaskAll|ParallelConflictGraph|ParallelPrivateRound|RankMemoAllocation|MaskDigest|PrivateConflictGraph|InternedIntersect|ConflictGraphN300|RankMemoN300|RoundTraceOverhead|ConflictGraphIndexed|IndexCursorRow|RoundSharded|EpochService|BatchedAccounting' \
+		. | $(GO) run ./cmd/benchjson > BENCH_PR8.json
 
 # Diff ns/op and allocs/op between the two most recent committed snapshots.
 bench-compare:
-	$(GO) run ./cmd/benchjson -compare BENCH_PR6.json BENCH_PR7.json
+	$(GO) run ./cmd/benchjson -compare BENCH_PR7.json BENCH_PR8.json
 
 # Per-phase/per-layer cost profile of one instrumented N=300 private
 # round, as the observability registry's JSON snapshot. CI uploads it next
@@ -94,6 +95,15 @@ fuzz-short:
 chaos:
 	LPPA_CHAOS_REPLAY_FILE=CHAOS_FAILURES.txt \
 		$(GO) test -race -run 'TestChaos|TestAuctioneerQuorum' -count=1 ./internal/transport/ ./internal/faults/
+
+# Short multi-epoch chaos run of the epochal service under the race
+# detector: concurrent submitters racing the sealing ticker and explicit
+# seals through the admission gate, ledger exactness asserted at the end.
+# Failed or degraded epochs dump flight-recorder traces into
+# FLIGHT_EPOCH_SOAK/ (CI uploads the directory when the job fails).
+epoch-soak:
+	LPPA_SOAK_FLIGHT_DIR=FLIGHT_EPOCH_SOAK \
+		$(GO) test -race -run TestEpochServiceSoak -count=1 -v ./internal/epoch/
 
 # Reproduce the paper's full evaluation (dataset cached at $(CACHE)).
 experiments:

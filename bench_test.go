@@ -23,6 +23,7 @@ import (
 	"lppa/internal/conflict"
 	"lppa/internal/core"
 	"lppa/internal/dataset"
+	"lppa/internal/epoch"
 	"lppa/internal/geo"
 	"lppa/internal/mask"
 	"lppa/internal/paillier"
@@ -165,8 +166,8 @@ func fig5Round(b *testing.B, zeroReplace, keep float64, seed int64) (privacy.Agg
 	if err != nil {
 		b.Fatal(err)
 	}
-	res, err := round.RunPrivate(sc.Params, ring, sim.Points(pop), pop.Bids,
-		core.DisguisePolicy{P0: 1 - zeroReplace, Decay: 0.95}, rand.New(rand.NewSource(seed)))
+	res, err := round.Run(sc.Params, ring, round.Input{Points: sim.Points(pop), Bids: pop.Bids,
+		Policy: core.DisguisePolicy{P0: 1 - zeroReplace, Decay: 0.95}, Rng: rand.New(rand.NewSource(seed))})
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -491,8 +492,8 @@ func BenchmarkPrivateRound(b *testing.B) {
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := round.RunPrivate(sc.Params, ring, sim.Points(pop), pop.Bids,
-			core.DefaultDisguise(), rand.New(rand.NewSource(int64(i)))); err != nil {
+		if _, err := round.Run(sc.Params, ring, round.Input{Points: sim.Points(pop), Bids: pop.Bids,
+			Policy: core.DefaultDisguise(), Rng: rand.New(rand.NewSource(int64(i)))}); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -582,8 +583,8 @@ func BenchmarkAblationDisguiseDecay(b *testing.B) {
 		b.Run(mode.name, func(b *testing.B) {
 			var revenue uint64
 			for i := 0; i < b.N; i++ {
-				res, err := round.RunPrivate(sc.Params, ring, sim.Points(pop), pop.Bids,
-					core.DisguisePolicy{P0: 0.5, Decay: mode.decay}, rand.New(rand.NewSource(int64(i))))
+				res, err := round.Run(sc.Params, ring, round.Input{Points: sim.Points(pop), Bids: pop.Bids,
+					Policy: core.DisguisePolicy{P0: 0.5, Decay: mode.decay}, Rng: rand.New(rand.NewSource(int64(i)))})
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -612,8 +613,8 @@ func BenchmarkAblationBatchVsInteractiveTTP(b *testing.B) {
 	b.Run("batch", func(b *testing.B) {
 		var voided int
 		for i := 0; i < b.N; i++ {
-			res, err := round.RunPrivate(sc.Params, ring, sim.Points(pop), pop.Bids, policy,
-				rand.New(rand.NewSource(int64(i))))
+			res, err := round.Run(sc.Params, ring, round.Input{Points: sim.Points(pop), Bids: pop.Bids,
+				Policy: policy, Rng: rand.New(rand.NewSource(int64(i)))})
 			if err != nil {
 				b.Fatal(err)
 			}
@@ -624,8 +625,8 @@ func BenchmarkAblationBatchVsInteractiveTTP(b *testing.B) {
 	b.Run("interactive", func(b *testing.B) {
 		var voided int
 		for i := 0; i < b.N; i++ {
-			res, err := round.RunPrivateInteractive(sc.Params, ring, sim.Points(pop), pop.Bids, policy,
-				rand.New(rand.NewSource(int64(i))))
+			res, err := round.Run(sc.Params, ring, round.Input{Points: sim.Points(pop), Bids: pop.Bids,
+				Policy: policy, Rng: rand.New(rand.NewSource(int64(i)))}, round.WithInteractiveCharging())
 			if err != nil {
 				b.Fatal(err)
 			}
@@ -692,8 +693,8 @@ func BenchmarkNetworkedRound(b *testing.B) {
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := round.RunPrivate(p, ring, points, bids, core.DefaultDisguise(),
-			rand.New(rand.NewSource(int64(i)))); err != nil {
+		if _, err := round.Run(p, ring, round.Input{Points: points, Bids: bids,
+			Policy: core.DefaultDisguise(), Rng: rand.New(rand.NewSource(int64(i)))}); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -901,8 +902,8 @@ func BenchmarkAblationPricingRule(b *testing.B) {
 	b.Run("first-price", func(b *testing.B) {
 		var revenue uint64
 		for i := 0; i < b.N; i++ {
-			res, err := round.RunPrivate(sc.Params, ring, sim.Points(pop), pop.Bids, policy,
-				rand.New(rand.NewSource(int64(i))))
+			res, err := round.Run(sc.Params, ring, round.Input{Points: sim.Points(pop), Bids: pop.Bids,
+				Policy: policy, Rng: rand.New(rand.NewSource(int64(i)))})
 			if err != nil {
 				b.Fatal(err)
 			}
@@ -913,8 +914,8 @@ func BenchmarkAblationPricingRule(b *testing.B) {
 	b.Run("second-price", func(b *testing.B) {
 		var revenue uint64
 		for i := 0; i < b.N; i++ {
-			res, err := round.RunPrivateSecondPrice(sc.Params, ring, sim.Points(pop), pop.Bids, policy,
-				rand.New(rand.NewSource(int64(i))))
+			res, err := round.Run(sc.Params, ring, round.Input{Points: sim.Points(pop), Bids: pop.Bids,
+				Policy: policy, Rng: rand.New(rand.NewSource(int64(i)))}, round.WithSecondPrice())
 			if err != nil {
 				b.Fatal(err)
 			}
@@ -1011,10 +1012,13 @@ func BenchmarkParallelPrivateRound(b *testing.B) {
 	}
 	for _, workers := range []int{1, 2, 4, 8} {
 		b.Run(fmt.Sprintf("workers-%d", workers), func(b *testing.B) {
+			var opts []round.Option
+			if workers > 1 {
+				opts = append(opts, round.WithWorkers(workers))
+			}
 			for i := 0; i < b.N; i++ {
-				if _, err := round.RunPrivateOpts(sc.Params, ring, sim.Points(pop), pop.Bids,
-					core.DefaultDisguise(), rand.New(rand.NewSource(int64(i))),
-					round.Options{Workers: workers}); err != nil {
+				if _, err := round.Run(sc.Params, ring, round.Input{Points: sim.Points(pop), Bids: pop.Bids,
+					Policy: core.DefaultDisguise(), Rng: rand.New(rand.NewSource(int64(i)))}, opts...); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -1472,4 +1476,158 @@ func BenchmarkRoundTraceOverhead(b *testing.B) {
 		b.StopTimer()
 		tracer.Take()
 	})
+}
+
+// BenchmarkEpochService prices the epochal service pipeline end to end:
+// each iteration streams one full population through the admission gate
+// (explicit clock, so the admit/reject split is deterministic), seals the
+// epoch, and lets the runner allocate it while the next iteration's
+// intake proceeds — the same overlap the long-lived service exhibits.
+// The rate limit is sized to shed part of every population, so the
+// admitted/rejected metrics exercise the gate rather than bypassing it,
+// and both ledgers settle through the batched accountant. Headline
+// metrics: epochs/s, admitted and rejected per epoch, and the accounting
+// flush traffic (db calls + key writes per epoch).
+func BenchmarkEpochService(b *testing.B) {
+	p := core.Params{Channels: 8, Lambda: 2, MaxX: 99, MaxY: 99, BMax: 100}
+	ring, err := mask.DeriveKeyRing([]byte("epoch-bench"), p.Channels, 5, 8)
+	if err != nil {
+		b.Fatal(err)
+	}
+	const n = 200
+	rng := rand.New(rand.NewSource(61))
+	subs := make([]epoch.Submission, n)
+	for i := range subs {
+		subs[i] = epoch.Submission{
+			Bidder: i,
+			Point:  geo.Point{X: uint64(rng.Intn(100)), Y: uint64(rng.Intn(100))},
+			Bids:   make([]uint64, p.Channels),
+		}
+		for r := range subs[i].Bids {
+			if rng.Intn(3) > 0 {
+				subs[i].Bids[r] = uint64(rng.Intn(int(p.BMax))) + 1
+			}
+		}
+	}
+	variants := []struct {
+		name string
+		opts []round.Option
+	}{
+		{"serial", nil},
+		{"sharded", []round.Option{round.WithWorkers(4), round.WithShards(4),
+			round.WithIndexedCandidates()}},
+	}
+	for _, v := range variants {
+		b.Run(v.name, func(b *testing.B) {
+			billingStore, quotaStore := epoch.NewMemStore(), epoch.NewMemStore()
+			billing, err := epoch.NewAccountant("billing", billingStore, p.BMax*4, nil)
+			if err != nil {
+				b.Fatal(err)
+			}
+			quota, err := epoch.NewAccountant("quota", quotaStore, 64, nil)
+			if err != nil {
+				b.Fatal(err)
+			}
+			svc, err := epoch.New(epoch.Config{
+				Params: p, Ring: ring, Seed: 7,
+				Policy: core.DisguisePolicy{P0: 1},
+				// 100 tokens/s against 200 submissions/epoch: the gate sheds
+				// part of every population instead of idling.
+				Admission:    epoch.AdmissionConfig{Rate: 100, Burst: 150},
+				Billing:      billing,
+				Quota:        quota,
+				RoundOptions: v.opts,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			drained := make(chan struct{})
+			go func() {
+				defer close(drained)
+				for res := range svc.Results() {
+					if res.Err != nil {
+						b.Error(res.Err)
+					}
+				}
+			}()
+			var admitted, rejected int
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				// One second of simulated wall clock per epoch refills the
+				// bucket by Rate; the split is identical on every run.
+				now := float64(i)
+				for _, sub := range subs {
+					switch err := svc.SubmitAt(sub, now); err.(type) {
+					case nil:
+						admitted++
+					case *epoch.ErrRateLimited:
+						rejected++
+					default:
+						b.Fatal(err)
+					}
+				}
+				if err := svc.Seal(); err != nil {
+					b.Fatal(err)
+				}
+			}
+			// Close drains the queued epochs through the runner, so the
+			// timed region covers allocation, not just intake.
+			if err := svc.Close(); err != nil {
+				b.Fatal(err)
+			}
+			<-drained
+			b.StopTimer()
+			b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "epochs/s")
+			b.ReportMetric(float64(admitted)/float64(b.N), "admitted/epoch")
+			b.ReportMetric(float64(rejected)/float64(b.N), "rejected/epoch")
+			calls := billingStore.Calls() + quotaStore.Calls()
+			writes := billingStore.Writes() + quotaStore.Writes()
+			b.ReportMetric(float64(calls)/float64(b.N), "dbCalls/epoch")
+			b.ReportMetric(float64(writes)/float64(b.N), "dbWrites/epoch")
+		})
+	}
+}
+
+// BenchmarkBatchedAccounting backs the PR-8 acceptance criterion with
+// numbers: at N=10000 accounting ops, the thresholded accountant must
+// issue at least 10× fewer simulated datastore calls than the
+// per-submission baseline (threshold 1 — every delta is its own round
+// trip) while persisting identical exact totals.
+// TestBatchedAccountingWriteReduction asserts the same bound; this
+// benchmark publishes the measured traffic into BENCH_PR8.json.
+func BenchmarkBatchedAccounting(b *testing.B) {
+	const nOps = 10_000
+	const keys = 500 // distinct bidders the deltas spread across
+	modes := []struct {
+		name      string
+		threshold uint64
+	}{
+		{"per-submission", 1},
+		{"batched", 4000},
+	}
+	for _, m := range modes {
+		b.Run(m.name, func(b *testing.B) {
+			var calls, writes uint64
+			for i := 0; i < b.N; i++ {
+				store := epoch.NewMemStore()
+				acct, err := epoch.NewAccountant("bench", store, m.threshold, nil)
+				if err != nil {
+					b.Fatal(err)
+				}
+				rng := rand.New(rand.NewSource(17))
+				for op := 0; op < nOps; op++ {
+					if err := acct.Add(rng.Intn(keys), uint64(rng.Intn(100))+1); err != nil {
+						b.Fatal(err)
+					}
+				}
+				if err := acct.Flush(); err != nil {
+					b.Fatal(err)
+				}
+				calls, writes = store.Calls(), store.Writes()
+			}
+			b.ReportMetric(float64(calls), "dbCalls")
+			b.ReportMetric(float64(writes), "dbWrites")
+			b.ReportMetric(float64(nOps)/float64(calls), "ops/dbCall")
+		})
+	}
 }

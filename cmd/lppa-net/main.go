@@ -29,6 +29,8 @@ import (
 	"time"
 
 	"lppa"
+	"lppa/internal/cli"
+	"lppa/internal/epoch"
 	"lppa/internal/obs"
 	"lppa/internal/transport"
 )
@@ -62,13 +64,7 @@ func run(args []string) error {
 		seed     = fs.Int64("seed", 42, "randomness seed")
 		metrics  = fs.String("metrics-addr", "", "serve metrics over HTTP on this address (GET /metrics = Prometheus text, other paths = JSON); keeps serving after the round until killed")
 
-		quorum    = fs.Int("quorum", 0, "minimum submissions for a degraded round when -straggler fires; 0 requires all bidders (auctioneer/demo)")
-		straggler = fs.Duration("straggler", 0, "collection deadline; stragglers past it are excluded down to -quorum, 0 waits forever (auctioneer/demo)")
-		retries   = fs.Int("retries", transport.DefaultRetryPolicy.MaxAttempts, "bidder submission attempts before giving up (bidder/demo)")
-		cliTO     = fs.Duration("client-timeout", 0, "bidder per-exchange deadline, 0 = none (bidder/demo)")
-
-		chaosClass   = fs.String("chaos", "", "demo chaos soak: inject this fault class into the first -chaos-bidders bidders (drop|dup|corrupt|truncate|slowloris|crash)")
-		chaosRate    = fs.Float64("chaos-rate", 0.5, "per-frame fault probability for the probabilistic chaos classes")
+		cliTO        = fs.Duration("client-timeout", 0, "bidder per-exchange deadline, 0 = none (bidder/demo)")
 		chaosBidders = fs.Int("chaos-bidders", 1, "how many bidders the demo chaos soak injects faults into")
 
 		traceOut   = fs.String("trace-out", "", "write this party's round as a Chrome trace_event JSON when it finishes (demo/auctioneer/bidder); view at ui.perfetto.dev")
@@ -77,6 +73,13 @@ func run(args []string) error {
 		flightSLO  = fs.Duration("flight-slo", 0, "round-duration SLO: healthy rounds slower than this still dump, 0 disables")
 		pprofAddr  = fs.String("pprof-addr", "", "serve net/http/pprof on this address for live profiling")
 	)
+	// Round-shaping and epoch flags come from the shared cli blocks, so
+	// lppa-net and lppa-sim agree on names, defaults, and help strings.
+	var rf cli.RoundFlags
+	rf.Register(fs)
+	rf.RegisterClient(fs)
+	var ef cli.EpochFlags
+	ef.Register(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -102,7 +105,7 @@ func run(args []string) error {
 		return err
 	}
 
-	chaosCfg, err := parseChaos(*chaosClass, *chaosRate)
+	chaosCfg, err := rf.ChaosConfig()
 	if err != nil {
 		return err
 	}
@@ -125,20 +128,27 @@ func run(args []string) error {
 
 	switch *role {
 	case "demo":
-		return runDemo(params, demoConfig{
+		cfg := demoConfig{
 			bidders: *bidders, secret: *seedStr, p0: *p0, seed: *seed,
-			secondPrice: secondPrice, quorum: *quorum, straggler: *straggler,
-			retries: *retries, clientTimeout: *cliTO,
+			secondPrice: secondPrice, flags: rf, clientTimeout: *cliTO,
 			chaos: chaosCfg, chaosBidders: *chaosBidders,
 			tracer: tracer, flight: flight, traceOut: *traceOut,
-		}, log, reg)
+		}
+		if ef.Epochs > 0 {
+			return runEpochDemo(params, cfg, ef, reg)
+		}
+		return runDemo(params, cfg, log, reg)
 	case "ttp":
 		ln, err := net.Listen("tcp", *listen)
 		if err != nil {
 			return err
 		}
-		srv, err := transport.NewTTPServerWithConfig(params, []byte(*seedStr), 5, 8, ln,
-			transport.Config{Logger: log, Metrics: reg, Tracer: tracer})
+		cfg, err := transport.New(transport.WithLogger(log), transport.WithMetrics(reg),
+			transport.WithTrace(tracer))
+		if err != nil {
+			return err
+		}
+		srv, err := transport.NewTTPServerWithConfig(params, []byte(*seedStr), 5, 8, ln, cfg)
 		if err != nil {
 			return err
 		}
@@ -152,10 +162,11 @@ func run(args []string) error {
 		if err != nil {
 			return err
 		}
-		srv, err := transport.NewAuctioneerServerWithConfig(params, *bidders, *ttpAddr, ln, *seed,
-			transport.Config{Logger: log, Metrics: reg, SecondPrice: secondPrice,
-				Quorum: *quorum, StragglerTimeout: *straggler,
-				Tracer: tracer, FlightRecorder: flight})
+		cfg, err := auctioneerConfig(log, reg, secondPrice, rf, tracer, flight, ef.RateLimit)
+		if err != nil {
+			return err
+		}
+		srv, err := transport.NewAuctioneerServerWithConfig(params, *bidders, *ttpAddr, ln, *seed, cfg)
 		if err != nil {
 			return err
 		}
@@ -181,10 +192,8 @@ func run(args []string) error {
 		if err != nil {
 			return err
 		}
-		retry := transport.DefaultRetryPolicy
-		retry.MaxAttempts = *retries
 		client := &lppa.BidderClient{ID: *id, Params: params, Policy: lppa.DisguisePolicy{P0: *p0, Decay: 0.95},
-			Retry: retry, Timeout: *cliTO, Tracer: tracer}
+			Retry: rf.RetryPolicy(), Timeout: *cliTO, Tracer: tracer}
 		res, err := client.Participate(*ttpAddr, *aucAddr, lppa.Point{X: *x, Y: *y}, bids,
 			rand.New(rand.NewSource(*seed+int64(*id))))
 		if err != nil {
@@ -271,9 +280,7 @@ type demoConfig struct {
 	p0            float64
 	seed          int64
 	secondPrice   bool
-	quorum        int
-	straggler     time.Duration
-	retries       int
+	flags         cli.RoundFlags
 	clientTimeout time.Duration
 	chaos         *lppa.FaultConfig
 	chaosBidders  int
@@ -282,27 +289,35 @@ type demoConfig struct {
 	traceOut      string
 }
 
-// parseChaos maps a -chaos class name onto a fault config at the given
-// per-frame rate. Empty class disables injection.
-func parseChaos(class string, rate float64) (*lppa.FaultConfig, error) {
-	switch class {
-	case "":
-		return nil, nil
-	case "drop":
-		return &lppa.FaultConfig{DropFrame: rate}, nil
-	case "dup":
-		return &lppa.FaultConfig{DupFrame: rate}, nil
-	case "corrupt":
-		return &lppa.FaultConfig{CorruptFrame: rate}, nil
-	case "truncate":
-		return &lppa.FaultConfig{TruncateFrame: rate}, nil
-	case "slowloris":
-		return &lppa.FaultConfig{SlowChunk: 256, SlowPause: 100 * time.Millisecond}, nil
-	case "crash":
-		return &lppa.FaultConfig{CloseAfterFrames: 1}, nil
-	default:
-		return nil, fmt.Errorf("unknown chaos class %q", class)
+// auctioneerConfig assembles the auctioneer's transport config through the
+// options constructor, folding in the parsed flags. A positive rateLimit
+// wires an epoch admission gate into the accept path, so over-rate
+// connections are shed with a retry-after frame before any decode work.
+func auctioneerConfig(log *slog.Logger, reg *obs.Registry, secondPrice bool, rf cli.RoundFlags,
+	tracer *lppa.Tracer, flight *lppa.FlightRecorder, rateLimit float64) (transport.Config, error) {
+	opts := []transport.Option{
+		transport.WithLogger(log),
+		transport.WithMetrics(reg),
+		transport.WithTrace(tracer),
+		transport.WithFlightRecorder(flight),
 	}
+	if secondPrice {
+		opts = append(opts, transport.WithSecondPriceCharging())
+	}
+	if rf.Quorum > 0 {
+		opts = append(opts, transport.WithQuorum(rf.Quorum))
+	}
+	if rf.Straggler > 0 {
+		opts = append(opts, transport.WithStragglerTimeout(rf.Straggler))
+	}
+	if rateLimit > 0 {
+		adm, err := epoch.NewAdmission((&cli.EpochFlags{RateLimit: rateLimit}).AdmissionConfig(), reg)
+		if err != nil {
+			return transport.Config{}, err
+		}
+		opts = append(opts, transport.WithAdmission(adm.AdmitConn))
+	}
+	return transport.New(opts...)
 }
 
 func runDemo(params lppa.Params, cfg demoConfig, log *slog.Logger, reg *obs.Registry) error {
@@ -315,8 +330,12 @@ func runDemo(params lppa.Params, cfg demoConfig, log *slog.Logger, reg *obs.Regi
 	if cfg.tracer != nil {
 		ttpTracer = cfg.tracer.Named("ttp")
 	}
-	ttpSrv, err := transport.NewTTPServerWithConfig(params, []byte(cfg.secret), 5, 8, lnTTP,
-		transport.Config{Logger: log, Metrics: reg, Tracer: ttpTracer})
+	ttpCfg, err := transport.New(transport.WithLogger(log), transport.WithMetrics(reg),
+		transport.WithTrace(ttpTracer))
+	if err != nil {
+		return err
+	}
+	ttpSrv, err := transport.NewTTPServerWithConfig(params, []byte(cfg.secret), 5, 8, lnTTP, ttpCfg)
 	if err != nil {
 		return err
 	}
@@ -326,10 +345,11 @@ func runDemo(params lppa.Params, cfg demoConfig, log *slog.Logger, reg *obs.Regi
 	if err != nil {
 		return err
 	}
-	aucSrv, err := transport.NewAuctioneerServerWithConfig(params, n, ttpSrv.Addr().String(), lnAuc, cfg.seed,
-		transport.Config{Logger: log, Metrics: reg, SecondPrice: cfg.secondPrice,
-			Quorum: cfg.quorum, StragglerTimeout: cfg.straggler,
-			Tracer: cfg.tracer, FlightRecorder: cfg.flight})
+	aucCfg, err := auctioneerConfig(log, reg, cfg.secondPrice, cfg.flags, cfg.tracer, cfg.flight, 0)
+	if err != nil {
+		return err
+	}
+	aucSrv, err := transport.NewAuctioneerServerWithConfig(params, n, ttpSrv.Addr().String(), lnAuc, cfg.seed, aucCfg)
 	if err != nil {
 		return err
 	}
@@ -358,10 +378,8 @@ func runDemo(params lppa.Params, cfg demoConfig, log *slog.Logger, reg *obs.Regi
 		wg.Add(1)
 		go func(i int, pt lppa.Point, bids []uint64) {
 			defer wg.Done()
-			retry := transport.DefaultRetryPolicy
-			retry.MaxAttempts = cfg.retries
 			client := &lppa.BidderClient{ID: i, Params: params, Policy: lppa.DisguisePolicy{P0: cfg.p0, Decay: 0.95},
-				Retry: retry, Timeout: cfg.clientTimeout, Tracer: cfg.tracer}
+				Retry: cfg.flags.RetryPolicy(), Timeout: cfg.clientTimeout, Tracer: cfg.tracer}
 			if injector != nil && i < cfg.chaosBidders {
 				// Fault only the auctioneer leg: the key-ring fetch stays
 				// clean so every class exercises the submission path. The

@@ -34,6 +34,7 @@ import (
 	"strconv"
 	"strings"
 
+	"lppa/internal/cli"
 	"lppa/internal/dataset"
 	"lppa/internal/geo"
 	"lppa/internal/obs"
@@ -62,22 +63,22 @@ func run(args []string) error {
 		tiny       = fs.Bool("tiny", false, "20x20-cell, 12-channel dataset for CI smoke runs")
 		trials     = fs.Int("trials", 3, "independent trials per fig5ef cell (mean ± 95% CI)")
 		format     = fs.String("format", "text", "table output: text|csv")
-		workers    = fs.Int("workers", runtime.GOMAXPROCS(0), "goroutines for submission encoding and conflict graphs (1 = legacy serial driver)")
 		density    = fs.String("density", "", "bidder placement for the round experiment: urban|rural|mixed (default: uniform)")
-		indexed    = fs.Bool("indexed", false, "build conflict graphs from inverted-index candidates (bit-identical results, different cost profile)")
-		shards     = fs.Int("shards", 0, "tile-shard the private rounds into this many coarse tiles (0 = unsharded; bit-identical results, different cost profile)")
 		metricsOut = fs.String("metrics-out", "", "write a JSON metrics snapshot of the instrumented experiments (round, fig5ad, fig5ef) to this file; - for stdout")
 		traceOut   = fs.String("trace-out", "", "write a Chrome trace_event JSON of the instrumented experiments (round, fig5ad, fig5ef) to this file; view at ui.perfetto.dev")
 		auditOut   = fs.String("audit-out", "", "write the round experiment's privacy-leakage audit (per-bidder anonymity sets) as JSON to this file")
 		flightDir  = fs.String("flight-dir", "", "flight-recorder directory: failed or degraded instrumented rounds auto-dump their traces here")
 		pprofAddr  = fs.String("pprof-addr", "", "serve net/http/pprof on this address for live profiling")
 	)
+	// Round-shaping flags (-workers, -shards, -indexed, -quorum,
+	// -straggler) come from the shared cli block lppa-net registers too.
+	rf := cli.RoundFlags{Workers: runtime.GOMAXPROCS(0)}
+	rf.Register(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	effectiveWorkers := *workers
-	if effectiveWorkers < 1 {
-		effectiveWorkers = runtime.GOMAXPROCS(0)
+	if rf.Workers < 1 {
+		rf.Workers = runtime.GOMAXPROCS(0)
 	}
 	var mix *dataset.DensityMix
 	if *density != "" {
@@ -87,7 +88,7 @@ func run(args []string) error {
 		}
 		mix = &m
 	}
-	fmt.Fprintf(os.Stderr, "workers: %d (GOMAXPROCS %d)\n", effectiveWorkers, runtime.GOMAXPROCS(0))
+	fmt.Fprintf(os.Stderr, "workers: %d (GOMAXPROCS %d)\n", rf.Workers, runtime.GOMAXPROCS(0))
 	switch *format {
 	case "text":
 		render = func(t *sim.Table) error { return t.Render(os.Stdout) }
@@ -140,15 +141,15 @@ func run(args []string) error {
 		case "fig4c":
 			return runFig4C(ds, *victims, *seed)
 		case "fig5ad":
-			return runFig5AD(ds, *n, *channels, *seed, *quick, effectiveWorkers, *indexed, *shards, sinks)
+			return runFig5AD(ds, *n, *channels, *seed, *quick, rf, sinks)
 		case "fig5ef":
 			pops, err := parseInts(*bidders)
 			if err != nil {
 				return err
 			}
-			return runFig5EF(ds, pops, *channels, *seed, *trials, *quick, effectiveWorkers, *indexed, *shards, sinks)
+			return runFig5EF(ds, pops, *channels, *seed, *trials, *quick, rf, sinks)
 		case "round":
-			return runRound(ds, *n, *channels, *seed, effectiveWorkers, mix, *indexed, *shards, sinks)
+			return runRound(ds, *n, *channels, *seed, mix, rf, sinks)
 		case "multiround":
 			return runMultiRound(ds, *seed, *quick)
 		case "basicleak":
@@ -253,17 +254,12 @@ func writeMetrics(reg *obs.Registry, path string) error {
 // and prints its headline numbers; with -metrics-out the full per-phase and
 // per-layer profile lands in the snapshot, -trace-out records the phase
 // span tree, and -audit-out reports what the round's transcript leaked.
-func runRound(ds *dataset.Dataset, n, channels int, seed int64, workers int, mix *dataset.DensityMix, indexed bool, shards int, sinks obsSinks) error {
+func runRound(ds *dataset.Dataset, n, channels int, seed int64, mix *dataset.DensityMix, rf cli.RoundFlags, sinks obsSinks) error {
 	cfg := sim.DefaultFig5Config()
 	cfg.Bidders = n
 	cfg.Channels = channels
-	cfg.Workers = workers
 	cfg.Density = mix
-	cfg.Indexed = indexed
-	cfg.Shards = shards
-	cfg.Metrics = sinks.reg
-	cfg.Trace = sinks.tracer
-	cfg.Flight = sinks.flight
+	applyRoundFlags(&cfg, rf, sinks)
 	placement := "uniform"
 	if mix != nil {
 		placement = mix.Name
@@ -274,7 +270,7 @@ func runRound(ds *dataset.Dataset, n, channels int, seed int64, workers int, mix
 		return err
 	}
 	fmt.Printf("## Instrumented private round (Area 3, N=%d, k=%d, workers=%d, density=%s, indexed=%t, shards=%d)\n\n",
-		n, min(channels, ds.Areas[2].NumChannels()), workers, placement, indexed, shards)
+		n, min(channels, ds.Areas[2].NumChannels()), rf.Workers, placement, rf.Indexed, rf.Shards)
 	fmt.Printf("awards: %d, revenue: %d, satisfaction: %.3f, voided: %d, submission bytes: %d\n",
 		len(res.Outcome.Assignments), res.Outcome.Revenue, res.Outcome.Satisfaction(), res.Voided, res.SubmissionBytes)
 	if sinks.auditOut == "" {
@@ -290,6 +286,19 @@ func runRound(ds *dataset.Dataset, n, channels int, seed int64, workers int, mix
 	fmt.Fprint(os.Stderr, rep.Summary())
 	fmt.Fprintf(os.Stderr, "audit written to %s\n", sinks.auditOut)
 	return nil
+}
+
+// applyRoundFlags folds the shared round-shaping flags and observability
+// sinks into one experiment config.
+func applyRoundFlags(cfg *sim.Fig5Config, rf cli.RoundFlags, sinks obsSinks) {
+	cfg.Workers = rf.Workers
+	cfg.Indexed = rf.Indexed
+	cfg.Shards = rf.Shards
+	cfg.Quorum = rf.Quorum
+	cfg.Straggler = rf.Straggler
+	cfg.Metrics = sinks.reg
+	cfg.Trace = sinks.tracer
+	cfg.Flight = sinks.flight
 }
 
 func min(a, b int) int {
@@ -349,16 +358,11 @@ func runFig4C(ds *dataset.Dataset, victims int, seed int64) error {
 	return render(sim.Fig4CTable(points))
 }
 
-func runFig5AD(ds *dataset.Dataset, n, channels int, seed int64, quick bool, workers int, indexed bool, shards int, sinks obsSinks) error {
+func runFig5AD(ds *dataset.Dataset, n, channels int, seed int64, quick bool, rf cli.RoundFlags, sinks obsSinks) error {
 	cfg := sim.DefaultFig5Config()
 	cfg.Bidders = n
 	cfg.Channels = channels
-	cfg.Workers = workers
-	cfg.Indexed = indexed
-	cfg.Shards = shards
-	cfg.Metrics = sinks.reg
-	cfg.Trace = sinks.tracer
-	cfg.Flight = sinks.flight
+	applyRoundFlags(&cfg, rf, sinks)
 	if quick {
 		cfg.Bidders = 25
 		cfg.Channels = 30
@@ -372,16 +376,11 @@ func runFig5AD(ds *dataset.Dataset, n, channels int, seed int64, quick bool, wor
 	return render(sim.Fig5ADTable(points, baseline))
 }
 
-func runFig5EF(ds *dataset.Dataset, pops []int, channels int, seed int64, trials int, quick bool, workers int, indexed bool, shards int, sinks obsSinks) error {
+func runFig5EF(ds *dataset.Dataset, pops []int, channels int, seed int64, trials int, quick bool, rf cli.RoundFlags, sinks obsSinks) error {
 	cfg := sim.DefaultFig5Config()
 	cfg.Channels = channels
 	cfg.Trials = trials
-	cfg.Workers = workers
-	cfg.Indexed = indexed
-	cfg.Shards = shards
-	cfg.Metrics = sinks.reg
-	cfg.Trace = sinks.tracer
-	cfg.Flight = sinks.flight
+	applyRoundFlags(&cfg, rf, sinks)
 	if quick {
 		cfg.Trials = 1
 		cfg.Channels = 30

@@ -45,8 +45,8 @@ func Example_privateRound() {
 	// Three bidders: two clustered (conflicting), one far away.
 	points := []lppa.Point{{X: 10, Y: 10}, {X: 11, Y: 10}, {X: 40, Y: 40}}
 	bids := [][]uint64{{80, 10}, {60, 70}, {50, 90}}
-	res, err := lppa.RunPrivate(params, ring, points, bids,
-		lppa.DisguisePolicy{P0: 1}, rand.New(rand.NewSource(7)))
+	res, err := lppa.Run(params, ring, lppa.RoundInput{Points: points, Bids: bids,
+		Policy: lppa.DisguisePolicy{P0: 1}, Rng: rand.New(rand.NewSource(7))})
 	if err != nil {
 		panic(err)
 	}

@@ -76,8 +76,8 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	res, err := lppa.RunPrivate(sc.Params, ring, lppa.Points(pop), pop.Bids,
-		lppa.DisguisePolicy{P0: 0.5, Decay: 0.95}, rng)
+	res, err := lppa.Run(sc.Params, ring, lppa.RoundInput{Points: lppa.Points(pop), Bids: pop.Bids,
+		Policy: lppa.DisguisePolicy{P0: 0.5, Decay: 0.95}, Rng: rng})
 	if err != nil {
 		return err
 	}

@@ -55,7 +55,7 @@ func run() error {
 
 	// The private round: bidders disguise 30 % of their zero bids.
 	policy := lppa.DisguisePolicy{P0: 0.7, Decay: 0.95}
-	res, err := lppa.RunPrivate(sc.Params, ring, lppa.Points(pop), pop.Bids, policy, rng)
+	res, err := lppa.Run(sc.Params, ring, lppa.RoundInput{Points: lppa.Points(pop), Bids: pop.Bids, Policy: policy, Rng: rng})
 	if err != nil {
 		return err
 	}

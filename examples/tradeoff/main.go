@@ -55,8 +55,8 @@ func run() error {
 		if err != nil {
 			return err
 		}
-		res, err := lppa.RunPrivate(sc.Params, ring, lppa.Points(pop), pop.Bids,
-			lppa.DisguisePolicy{P0: 1 - zr, Decay: 0.95}, rand.New(rand.NewSource(int64(100*zr)+5)))
+		res, err := lppa.Run(sc.Params, ring, lppa.RoundInput{Points: lppa.Points(pop), Bids: pop.Bids,
+			Policy: lppa.DisguisePolicy{P0: 1 - zr, Decay: 0.95}, Rng: rand.New(rand.NewSource(int64(100*zr) + 5))})
 		if err != nil {
 			return err
 		}

@@ -1,0 +1,154 @@
+// Package cli holds the flag blocks shared by the lppa commands, so
+// lppa-net and lppa-sim expose the round-shaping knobs under one set of
+// names, defaults, and help strings instead of drifting copies.
+package cli
+
+import (
+	"flag"
+	"fmt"
+	"time"
+
+	"lppa/internal/epoch"
+	"lppa/internal/faults"
+	"lppa/internal/round"
+	"lppa/internal/transport"
+)
+
+// RoundFlags binds the round-shaping flags both commands understand. The
+// struct's field values at Register time are the flag defaults, so each
+// command seeds its own defaults (lppa-sim registers Workers at
+// GOMAXPROCS, lppa-net leaves it serial) before registering.
+type RoundFlags struct {
+	// Allocation shape: how one round computes, never what it computes.
+	Workers int
+	Shards  int
+	Indexed bool
+	// Degraded-round policy: quorum rounds proceed without stragglers.
+	Quorum    int
+	Straggler time.Duration
+	// Client-side hardening knobs (RegisterClient).
+	Retries   int
+	Chaos     string
+	ChaosRate float64
+}
+
+// Register binds the allocation and degraded-round flags (-workers,
+// -shards, -indexed, -quorum, -straggler) onto fs, using the current
+// field values as defaults.
+func (f *RoundFlags) Register(fs *flag.FlagSet) {
+	fs.IntVar(&f.Workers, "workers", f.Workers,
+		"goroutines for submission decode and conflict graphs; <2 = serial driver")
+	fs.IntVar(&f.Shards, "shards", f.Shards,
+		"tile-shard the private rounds into this many coarse tiles (0 = unsharded; bit-identical results, different cost profile)")
+	fs.BoolVar(&f.Indexed, "indexed", f.Indexed,
+		"build conflict graphs from inverted-index candidates (bit-identical results, different cost profile)")
+	fs.IntVar(&f.Quorum, "quorum", f.Quorum,
+		"minimum submissions for a degraded round when -straggler fires; 0 requires all bidders")
+	fs.DurationVar(&f.Straggler, "straggler", f.Straggler,
+		"collection deadline; stragglers past it are excluded down to -quorum, 0 waits forever")
+}
+
+// RegisterClient binds the client-side hardening flags (-retries, -chaos,
+// -chaos-rate) onto fs. Separate from Register because the in-process
+// simulator has no client leg to harden.
+func (f *RoundFlags) RegisterClient(fs *flag.FlagSet) {
+	if f.Retries == 0 {
+		f.Retries = transport.DefaultRetryPolicy.MaxAttempts
+	}
+	if f.ChaosRate == 0 {
+		f.ChaosRate = 0.5
+	}
+	fs.IntVar(&f.Retries, "retries", f.Retries,
+		"bidder submission attempts before giving up")
+	fs.StringVar(&f.Chaos, "chaos", f.Chaos,
+		"chaos soak: inject this fault class (drop|dup|corrupt|truncate|slowloris|crash)")
+	fs.Float64Var(&f.ChaosRate, "chaos-rate", f.ChaosRate,
+		"per-frame fault probability for the probabilistic chaos classes")
+}
+
+// RoundOptions maps the parsed allocation and degraded-round flags onto
+// round.Run options. Invalid combinations (straggler on the serial
+// pipeline, quorum below 1) are left for round.Run to reject with its own
+// message, so the CLI and library agree on what is legal.
+func (f *RoundFlags) RoundOptions() []round.Option {
+	var opts []round.Option
+	if f.Workers > 1 {
+		opts = append(opts, round.WithWorkers(f.Workers))
+	}
+	if f.Indexed {
+		opts = append(opts, round.WithIndexedCandidates())
+	}
+	if f.Shards > 0 {
+		opts = append(opts, round.WithShards(f.Shards))
+	}
+	if f.Quorum > 0 {
+		opts = append(opts, round.WithQuorum(f.Quorum))
+	}
+	if f.Straggler > 0 {
+		opts = append(opts, round.WithStragglerTimeout(f.Straggler))
+	}
+	return opts
+}
+
+// RetryPolicy is the default client retry policy with -retries applied.
+func (f *RoundFlags) RetryPolicy() transport.RetryPolicy {
+	p := transport.DefaultRetryPolicy
+	if f.Retries > 0 {
+		p.MaxAttempts = f.Retries
+	}
+	return p
+}
+
+// ChaosConfig maps the -chaos class onto a fault config at the -chaos-rate
+// per-frame probability. Empty class disables injection (nil config).
+func (f *RoundFlags) ChaosConfig() (*faults.Config, error) {
+	switch f.Chaos {
+	case "":
+		return nil, nil
+	case "drop":
+		return &faults.Config{DropFrame: f.ChaosRate}, nil
+	case "dup":
+		return &faults.Config{DupFrame: f.ChaosRate}, nil
+	case "corrupt":
+		return &faults.Config{CorruptFrame: f.ChaosRate}, nil
+	case "truncate":
+		return &faults.Config{TruncateFrame: f.ChaosRate}, nil
+	case "slowloris":
+		return &faults.Config{SlowChunk: 256, SlowPause: 100 * time.Millisecond}, nil
+	case "crash":
+		return &faults.Config{CloseAfterFrames: 1}, nil
+	default:
+		return nil, fmt.Errorf("unknown chaos class %q", f.Chaos)
+	}
+}
+
+// EpochFlags binds the epochal-service flags lppa-net exposes.
+type EpochFlags struct {
+	Epochs    int
+	Interval  time.Duration
+	RateLimit float64
+}
+
+// Register binds -epochs, -epoch-interval, and -rate-limit onto fs.
+func (f *EpochFlags) Register(fs *flag.FlagSet) {
+	fs.IntVar(&f.Epochs, "epochs", f.Epochs,
+		"run this many back-to-back auction epochs through the epochal service (0 = single classic round)")
+	fs.DurationVar(&f.Interval, "epoch-interval", f.Interval,
+		"auto-seal the collecting epoch on this cadence; 0 seals explicitly per epoch")
+	fs.Float64Var(&f.RateLimit, "rate-limit", f.RateLimit,
+		"admission-control token rate (submissions/sec, burst = one second of rate); 0 admits everything")
+}
+
+// AdmissionConfig maps -rate-limit onto the epoch gate: the rate is the
+// sustained budget and the burst one second of it (at least one token so a
+// tiny rate still admits something).
+func (f *EpochFlags) AdmissionConfig() epoch.AdmissionConfig {
+	if f.RateLimit <= 0 {
+		return epoch.AdmissionConfig{}
+	}
+	burst := f.RateLimit
+	if burst < 1 {
+		burst = 1
+	}
+	return epoch.AdmissionConfig{Rate: f.RateLimit, Burst: burst}
+}

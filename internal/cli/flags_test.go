@@ -1,0 +1,114 @@
+package cli
+
+import (
+	"flag"
+	"io"
+	"testing"
+	"time"
+
+	"lppa/internal/epoch"
+	"lppa/internal/transport"
+)
+
+func parse(t *testing.T, reg func(*flag.FlagSet), args ...string) {
+	t.Helper()
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	fs.SetOutput(io.Discard)
+	reg(fs)
+	if err := fs.Parse(args); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRoundFlagsDefaultsAreFieldValues(t *testing.T) {
+	f := RoundFlags{Workers: 8, Shards: 4}
+	parse(t, f.Register)
+	if f.Workers != 8 || f.Shards != 4 || f.Indexed || f.Quorum != 0 {
+		t.Errorf("defaults not preserved: %+v", f)
+	}
+}
+
+func TestRoundFlagsParseAndOptions(t *testing.T) {
+	var f RoundFlags
+	parse(t, f.Register,
+		"-workers", "4", "-shards", "3", "-indexed",
+		"-quorum", "2", "-straggler", "5s")
+	if f.Workers != 4 || f.Shards != 3 || !f.Indexed || f.Quorum != 2 || f.Straggler != 5*time.Second {
+		t.Fatalf("parsed flags: %+v", f)
+	}
+	// Every set knob contributes exactly one round option.
+	if got := len(f.RoundOptions()); got != 5 {
+		t.Errorf("RoundOptions() = %d options, want 5", got)
+	}
+	if got := len((&RoundFlags{}).RoundOptions()); got != 0 {
+		t.Errorf("zero flags = %d options, want 0", got)
+	}
+}
+
+func TestRoundFlagsRetryPolicy(t *testing.T) {
+	var f RoundFlags
+	parse(t, f.RegisterClient, "-retries", "7")
+	if p := f.RetryPolicy(); p.MaxAttempts != 7 || p.BaseDelay != transport.DefaultRetryPolicy.BaseDelay {
+		t.Errorf("retry policy = %+v", p)
+	}
+	// Unset retries keeps the transport default.
+	var g RoundFlags
+	parse(t, g.RegisterClient)
+	if p := g.RetryPolicy(); p != transport.DefaultRetryPolicy {
+		t.Errorf("default retry policy = %+v", p)
+	}
+}
+
+func TestRoundFlagsChaosConfig(t *testing.T) {
+	var f RoundFlags
+	parse(t, f.RegisterClient, "-chaos", "drop", "-chaos-rate", "0.25")
+	cfg, err := f.ChaosConfig()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg == nil || cfg.DropFrame != 0.25 {
+		t.Errorf("chaos config = %+v", cfg)
+	}
+
+	var quiet RoundFlags
+	parse(t, quiet.RegisterClient)
+	if cfg, err := quiet.ChaosConfig(); err != nil || cfg != nil {
+		t.Errorf("no -chaos: cfg=%+v err=%v, want nil/nil", cfg, err)
+	}
+
+	bad := RoundFlags{Chaos: "meteor"}
+	if _, err := bad.ChaosConfig(); err == nil {
+		t.Error("unknown chaos class accepted")
+	}
+
+	for _, class := range []string{"drop", "dup", "corrupt", "truncate", "slowloris", "crash"} {
+		f := RoundFlags{Chaos: class, ChaosRate: 0.5}
+		if cfg, err := f.ChaosConfig(); err != nil || cfg == nil {
+			t.Errorf("class %q: cfg=%v err=%v", class, cfg, err)
+		}
+	}
+}
+
+func TestEpochFlags(t *testing.T) {
+	var f EpochFlags
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	fs.SetOutput(io.Discard)
+	f.Register(fs)
+	if err := fs.Parse([]string{"-epochs", "5", "-epoch-interval", "20ms", "-rate-limit", "200"}); err != nil {
+		t.Fatal(err)
+	}
+	if f.Epochs != 5 || f.Interval != 20*time.Millisecond || f.RateLimit != 200 {
+		t.Fatalf("parsed epoch flags: %+v", f)
+	}
+	ac := f.AdmissionConfig()
+	if ac.Rate != 200 || ac.Burst != 200 {
+		t.Errorf("admission config = %+v", ac)
+	}
+	// Tiny rates still get a usable burst; zero disables the gate.
+	if ac := (&EpochFlags{RateLimit: 0.1}).AdmissionConfig(); ac.Burst != 1 {
+		t.Errorf("tiny-rate burst = %v, want 1", ac.Burst)
+	}
+	if ac := (&EpochFlags{}).AdmissionConfig(); ac != (epoch.AdmissionConfig{}) {
+		t.Errorf("zero rate-limit config = %+v", ac)
+	}
+}

@@ -89,6 +89,45 @@ func NewAuctioneer(params Params, locs []*LocationSubmission, bids []*BidSubmiss
 // N reports the number of bidders.
 func (a *Auctioneer) N() int { return len(a.bids) }
 
+// Reset re-arms the auctioneer for a new population under the same
+// params: the submissions are swapped and every lazily built,
+// population-specific cache (conflict graph, interned views, candidate
+// index, shard state, rank memos, comparison tallies) is dropped. The
+// tuning knobs — workers, interning, indexed candidates, observer — also
+// return to their post-NewAuctioneer defaults, so the next round
+// re-applies exactly the options it was asked for instead of inheriting
+// a previous epoch's. This is the epochal service's reuse path
+// (internal/epoch): one auctioneer per service lifetime instead of one
+// per round.
+func (a *Auctioneer) Reset(locs []*LocationSubmission, bids []*BidSubmission) error {
+	if len(locs) != len(bids) {
+		return fmt.Errorf("core: %d location submissions vs %d bid submissions", len(locs), len(bids))
+	}
+	if len(locs) == 0 {
+		return fmt.Errorf("core: no bidders")
+	}
+	for i, b := range bids {
+		if len(b.Channels) != a.params.Channels {
+			return fmt.Errorf("core: bidder %d submitted %d channel bids, want %d",
+				i, len(b.Channels), a.params.Channels)
+		}
+	}
+	a.locs, a.bids = locs, bids
+	a.graph = nil
+	a.workers = 0
+	a.noIntern = false
+	a.indexed = false
+	a.iloc = nil
+	a.locIndex = nil
+	a.plan = nil
+	a.shardIx = nil
+	a.rank = nil
+	a.rankOrder = nil
+	a.colCalls = nil
+	a.ob = nil
+	return nil
+}
+
 // SetWorkers bounds the goroutines used for conflict-graph construction.
 // w ≤ 1 keeps the build serial. The graph is bit-for-bit identical for
 // every worker count, so this knob never changes auction results.

@@ -1,0 +1,14 @@
+// Package epoch promotes the one-shot private auction round into a
+// long-lived service: back-to-back epochs whose submission intake for
+// epoch N+1 streams in while epoch N allocates, per-bidder token-bucket
+// admission control at the ingest path, and VSA-style thresholded/batched
+// accounting counters so billing and quota state do not become a
+// datastore write per submission at scale.
+//
+// The contract that makes the service trustworthy is determinism: each
+// epoch's allocation is bit-identical to an equivalent one-shot
+// round.Run over the same admitted submissions with the epoch's derived
+// seed (EpochSeed). Admission, pipelining, and accounting change who is
+// in an epoch and what the service costs to run — never what an epoch's
+// population is awarded. DESIGN.md §5h covers the architecture.
+package epoch

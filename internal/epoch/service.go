@@ -1,0 +1,344 @@
+package epoch
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+	"time"
+
+	"lppa/internal/core"
+	"lppa/internal/geo"
+	"lppa/internal/mask"
+	"lppa/internal/obs"
+	"lppa/internal/round"
+)
+
+// ErrClosed reports a Submit or Seal against a closed service.
+var ErrClosed = errors.New("epoch: service closed")
+
+// EpochSeed derives the rng seed of one epoch from the service seed:
+// splitmix64 over the epoch counter, so consecutive epochs get
+// decorrelated streams while any epoch's full round stays reproducible
+// from (seed, epoch) alone. Exported because the equivalence contract
+// depends on it — a one-shot round.Run with rand.NewSource(EpochSeed(s,
+// e)) over epoch e's admitted set must reproduce the service bit-exactly.
+func EpochSeed(seed int64, epoch int) int64 {
+	x := uint64(seed) + (uint64(epoch)+1)*0x9E3779B97F4A7C15
+	x ^= x >> 30
+	x *= 0xBF58476D1CE4E5B9
+	x ^= x >> 27
+	x *= 0x94D049BB133111EB
+	x ^= x >> 31
+	return int64(x)
+}
+
+// Submission is one bidder's entry for the epoch currently collecting.
+// Resubmitting before the epoch seals replaces the previous entry —
+// latest wins, matching the transport's nonce-idempotent resubmission.
+type Submission struct {
+	// Bidder is the stable external bidder identity (non-negative).
+	Bidder int
+	// Point is the bidder's true location; Bids its per-channel bids.
+	Point geo.Point
+	Bids  []uint64
+}
+
+// Config assembles a Service.
+type Config struct {
+	// Params and Ring are the fixed protocol agreement every epoch runs
+	// under; Seed roots the per-epoch rng derivation (EpochSeed).
+	Params core.Params
+	Ring   *mask.KeyRing
+	Seed   int64
+	// Policy is every bidder's disguise policy (per-bidder policies can be
+	// injected through RoundOptions' WithPolicies if a caller needs them).
+	Policy core.DisguisePolicy
+	// Admission shapes the ingest gate; the zero value admits everything.
+	Admission AdmissionConfig
+	// Billing and Quota are the optional batched ledgers: Quota is debited
+	// one unit per admitted submission, Billing the charged price per
+	// winner at epoch close. Both flush on epoch close.
+	Billing *Accountant
+	Quota   *Accountant
+	// Interval, when positive, seals the collecting epoch on a wall-clock
+	// cadence. Zero leaves sealing to explicit Seal calls (tests, CLI).
+	Interval time.Duration
+	// RoundOptions compose into every epoch's round.Run — WithWorkers,
+	// WithShards, WithIndexedCandidates, WithTrace, WithObserver, and the
+	// rest all apply per epoch exactly as in a one-shot round.
+	RoundOptions []round.Option
+	// Registry, when non-nil, receives the service counters
+	// (lppa_epochs_total, lppa_epoch_bidders_total, admission and
+	// accounting series).
+	Registry *obs.Registry
+}
+
+// batch is one sealed epoch's population, in sorted-bidder order.
+type batch struct {
+	epoch   int
+	bidders []int
+	pts     []geo.Point
+	bids    [][]uint64
+}
+
+// EpochResult reports one finished epoch. Assignment bidder indices in
+// Result are compact (0..n−1, the round's view); Bidders maps them back
+// to external bidder identities: external = Bidders[compact].
+type EpochResult struct {
+	Epoch   int
+	Bidders []int
+	Result  *round.Result
+	Err     error
+}
+
+// Service is the long-lived epochal auctioneer: submissions stream into
+// the collecting epoch through the admission gate while the previous
+// sealed epoch allocates on the runner goroutine — Seal hands a
+// population across a one-deep queue, so intake for epoch N+1 overlaps
+// allocation of epoch N and sealing N+2 blocks (backpressure) until the
+// runner frees up. Allocation reuses one auctioneer and shard planner
+// across epochs (round.WithEpochState); the determinism contract is in
+// the package comment and pinned by TestEpochEquivalence.
+type Service struct {
+	cfg   Config
+	adm   *Admission
+	state *round.EpochState
+
+	mu     sync.Mutex
+	intake map[int]Submission
+	epoch  int // number the collecting epoch will seal as
+	closed bool
+
+	sealMu    sync.Mutex // serializes Seal's queue sends in epoch order
+	closeOnce sync.Once
+	queue     chan batch
+	results   chan *EpochResult
+	done      chan struct{}
+
+	tickStop chan struct{}
+	tickDone chan struct{}
+
+	epochs  *obs.Counter
+	bidders *obs.Counter
+}
+
+// New validates the config and starts the runner (and, with a positive
+// Interval, the sealing ticker). Callers must drain Results and Close the
+// service when done.
+func New(cfg Config) (*Service, error) {
+	if err := cfg.Params.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.Ring == nil {
+		return nil, fmt.Errorf("epoch: nil key ring")
+	}
+	adm, err := NewAdmission(cfg.Admission, cfg.Registry)
+	if err != nil {
+		return nil, err
+	}
+	s := &Service{
+		cfg:     cfg,
+		adm:     adm,
+		state:   round.NewEpochState(),
+		intake:  make(map[int]Submission),
+		queue:   make(chan batch, 1),
+		results: make(chan *EpochResult, 16),
+		done:    make(chan struct{}),
+	}
+	if cfg.Registry != nil {
+		s.epochs = cfg.Registry.Counter("lppa_epochs_total")
+		s.bidders = cfg.Registry.Counter("lppa_epoch_bidders_total")
+	}
+	go s.run()
+	if cfg.Interval > 0 {
+		s.tickStop = make(chan struct{})
+		s.tickDone = make(chan struct{})
+		go s.tick(cfg.Interval)
+	}
+	return s, nil
+}
+
+// Admission exposes the ingest gate (for wiring transport.WithAdmission
+// and for reading the admitted/rejected counters).
+func (s *Service) Admission() *Admission { return s.adm }
+
+// Results delivers finished epochs in seal order. The channel closes
+// after Close has drained the runner; slow consumers eventually block
+// the runner (the channel is buffered, not unbounded).
+func (s *Service) Results() <-chan *EpochResult { return s.results }
+
+// Submit offers one submission to the collecting epoch at wall time.
+func (s *Service) Submit(sub Submission) error {
+	return s.SubmitAt(sub, s.adm.now())
+}
+
+// SubmitAt is Submit on an explicit admission clock (seconds) — the
+// deterministic path: a seeded arrival process replayed through SubmitAt
+// yields an identical admit/reject sequence and identical epochs.
+func (s *Service) SubmitAt(sub Submission, now float64) error {
+	if sub.Bidder < 0 {
+		return fmt.Errorf("epoch: negative bidder id %d", sub.Bidder)
+	}
+	if len(sub.Bids) != s.cfg.Params.Channels {
+		// Reject malformed entries here, where they cost one bidder a
+		// retry, instead of poisoning the sealed epoch's round.Run.
+		return fmt.Errorf("epoch: bidder %d submitted %d channel bids, want %d",
+			sub.Bidder, len(sub.Bids), s.cfg.Params.Channels)
+	}
+	if ok, retry := s.adm.AdmitBidderAt(sub.Bidder, now); !ok {
+		return &ErrRateLimited{RetryAfter: retry}
+	}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return ErrClosed
+	}
+	s.intake[sub.Bidder] = sub
+	s.mu.Unlock()
+	if s.cfg.Quota != nil {
+		return s.cfg.Quota.Add(sub.Bidder, 1)
+	}
+	return nil
+}
+
+// Seal closes the collecting epoch and queues it for allocation,
+// blocking while both the runner and the one-deep queue are busy — that
+// blocking is the pipeline's backpressure. An empty intake is a no-op
+// (the epoch number is not consumed). Safe to call concurrently with
+// Submit; concurrent Seals are serialized.
+func (s *Service) Seal() error {
+	s.sealMu.Lock()
+	defer s.sealMu.Unlock()
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return ErrClosed
+	}
+	b, ok := s.takeIntake()
+	s.mu.Unlock()
+	if !ok {
+		return nil
+	}
+	s.queue <- b
+	return nil
+}
+
+// takeIntake drains the collecting epoch into a sorted batch; callers
+// hold s.mu. Sorting by external bidder id fixes the compact index order,
+// which keeps the epoch a pure function of the admitted set.
+func (s *Service) takeIntake() (batch, bool) {
+	if len(s.intake) == 0 {
+		return batch{}, false
+	}
+	ids := make([]int, 0, len(s.intake))
+	for id := range s.intake {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	b := batch{epoch: s.epoch, bidders: ids,
+		pts:  make([]geo.Point, len(ids)),
+		bids: make([][]uint64, len(ids))}
+	for i, id := range ids {
+		sub := s.intake[id]
+		b.pts[i] = sub.Point
+		b.bids[i] = sub.Bids
+	}
+	s.intake = make(map[int]Submission)
+	s.epoch++
+	return b, true
+}
+
+// tick seals on the configured cadence until Close.
+func (s *Service) tick(every time.Duration) {
+	defer close(s.tickDone)
+	t := time.NewTicker(every)
+	defer t.Stop()
+	for {
+		select {
+		case <-t.C:
+			if err := s.Seal(); errors.Is(err, ErrClosed) {
+				return
+			}
+		case <-s.tickStop:
+			return
+		}
+	}
+}
+
+// run is the allocation goroutine: one sealed epoch at a time, results
+// in seal order.
+func (s *Service) run() {
+	defer close(s.done)
+	defer close(s.results)
+	for b := range s.queue {
+		s.results <- s.runEpoch(b)
+	}
+}
+
+// runEpoch executes one sealed epoch: derived rng, the caller's round
+// options plus the reuse state, winner billing, and the epoch-close
+// accounting flush.
+func (s *Service) runEpoch(b batch) *EpochResult {
+	rng := rand.New(rand.NewSource(EpochSeed(s.cfg.Seed, b.epoch)))
+	opts := make([]round.Option, 0, len(s.cfg.RoundOptions)+1)
+	opts = append(opts, s.cfg.RoundOptions...)
+	opts = append(opts, round.WithEpochState(s.state))
+	res, err := round.Run(s.cfg.Params, s.cfg.Ring, round.Input{
+		Points: b.pts,
+		Bids:   b.bids,
+		Policy: s.cfg.Policy,
+		Rng:    rng,
+	}, opts...)
+	er := &EpochResult{Epoch: b.epoch, Bidders: b.bidders, Result: res, Err: err}
+	if s.epochs != nil {
+		s.epochs.Inc()
+		s.bidders.Add(uint64(len(b.bidders)))
+	}
+	if err == nil && s.cfg.Billing != nil {
+		for i, as := range res.Outcome.Assignments {
+			// Charges[i] parallels Assignments[i]; a voided award carries a
+			// zero charge and bills nothing. The assignment's bidder index is
+			// compact — map it back to the external identity for the ledger.
+			if c := res.Outcome.Charges[i]; c > 0 {
+				if berr := s.cfg.Billing.Add(b.bidders[as.Bidder], c); berr != nil && er.Err == nil {
+					er.Err = berr
+				}
+			}
+		}
+	}
+	// Epoch close is an accounting barrier: whatever the thresholds left
+	// pending persists now, so ledger totals are exact at every epoch edge.
+	if ferr := (&Accounting{Billing: s.cfg.Billing, Quota: s.cfg.Quota}).Flush(); ferr != nil && er.Err == nil {
+		er.Err = ferr
+	}
+	return er
+}
+
+// Close seals any residual intake, stops the ticker and runner, and
+// closes Results after the final epoch is delivered. Idempotent; callers
+// must keep draining Results until it closes, or Close blocks behind the
+// runner's buffered sends.
+func (s *Service) Close() error {
+	s.closeOnce.Do(func() {
+		if s.tickStop != nil {
+			close(s.tickStop)
+			<-s.tickDone
+		}
+		// Final seal before flipping closed, so in-flight submissions either
+		// land in this last epoch or see ErrClosed — never silently vanish.
+		s.sealMu.Lock()
+		s.mu.Lock()
+		s.closed = true
+		b, ok := s.takeIntake()
+		s.mu.Unlock()
+		if ok {
+			s.queue <- b
+		}
+		close(s.queue)
+		s.sealMu.Unlock()
+	})
+	<-s.done
+	return nil
+}

@@ -1,0 +1,409 @@
+package epoch
+
+import (
+	"errors"
+	"math/rand"
+	"reflect"
+	"testing"
+	"time"
+
+	"lppa/internal/core"
+	"lppa/internal/geo"
+	"lppa/internal/mask"
+	"lppa/internal/obs"
+	"lppa/internal/round"
+)
+
+func epochFixture(t *testing.T) (core.Params, *mask.KeyRing) {
+	t.Helper()
+	p := core.Params{Channels: 6, Lambda: 2, MaxX: 99, MaxY: 99, BMax: 100}
+	ring, err := mask.DeriveKeyRing([]byte("epoch-service"), p.Channels, 5, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p, ring
+}
+
+// population builds n submissions with distinct external bidder ids
+// (ascending with i, so the service's sorted batch order is i order).
+func population(p core.Params, n int, seed int64) []Submission {
+	rng := rand.New(rand.NewSource(seed))
+	subs := make([]Submission, n)
+	for i := range subs {
+		bids := make([]uint64, p.Channels)
+		for r := range bids {
+			if rng.Intn(4) > 0 {
+				bids[r] = uint64(rng.Intn(int(p.BMax))) + 1
+			}
+		}
+		subs[i] = Submission{
+			Bidder: 500 + 3*i,
+			Point:  geo.Point{X: uint64(rng.Intn(100)), Y: uint64(rng.Intn(100))},
+			Bids:   bids,
+		}
+	}
+	return subs
+}
+
+// submitAll offers a population in shuffled order — the sealed batch
+// must come out in sorted-bidder order regardless.
+func submitAll(t *testing.T, s *Service, subs []Submission, shuffleSeed int64) {
+	t.Helper()
+	order := rand.New(rand.NewSource(shuffleSeed)).Perm(len(subs))
+	for _, i := range order {
+		if err := s.Submit(subs[i]); err != nil {
+			t.Fatalf("submit bidder %d: %v", subs[i].Bidder, err)
+		}
+	}
+}
+
+// drain collects every result until the channel closes.
+func drain(t *testing.T, s *Service) []*EpochResult {
+	t.Helper()
+	var out []*EpochResult
+	for r := range s.Results() {
+		if r.Err != nil {
+			t.Fatalf("epoch %d failed: %v", r.Epoch, r.Err)
+		}
+		out = append(out, r)
+	}
+	return out
+}
+
+// sameOutcome compares everything a round Result exposes except the
+// Auctioneer pointer (reused by the service, fresh in the one-shot).
+func sameOutcome(t *testing.T, tag string, got, want *round.Result) {
+	t.Helper()
+	if !reflect.DeepEqual(got.Outcome, want.Outcome) {
+		t.Errorf("%s: outcomes differ\n service=%+v\n one-shot=%+v", tag, got.Outcome, want.Outcome)
+	}
+	if got.Voided != want.Voided || got.Violations != want.Violations ||
+		got.SubmissionBytes != want.SubmissionBytes || !reflect.DeepEqual(got.Excluded, want.Excluded) {
+		t.Errorf("%s: voided/violations/bytes/excluded differ", tag)
+	}
+}
+
+// TestEpochEquivalence is the tentpole contract: every epoch the service
+// runs is bit-identical to a one-shot round.Run over the same admitted
+// set with the epoch's derived seed — across the shards × workers ×
+// indexed grid, with back-to-back epochs of different populations so the
+// auctioneer-reuse path (core Reset, shard-planner memo) is what's under
+// test, not a fresh construction.
+func TestEpochEquivalence(t *testing.T) {
+	p, ring := epochFixture(t)
+	const seed = 77
+	grid := []struct {
+		tag  string
+		opts []round.Option
+	}{
+		{"serial", nil},
+		{"workers4", []round.Option{round.WithWorkers(4)}},
+		{"shards4", []round.Option{round.WithWorkers(2), round.WithShards(4)}},
+		{"indexed", []round.Option{round.WithWorkers(4), round.WithIndexedCandidates()}},
+		{"shards4-indexed", []round.Option{round.WithShards(4), round.WithIndexedCandidates()}},
+		{"second-price", []round.Option{round.WithSecondPrice()}},
+	}
+	pol := core.DisguisePolicy{P0: 0.6, Decay: 0.95}
+	for _, tc := range grid {
+		s, err := New(Config{
+			Params: p, Ring: ring, Seed: seed, Policy: pol,
+			RoundOptions: tc.opts, Registry: obs.NewRegistry(),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		pops := [][]Submission{
+			population(p, 30, 11),
+			population(p, 45, 12), // different size: Reset must rescale
+			population(p, 30, 13),
+		}
+		for e, pop := range pops {
+			submitAll(t, s, pop, int64(100+e))
+			if err := s.Seal(); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := s.Close(); err != nil {
+			t.Fatal(err)
+		}
+		results := drain(t, s)
+		if len(results) != len(pops) {
+			t.Fatalf("%s: %d results for %d sealed epochs", tc.tag, len(results), len(pops))
+		}
+		for e, res := range results {
+			if res.Epoch != e {
+				t.Fatalf("%s: result %d labelled epoch %d", tc.tag, e, res.Epoch)
+			}
+			pop := pops[e]
+			wantIDs := make([]int, len(pop))
+			pts := make([]geo.Point, len(pop))
+			bids := make([][]uint64, len(pop))
+			for i, sub := range pop {
+				wantIDs[i], pts[i], bids[i] = sub.Bidder, sub.Point, sub.Bids
+			}
+			if !reflect.DeepEqual(res.Bidders, wantIDs) {
+				t.Fatalf("%s epoch %d: bidder order %v, want sorted %v", tc.tag, e, res.Bidders, wantIDs)
+			}
+			oneShot, err := round.Run(p, ring, round.Input{
+				Points: pts, Bids: bids, Policy: pol,
+				Rng: rand.New(rand.NewSource(EpochSeed(seed, e))),
+			}, tc.opts...)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sameOutcome(t, tc.tag+"/epoch"+string(rune('0'+e)), res.Result, oneShot)
+		}
+	}
+}
+
+// TestServicePipelinedIntake pins the intake/allocate overlap shape:
+// epoch N+1's submissions are accepted while epoch N sits sealed in the
+// queue, before any result has been consumed.
+func TestServicePipelinedIntake(t *testing.T) {
+	p, ring := epochFixture(t)
+	s, err := New(Config{Params: p, Ring: ring, Seed: 5, Policy: core.DisguisePolicy{P0: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := population(p, 25, 21), population(p, 18, 22)
+	submitAll(t, s, a, 1)
+	if err := s.Seal(); err != nil {
+		t.Fatal(err)
+	}
+	// No result consumed yet — the next epoch's intake must still flow.
+	submitAll(t, s, b, 2)
+	if err := s.Seal(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	results := drain(t, s)
+	if len(results) != 2 {
+		t.Fatalf("%d results, want 2", len(results))
+	}
+	if len(results[0].Bidders) != len(a) || len(results[1].Bidders) != len(b) {
+		t.Fatalf("epoch sizes %d/%d, want %d/%d",
+			len(results[0].Bidders), len(results[1].Bidders), len(a), len(b))
+	}
+}
+
+// TestServiceLatestSubmissionWins pins resubmission semantics: a bidder
+// resubmitting before the seal replaces its earlier entry, matching the
+// transport's idempotent-resubmission contract.
+func TestServiceLatestSubmissionWins(t *testing.T) {
+	p, ring := epochFixture(t)
+	pol := core.DisguisePolicy{P0: 1}
+	s, err := New(Config{Params: p, Ring: ring, Seed: 3, Policy: pol})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pop := population(p, 20, 31)
+	submitAll(t, s, pop, 1)
+	// Bidder 0 changes its mind before the seal.
+	revised := pop[0]
+	revised.Bids = append([]uint64(nil), revised.Bids...)
+	revised.Bids[0] = p.BMax
+	if err := s.Submit(revised); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Seal(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	results := drain(t, s)
+	if len(results) != 1 || len(results[0].Bidders) != len(pop) {
+		t.Fatalf("resubmission changed the population: %+v", results)
+	}
+	pts := make([]geo.Point, len(pop))
+	bids := make([][]uint64, len(pop))
+	for i, sub := range pop {
+		pts[i], bids[i] = sub.Point, sub.Bids
+	}
+	bids[0] = revised.Bids
+	oneShot, err := round.Run(p, ring, round.Input{
+		Points: pts, Bids: bids, Policy: pol,
+		Rng: rand.New(rand.NewSource(EpochSeed(3, 0))),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameOutcome(t, "latest-wins", results[0].Result, oneShot)
+}
+
+// TestServiceAdmission pins the service-level gate: over-rate
+// submissions come back as ErrRateLimited with a positive retry hint,
+// and the epoch runs over exactly the admitted set.
+func TestServiceAdmission(t *testing.T) {
+	p, ring := epochFixture(t)
+	s, err := New(Config{
+		Params: p, Ring: ring, Seed: 9, Policy: core.DisguisePolicy{P0: 1},
+		Admission: AdmissionConfig{Rate: 1, Burst: 10},
+		Registry:  obs.NewRegistry(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pop := population(p, 25, 41)
+	admitted := 0
+	for i, sub := range pop {
+		err := s.SubmitAt(sub, float64(i)*0.001) // far above 1/s
+		var rl *ErrRateLimited
+		switch {
+		case err == nil:
+			admitted++
+		case errors.As(err, &rl):
+			if rl.RetryAfter <= 0 {
+				t.Fatalf("rate-limited with non-positive hint %v", rl.RetryAfter)
+			}
+		default:
+			t.Fatal(err)
+		}
+	}
+	if admitted != 10 { // burst admits exactly 10 at ~t=0
+		t.Fatalf("admitted %d, want 10", admitted)
+	}
+	if err := s.Close(); err != nil { // Close seals the residual intake
+		t.Fatal(err)
+	}
+	results := drain(t, s)
+	if len(results) != 1 || len(results[0].Bidders) != admitted {
+		t.Fatalf("epoch ran over %d bidders, admitted %d", len(results[0].Bidders), admitted)
+	}
+	if got := s.Admission().rejected.Value(); got != uint64(len(pop)-admitted) {
+		t.Fatalf("rejected counter %d, want %d", got, len(pop)-admitted)
+	}
+}
+
+// TestServiceAccounting pins the ledgers end to end: quota totals count
+// one debit per admitted submission, billing totals equal the epoch
+// charges mapped to external bidder ids, and both persist by epoch close
+// without per-op datastore traffic.
+func TestServiceAccounting(t *testing.T) {
+	p, ring := epochFixture(t)
+	billStore, quotaStore := NewMemStore(), NewMemStore()
+	bill, err := NewAccountant("billing", billStore, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	quota, err := NewAccountant("quota", quotaStore, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := New(Config{
+		Params: p, Ring: ring, Seed: 17, Policy: core.DisguisePolicy{P0: 1},
+		Billing: bill, Quota: quota,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pop := population(p, 30, 51)
+	submitAll(t, s, pop, 1)
+	if err := s.Seal(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	results := drain(t, s)
+	if len(results) != 1 {
+		t.Fatalf("%d results, want 1", len(results))
+	}
+	res := results[0]
+
+	wantBilling := map[int]uint64{}
+	var wantRevenue uint64
+	for i, as := range res.Result.Outcome.Assignments {
+		if c := res.Result.Outcome.Charges[i]; c > 0 {
+			wantBilling[res.Bidders[as.Bidder]] += c
+			wantRevenue += c
+		}
+	}
+	if wantRevenue == 0 {
+		t.Fatal("fixture produced no revenue; billing path untested")
+	}
+	if got := billStore.Totals(); !reflect.DeepEqual(got, wantBilling) {
+		t.Fatalf("billing totals %v, want %v", got, wantBilling)
+	}
+	for _, sub := range pop {
+		if got := quotaStore.Total(sub.Bidder); got != 1 {
+			t.Fatalf("quota for bidder %d = %d, want 1", sub.Bidder, got)
+		}
+	}
+	if billStore.Writes() > uint64(len(wantBilling)) || quotaStore.Writes() > uint64(len(pop)) {
+		t.Fatalf("epoch-close accounting wrote per-op: billing %d writes, quota %d writes",
+			billStore.Writes(), quotaStore.Writes())
+	}
+}
+
+// TestServiceIntervalSeal exercises the wall-clock cadence: a positive
+// Interval seals the collecting epoch without an explicit Seal call.
+func TestServiceIntervalSeal(t *testing.T) {
+	p, ring := epochFixture(t)
+	s, err := New(Config{
+		Params: p, Ring: ring, Seed: 23, Policy: core.DisguisePolicy{P0: 1},
+		Interval: 5 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	submitAll(t, s, population(p, 12, 61), 1)
+	select {
+	case res := <-s.Results():
+		if res.Err != nil {
+			t.Fatal(res.Err)
+		}
+		if len(res.Bidders) != 12 {
+			t.Fatalf("interval epoch over %d bidders, want 12", len(res.Bidders))
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("interval sealing never produced an epoch")
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	drain(t, s)
+}
+
+// TestServiceRejectsAfterClose pins the shutdown contract.
+func TestServiceRejectsAfterClose(t *testing.T) {
+	p, ring := epochFixture(t)
+	s, err := New(Config{Params: p, Ring: ring, Seed: 1, Policy: core.DisguisePolicy{P0: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	drain(t, s)
+	if err := s.Submit(population(p, 1, 71)[0]); !errors.Is(err, ErrClosed) {
+		t.Fatalf("submit after close: %v, want ErrClosed", err)
+	}
+	if err := s.Seal(); !errors.Is(err, ErrClosed) {
+		t.Fatalf("seal after close: %v, want ErrClosed", err)
+	}
+	if err := s.Close(); err != nil { // idempotent
+		t.Fatal(err)
+	}
+}
+
+// TestEpochSeedDerivation pins that the per-epoch streams are
+// deterministic and decorrelated.
+func TestEpochSeedDerivation(t *testing.T) {
+	seen := map[int64]int{}
+	for e := 0; e < 100; e++ {
+		s := EpochSeed(42, e)
+		if s2 := EpochSeed(42, e); s2 != s {
+			t.Fatalf("EpochSeed(42,%d) unstable: %d vs %d", e, s, s2)
+		}
+		if prev, dup := seen[s]; dup {
+			t.Fatalf("epochs %d and %d collide at seed %d", prev, e, s)
+		}
+		seen[s] = e
+	}
+	if EpochSeed(1, 0) == EpochSeed(2, 0) {
+		t.Fatal("service seed does not reach the epoch stream")
+	}
+}

@@ -55,6 +55,7 @@ type runConfig struct {
 	reg         *obs.Registry
 	tracer      *obs.Tracer
 	flight      *obs.FlightRecorder
+	state       *EpochState
 }
 
 // WithWorkers bounds the goroutines used for submission encoding and
@@ -555,7 +556,7 @@ func run(params core.Params, ring *mask.KeyRing, in Input, cfg *runConfig, ph *p
 		return nil, err
 	}
 
-	auc, err := core.NewAuctioneer(params, locs, subs)
+	auc, err := cfg.state.auctioneer(params, locs, subs)
 	if err != nil {
 		ph.stop()
 		return nil, err
@@ -583,7 +584,7 @@ func run(params core.Params, ring *mask.KeyRing, in Input, cfg *runConfig, ph *p
 				pts[ci] = in.Points[i]
 			}
 		}
-		plan, err := planShards(params, ring, pts, cfg.shards)
+		plan, err := planShardsWith(cfg.state, params, ring, pts, cfg.shards)
 		if err != nil {
 			ph.stop()
 			return nil, err

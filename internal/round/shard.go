@@ -43,11 +43,14 @@ func WithShards(k int) Option {
 // lives in are never materialized (a visitor digest matching no resident
 // digest carries no conflict partner, so it is dropped).
 func planShards(params core.Params, ring *mask.KeyRing, pts []geo.Point, shards int) (*core.ShardPlan, error) {
-	tg, err := geo.NewTileGrid(params.MaxX, params.MaxY, params.Lambda, shards)
-	if err != nil {
-		return nil, err
-	}
-	masker, err := mask.NewMasker(ring.TileKey())
+	return planShardsWith(nil, params, ring, pts, shards)
+}
+
+// planShardsWith is planShards with the grid and masker drawn from an
+// EpochState memo when one is supplied (nil state builds them fresh) —
+// the plan itself is always rebuilt, since it depends on the population.
+func planShardsWith(st *EpochState, params core.Params, ring *mask.KeyRing, pts []geo.Point, shards int) (*core.ShardPlan, error) {
+	tg, masker, err := st.planner(params, ring, shards)
 	if err != nil {
 		return nil, err
 	}

@@ -3,6 +3,7 @@ package sim
 import (
 	"fmt"
 	"math/rand"
+	"time"
 
 	"lppa/internal/attack"
 	"lppa/internal/bidder"
@@ -56,6 +57,15 @@ type Fig5Config struct {
 	// (round.WithShards): per-tile conflict graphs and rank memos merged by
 	// border-band reconciliation. Bit-identical to the unsharded round.
 	Shards int
+	// Quorum and Straggler let each private round degrade gracefully
+	// (round.WithQuorum / round.WithStragglerTimeout): a submission whose
+	// encoding stalls past Straggler is excluded as long as Quorum usable
+	// submissions remain. They bound who participates, never how the
+	// admitted set allocates; on a healthy in-process run every bidder
+	// makes the deadline and results are unchanged. Straggler requires the
+	// parallel pipeline (Workers > 1), which round.Run enforces.
+	Quorum    int
+	Straggler time.Duration
 	// Metrics, when non-nil, records every private round the experiment
 	// runs (phase timings, comparison counters, round totals). Results are
 	// bit-identical with or without it.
@@ -82,6 +92,12 @@ func (cfg Fig5Config) runPrivate(params core.Params, ring *mask.KeyRing, pts []g
 	}
 	if cfg.Shards > 0 {
 		opts = append(opts, round.WithShards(cfg.Shards))
+	}
+	if cfg.Quorum > 0 {
+		opts = append(opts, round.WithQuorum(cfg.Quorum))
+	}
+	if cfg.Straggler > 0 {
+		opts = append(opts, round.WithStragglerTimeout(cfg.Straggler))
 	}
 	if cfg.Trace != nil {
 		opts = append(opts, round.WithTrace(cfg.Trace))
@@ -290,7 +306,7 @@ func Fig5EF(area *dataset.Area, cfg Fig5Config, populations []int, seed int64) (
 				if err != nil {
 					return nil, err
 				}
-				inter, err := round.RunPrivateInteractive(sc.Params, ring, pts, bids, policy, rand.New(rand.NewSource(tSeed+2)))
+				inter, err := round.Run(sc.Params, ring, round.Input{Points: pts, Bids: bids, Policy: policy, Rng: rand.New(rand.NewSource(tSeed + 2))}, round.WithInteractiveCharging())
 				if err != nil {
 					return nil, err
 				}

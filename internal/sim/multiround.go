@@ -105,7 +105,7 @@ func MultiRound(area *dataset.Area, cfg MultiRoundConfig, seed int64) ([]MultiRo
 		if err != nil {
 			return nil, err
 		}
-		res, err := round.RunPrivate(sc.Params, ring, coords, bids, policy, rand.New(rand.NewSource(seed+int64(t)*31)))
+		res, err := round.Run(sc.Params, ring, round.Input{Points: coords, Bids: bids, Policy: policy, Rng: rand.New(rand.NewSource(seed + int64(t)*31))})
 		if err != nil {
 			return nil, err
 		}

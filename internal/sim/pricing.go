@@ -78,11 +78,11 @@ func Pricing(area *dataset.Area, cfg PricingConfig, seed int64) ([]PricingPoint,
 			if err != nil {
 				return nil, err
 			}
-			fp, err := round.RunPrivate(sc.Params, ring, pts, bids, policy, rand.New(rand.NewSource(tSeed+2)))
+			fp, err := round.Run(sc.Params, ring, round.Input{Points: pts, Bids: bids, Policy: policy, Rng: rand.New(rand.NewSource(tSeed + 2))})
 			if err != nil {
 				return nil, err
 			}
-			sp, err := round.RunPrivateSecondPrice(sc.Params, ring, pts, bids, policy, rand.New(rand.NewSource(tSeed+2)))
+			sp, err := round.Run(sc.Params, ring, round.Input{Points: pts, Bids: bids, Policy: policy, Rng: rand.New(rand.NewSource(tSeed + 2))}, round.WithSecondPrice())
 			if err != nil {
 				return nil, err
 			}

@@ -112,8 +112,8 @@ func Theorem4Table(area *dataset.Area, channels, n int, seed int64) (*Table, err
 	if err != nil {
 		return nil, err
 	}
-	res, err := round.RunPrivate(sc.Params, ring, Points(pop), sc.TruncatedBids(pop),
-		core.DisguisePolicy{P0: 0.7, Decay: 0.95}, rng)
+	res, err := round.Run(sc.Params, ring, round.Input{Points: Points(pop), Bids: sc.TruncatedBids(pop),
+		Policy: core.DisguisePolicy{P0: 0.7, Decay: 0.95}, Rng: rng})
 	if err != nil {
 		return nil, err
 	}

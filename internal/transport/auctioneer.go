@@ -63,6 +63,7 @@ type AuctioneerServer struct {
 	idleTimeout  time.Duration
 	frameTimeout time.Duration
 	straggler    time.Duration
+	admit        func() (bool, time.Duration)
 	reg          *obs.Registry
 	ob           *netObs
 	tracer       *obs.Tracer
@@ -150,6 +151,7 @@ func NewAuctioneerServerWithConfig(params core.Params, bidders int, ttpAddr stri
 		idleTimeout:  cfg.idleTimeout(),
 		frameTimeout: cfg.frameTimeout(),
 		straggler:    cfg.StragglerTimeout,
+		admit:        cfg.Admit,
 		reg:          cfg.Metrics,
 		ob:           newNetObs(cfg.Metrics, "auctioneer"),
 		tracer:       cfg.Tracer,
@@ -222,6 +224,23 @@ func (s *AuctioneerServer) acceptLoop() {
 				s.log.Error("auctioneer accept", "err", err)
 			}
 			return
+		}
+		// Admission control sits here, before the handler spawns and long
+		// before any frame is read: an over-rate peer costs the accept, one
+		// small retry-after write, and nothing else — no decode work, no
+		// handler goroutine parked on the idle timeout.
+		if s.admit != nil {
+			if ok, retry := s.admit(); !ok {
+				s.ob.rateLimit()
+				s.wg.Add(1)
+				go func() {
+					defer s.wg.Done()
+					c := NewConnTimeouts(s.ob.accept(conn), s.idleTimeout, s.frameTimeout)
+					_ = c.Send(KindRetryAfter, RetryAfterMsg{RetryAfter: retry})
+					c.Close()
+				}()
+				continue
+			}
 		}
 		s.wg.Add(1)
 		go func() {

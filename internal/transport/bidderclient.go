@@ -237,7 +237,10 @@ func (b *BidderClient) fetchKeyRing(addr string, span *obs.Span) (*mask.KeyRing,
 
 // withRetry runs op up to the policy's attempt budget, backing off between
 // tries. A *PeerError with Retryable=false is terminal — the peer has
-// rejected us and retrying cannot change its mind. The jitter rng is
+// rejected us and retrying cannot change its mind. A *RetryAfterError
+// (admission-control shedding) is always retryable, and the server's
+// hint becomes the backoff floor for the next attempt: retrying sooner
+// than the gate refills only burns another rejection. The jitter rng is
 // seeded from jitterSeed and created only when a retry actually happens,
 // so a fault-free run draws nothing extra. Each retry is recorded as an
 // event on span (nil-safe).
@@ -245,6 +248,7 @@ func (b *BidderClient) withRetry(jitterSeed uint64, span *obs.Span, op func() er
 	attempts := b.Retry.attempts()
 	var jitter *rand.Rand
 	var last error
+	var hint time.Duration
 	for attempt := 0; attempt < attempts; attempt++ {
 		if attempt > 0 {
 			if span != nil {
@@ -255,7 +259,11 @@ func (b *BidderClient) withRetry(jitterSeed uint64, span *obs.Span, op func() er
 			if jitter == nil {
 				jitter = rand.New(rand.NewSource(int64(jitterSeed)))
 			}
-			time.Sleep(b.Retry.delay(attempt-1, jitter))
+			d := b.Retry.delay(attempt-1, jitter)
+			if hint > d {
+				d = hint
+			}
+			time.Sleep(d)
 		}
 		err := op()
 		if err == nil {
@@ -264,6 +272,11 @@ func (b *BidderClient) withRetry(jitterSeed uint64, span *obs.Span, op func() er
 		var pe *PeerError
 		if errors.As(err, &pe) && !pe.Retryable {
 			return err
+		}
+		hint = 0
+		var ra *RetryAfterError
+		if errors.As(err, &ra) {
+			hint = ra.RetryAfter
 		}
 		last = err
 	}

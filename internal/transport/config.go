@@ -22,6 +22,10 @@ const DefaultFrameTimeout = 30 * time.Second
 // AuctioneerServer. The zero value is a working default: DefaultIdleTimeout,
 // DefaultFrameTimeout, slog.Default(), no metrics, first-price charging,
 // full attendance required.
+//
+// Prefer assembling a Config through New(...Option), which validates as
+// it goes and mirrors round.Run's option style; populating the struct
+// literally remains supported as a deprecated shim for existing callers.
 type Config struct {
 	// IdleTimeout bounds the wait for each next frame on accepted
 	// connections; zero means DefaultIdleTimeout.
@@ -64,6 +68,13 @@ type Config struct {
 	// fails, degrades below full attendance, or exceeds the recorder's
 	// latency SLO.
 	FlightRecorder *obs.FlightRecorder
+	// Admit, when non-nil, gates every accepted connection BEFORE any
+	// frame is read or decoded: returning false makes the server answer
+	// with one KindRetryAfter frame carrying the returned hint and close
+	// the connection, so over-rate peers cost one accept plus one small
+	// write instead of a decode. epoch.Admission.AdmitConn is the intended
+	// supplier (wired via WithAdmission). Ignored by the TTP server.
+	Admit func() (ok bool, retryAfter time.Duration)
 }
 
 func (c Config) idleTimeout() time.Duration {
@@ -112,14 +123,15 @@ func shutdownServer(ctx context.Context, markClosed func(), ln net.Listener, wg 
 // (ttp or auctioneer). Nil — the unobserved default — makes every method
 // a no-op and leaves connections unwrapped.
 type netObs struct {
-	conns    *obs.Counter
-	bytesIn  *obs.Counter
-	bytesOut *obs.Counter
-	subLat   *obs.Histogram
-	timeouts *obs.Counter
-	rejects  *obs.Counter
-	replays  *obs.Counter
-	excluded *obs.Counter
+	conns       *obs.Counter
+	bytesIn     *obs.Counter
+	bytesOut    *obs.Counter
+	subLat      *obs.Histogram
+	timeouts    *obs.Counter
+	rejects     *obs.Counter
+	replays     *obs.Counter
+	excluded    *obs.Counter
+	rateLimited *obs.Counter
 }
 
 func newNetObs(reg *obs.Registry, role string) *netObs {
@@ -128,14 +140,22 @@ func newNetObs(reg *obs.Registry, role string) *netObs {
 	}
 	l := obs.L("role", role)
 	return &netObs{
-		conns:    reg.Counter("lppa_transport_conns_accepted_total", l),
-		bytesIn:  reg.Counter("lppa_transport_bytes_read_total", l),
-		bytesOut: reg.Counter("lppa_transport_bytes_written_total", l),
-		subLat:   reg.Histogram("lppa_transport_submission_seconds", nil, l),
-		timeouts: reg.Counter("lppa_transport_timeouts_total", l),
-		rejects:  reg.Counter("lppa_transport_frames_rejected_total", l),
-		replays:  reg.Counter("lppa_transport_replays_deduped_total", l),
-		excluded: reg.Counter("lppa_transport_bidders_excluded_total", l),
+		conns:       reg.Counter("lppa_transport_conns_accepted_total", l),
+		bytesIn:     reg.Counter("lppa_transport_bytes_read_total", l),
+		bytesOut:    reg.Counter("lppa_transport_bytes_written_total", l),
+		subLat:      reg.Histogram("lppa_transport_submission_seconds", nil, l),
+		timeouts:    reg.Counter("lppa_transport_timeouts_total", l),
+		rejects:     reg.Counter("lppa_transport_frames_rejected_total", l),
+		replays:     reg.Counter("lppa_transport_replays_deduped_total", l),
+		excluded:    reg.Counter("lppa_transport_bidders_excluded_total", l),
+		rateLimited: reg.Counter("lppa_transport_rate_limited_total", l),
+	}
+}
+
+// rateLimit tallies one connection shed by the admission gate.
+func (o *netObs) rateLimit() {
+	if o != nil {
+		o.rateLimited.Inc()
 	}
 }
 

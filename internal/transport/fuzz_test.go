@@ -4,6 +4,7 @@ import (
 	"encoding/binary"
 	"math/rand"
 	"testing"
+	"time"
 
 	"lppa/internal/core"
 	"lppa/internal/geo"
@@ -49,6 +50,7 @@ func goldenFrames(tb testing.TB) [][]byte {
 		}}},
 		{KindChargeReply, ChargeReply{Results: []WireChargeResult{{Bidder: 0, Channel: 1, Valid: true, Price: 9}}}},
 		{KindError, ErrorMsg{Reason: "nope", Retryable: true}},
+		{KindRetryAfter, RetryAfterMsg{RetryAfter: 250 * time.Millisecond}},
 	}
 	frames := make([][]byte, 0, len(payloads))
 	for _, pl := range payloads {
@@ -134,6 +136,9 @@ func FuzzDecodeFrame(f *testing.F) {
 		case KindError:
 			var v ErrorMsg
 			_ = dec.Decode(&v)
+		case KindRetryAfter:
+			var v RetryAfterMsg
+			_ = dec.Decode(&v)
 		default:
 			t.Fatalf("DecodeFrame accepted unknown kind %d", env.Kind)
 		}
@@ -144,7 +149,7 @@ func FuzzDecodeFrame(f *testing.F) {
 // frame decodes back to its own kind.
 func TestGoldenFramesRoundTrip(t *testing.T) {
 	kinds := []MsgKind{KindKeyRingRequest, KindKeyRingReply, KindSubmission, KindSubmissionAck,
-		KindResult, KindChargeBatch, KindChargeReply, KindError}
+		KindResult, KindChargeBatch, KindChargeReply, KindError, KindRetryAfter}
 	frames := goldenFrames(t)
 	if len(frames) != len(kinds) {
 		t.Fatalf("%d golden frames, %d kinds", len(frames), len(kinds))

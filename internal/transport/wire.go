@@ -62,6 +62,12 @@ const (
 	KindChargeBatch
 	KindChargeReply
 	KindError
+	// KindRetryAfter is an admission-control rejection sent before any
+	// payload decode work: the server is shedding load and the frame's
+	// RetryAfterMsg tells the client when a token should be available.
+	// Appended after KindError so every pre-existing kind keeps its wire
+	// number.
+	KindRetryAfter
 )
 
 // Envelope frames every message with a version and kind. Trace is the
@@ -319,6 +325,24 @@ type PeerError struct {
 
 func (e *PeerError) Error() string { return "transport: peer error: " + e.Reason }
 
+// RetryAfterMsg is the KindRetryAfter payload: the admission gate's
+// refill hint. Always retryable by construction — the server rejected
+// load, not the submission.
+type RetryAfterMsg struct {
+	RetryAfter time.Duration
+}
+
+// RetryAfterError is a KindRetryAfter frame surfaced to the caller. The
+// client's retry loop backs off at least RetryAfter before the next
+// attempt instead of its own exponential schedule.
+type RetryAfterError struct {
+	RetryAfter time.Duration
+}
+
+func (e *RetryAfterError) Error() string {
+	return fmt.Sprintf("transport: rate limited, retry after %v", e.RetryAfter)
+}
+
 // deadliner is the optional deadline surface of net.Conn; the Conn
 // wrapper arms it when a timeout is configured so a stalled peer cannot
 // pin a handler goroutine forever.
@@ -390,7 +414,7 @@ func decodeFrameBody(body []byte) (Envelope, *gob.Decoder, error) {
 	if env.Version != protocolVersion {
 		return env, nil, fmt.Errorf("transport: protocol version %d, want %d", env.Version, protocolVersion)
 	}
-	if env.Kind < KindKeyRingRequest || env.Kind > KindError {
+	if env.Kind < KindKeyRingRequest || env.Kind > KindRetryAfter {
 		return env, nil, fmt.Errorf("transport: unknown message kind %d", env.Kind)
 	}
 	return env, dec, nil
@@ -531,7 +555,8 @@ func (c *Conn) RecvPayload(payload any) error {
 }
 
 // Expect reads an envelope and asserts its kind, then decodes the body.
-// A KindError body is surfaced as a *PeerError.
+// A KindError body is surfaced as a *PeerError, a KindRetryAfter body as
+// a *RetryAfterError.
 func (c *Conn) Expect(kind MsgKind, payload any) error {
 	env, err := c.RecvEnvelope()
 	if err != nil {
@@ -543,6 +568,13 @@ func (c *Conn) Expect(kind MsgKind, payload any) error {
 			return err
 		}
 		return &PeerError{Reason: em.Reason, Retryable: em.Retryable}
+	}
+	if env.Kind == KindRetryAfter {
+		var rm RetryAfterMsg
+		if err := c.RecvPayload(&rm); err != nil {
+			return err
+		}
+		return &RetryAfterError{RetryAfter: rm.RetryAfter}
 	}
 	if env.Kind != kind {
 		return fmt.Errorf("transport: got message kind %d, want %d", env.Kind, kind)

@@ -328,6 +328,27 @@ func WithStragglerTimeout(d time.Duration) RunOption { return round.WithStraggle
 // §5g.
 func WithShards(k int) RunOption { return round.WithShards(k) }
 
+// WithIndexedCandidates switches conflict-candidate generation onto the
+// inverted row index (DESIGN.md §5f). Results are bit-identical to the
+// default scan; only the cost profile changes with placement density.
+func WithIndexedCandidates() RunOption { return round.WithIndexedCandidates() }
+
+// EpochState carries the population-independent pieces of a round —
+// the auctioneer and the shard planner's tile grid — across back-to-back
+// epochs of the same auction, so a long-lived service does not rebuild
+// them per round. One EpochState serves one sequence of Runs on one
+// goroutine. See DESIGN.md §5h.
+type EpochState = round.EpochState
+
+// NewEpochState returns an empty reuse state; the first Run carrying it
+// populates the reusable pieces.
+func NewEpochState() *EpochState { return round.NewEpochState() }
+
+// WithEpochState makes Run reuse st's auctioneer and shard planner
+// instead of rebuilding them. Results are bit-identical to the same call
+// without the option; composes with every other option.
+func WithEpochState(st *EpochState) RunOption { return round.WithEpochState(st) }
+
 // ErrQuorumNotReached reports a round (in-process or networked) that ended
 // with fewer usable submissions than its quorum; test with errors.Is.
 var ErrQuorumNotReached = round.ErrQuorumNotReached

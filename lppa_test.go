@@ -41,8 +41,8 @@ func TestFacadeEndToEnd(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := lppa.RunPrivate(sc.Params, ring, lppa.Points(pop), sc.TruncatedBids(pop),
-		lppa.DisguisePolicy{P0: 0.8, Decay: 0.9}, rng)
+	res, err := lppa.Run(sc.Params, ring, lppa.RoundInput{Points: lppa.Points(pop), Bids: sc.TruncatedBids(pop),
+		Policy: lppa.DisguisePolicy{P0: 0.8, Decay: 0.9}, Rng: rng})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -123,10 +123,10 @@ func TestFacadeWrapperCoverage(t *testing.T) {
 	// Second-price and interactive variants through the facade.
 	points := []lppa.Point{{X: 1, Y: 1}, {X: 15, Y: 15}}
 	bids := [][]uint64{{10, 20}, {30, 5}}
-	if _, err := lppa.RunPrivateSecondPrice(params, ring, points, bids, lppa.DisguisePolicy{P0: 1}, rand.New(rand.NewSource(2))); err != nil {
+	if _, err := lppa.Run(params, ring, lppa.RoundInput{Points: points, Bids: bids, Policy: lppa.DisguisePolicy{P0: 1}, Rng: rand.New(rand.NewSource(2))}, lppa.WithSecondPrice()); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := lppa.RunPrivateInteractive(params, ring, points, bids, lppa.DisguisePolicy{P0: 1}, rand.New(rand.NewSource(3))); err != nil {
+	if _, err := lppa.Run(params, ring, lppa.RoundInput{Points: points, Bids: bids, Policy: lppa.DisguisePolicy{P0: 1}, Rng: rand.New(rand.NewSource(3))}, lppa.WithInteractiveCharging()); err != nil {
 		t.Fatal(err)
 	}
 
