@@ -3,7 +3,7 @@
 GO ?= go
 CACHE ?= /tmp/lppa-ds.gob
 
-.PHONY: all build test race cover bench bench-json bench-compare alloc-guard trace-guard fuzz fuzz-short chaos epoch-soak experiments examples metrics-snapshot trace-snapshot audit-snapshot clean
+.PHONY: all build test race cover bench bench-json bench-compare alloc-guard trace-guard fuzz fuzz-short chaos epoch-soak experiments examples metrics-snapshot trace-snapshot audit-snapshot load-snapshot load-compare load-smoke clean
 
 all: build test
 
@@ -75,6 +75,35 @@ alloc-guard:
 		-bench='ZeroAllocMask|InternedIntersect|IndexCursorRow' . \
 		| awk '/^Benchmark/ { a = $$(NF-1); if (a+0 != 0) { print "allocs/op regression: " $$0; bad = 1 } print } END { exit bad }'
 
+# Workload snapshot of the composed system: N=10000 mixed-density runs of
+# the tile-sharded one-shot round and the epochal service (open-loop
+# Poisson arrivals with churn), with throughput, per-phase latency
+# percentiles, and an embedded SLO block (floor = measured/4, p99 ceiling
+# = measured*4). Versioned per PR like the BENCH_*.json snapshots; see
+# EXPERIMENTS.md for the narrative.
+load-snapshot:
+	$(GO) run ./cmd/lppa-load run -n 10000 -density mixed -variants sharded,service \
+		-rounds 5 -rate-limit 5000 -seed 1 -o LOAD_PR9.json
+
+# Gate a fresh run against the committed snapshot's SLOs. Exits nonzero on
+# any violation — and fails closed when the baseline is missing or carries
+# no SLO block.
+load-compare:
+	$(GO) run ./cmd/lppa-load run -n 10000 -density mixed -variants sharded,service \
+		-rounds 5 -rate-limit 5000 -seed 1 -o /tmp/lppa-load-candidate.json
+	$(GO) run ./cmd/lppa-load compare LOAD_PR9.json /tmp/lppa-load-candidate.json
+
+# CI smoke: the harness tests under -race (determinism regression, fuzz
+# seeds, compare gate fail-closed), then a small-N sweep across every
+# variant with chaos and a rate limit, self-gated through the comparator.
+load-smoke:
+	$(GO) test -race -count=1 ./internal/load/ ./cmd/lppa-load/
+	$(GO) run ./cmd/lppa-load run -n 200 -density mixed \
+		-variants plain,interned,indexed,sharded,service \
+		-rounds 3 -rate-limit 100 -chaos drop -chaos-rate 0.05 \
+		-seed 1 -o LOAD_SMOKE.json
+	$(GO) run ./cmd/lppa-load compare LOAD_SMOKE.json LOAD_SMOKE.json
+
 # Short fuzz pass over every fuzz target (CI smoke; extend -fuzztime locally).
 fuzz:
 	$(GO) test -run=NONE -fuzz=FuzzMemberMatchesComparison -fuzztime=10s ./internal/prefix/
@@ -82,6 +111,7 @@ fuzz:
 	$(GO) test -run=NONE -fuzz=FuzzOpenValueRejectsGarbage -fuzztime=10s ./internal/mask/
 	$(GO) test -run=NONE -fuzz=FuzzDecodeFrame -fuzztime=10s ./internal/transport/
 	$(GO) test -run=NONE -fuzz=FuzzShardBoundaryEquivalence -fuzztime=10s ./internal/round/
+	$(GO) test -run=NONE -fuzz=FuzzLoadReportDecode -fuzztime=10s ./internal/load/
 
 # Quicker smoke of the attacker-facing decoders only (the wire frame parser
 # fed by untrusted peers) — the CI test job runs this on every push.

@@ -83,6 +83,12 @@ func run(args []string) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	if err := rf.Validate(); err != nil {
+		return err
+	}
+	if err := ef.Validate(fs); err != nil {
+		return err
+	}
 
 	params := lppa.Params{Channels: *channels, Lambda: *lambda, MaxX: *maxXY, MaxY: *maxXY, BMax: *bmax}
 	if err := params.Validate(); err != nil {

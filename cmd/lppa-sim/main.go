@@ -63,7 +63,6 @@ func run(args []string) error {
 		tiny       = fs.Bool("tiny", false, "20x20-cell, 12-channel dataset for CI smoke runs")
 		trials     = fs.Int("trials", 3, "independent trials per fig5ef cell (mean ± 95% CI)")
 		format     = fs.String("format", "text", "table output: text|csv")
-		density    = fs.String("density", "", "bidder placement for the round experiment: urban|rural|mixed (default: uniform)")
 		metricsOut = fs.String("metrics-out", "", "write a JSON metrics snapshot of the instrumented experiments (round, fig5ad, fig5ef) to this file; - for stdout")
 		traceOut   = fs.String("trace-out", "", "write a Chrome trace_event JSON of the instrumented experiments (round, fig5ad, fig5ef) to this file; view at ui.perfetto.dev")
 		auditOut   = fs.String("audit-out", "", "write the round experiment's privacy-leakage audit (per-bidder anonymity sets) as JSON to this file")
@@ -77,16 +76,17 @@ func run(args []string) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	// Reject typo'd values (negative -workers/-shards, unknown -density)
+	// before defaulting the legal zero shapes.
+	if err := rf.Validate(); err != nil {
+		return err
+	}
 	if rf.Workers < 1 {
 		rf.Workers = runtime.GOMAXPROCS(0)
 	}
-	var mix *dataset.DensityMix
-	if *density != "" {
-		m, err := dataset.ParseDensity(*density)
-		if err != nil {
-			return err
-		}
-		mix = &m
+	mix, err := rf.Mix()
+	if err != nil {
+		return err
 	}
 	fmt.Fprintf(os.Stderr, "workers: %d (GOMAXPROCS %d)\n", rf.Workers, runtime.GOMAXPROCS(0))
 	switch *format {

@@ -8,6 +8,7 @@ import (
 	"fmt"
 	"time"
 
+	"lppa/internal/dataset"
 	"lppa/internal/epoch"
 	"lppa/internal/faults"
 	"lppa/internal/round"
@@ -23,6 +24,9 @@ type RoundFlags struct {
 	Workers int
 	Shards  int
 	Indexed bool
+	// Density is the named bidder placement ("urban", "rural", "mixed");
+	// empty keeps each command's own default population (uniform scatter).
+	Density string
 	// Degraded-round policy: quorum rounds proceed without stragglers.
 	Quorum    int
 	Straggler time.Duration
@@ -46,6 +50,50 @@ func (f *RoundFlags) Register(fs *flag.FlagSet) {
 		"minimum submissions for a degraded round when -straggler fires; 0 requires all bidders")
 	fs.DurationVar(&f.Straggler, "straggler", f.Straggler,
 		"collection deadline; stragglers past it are excluded down to -quorum, 0 waits forever")
+	fs.StringVar(&f.Density, "density", f.Density,
+		"bidder placement: urban|rural|mixed (empty = the command's default uniform scatter)")
+}
+
+// Validate rejects flag values that used to fall through to a silent
+// default: a negative -workers or -shards is a typo, not a request for
+// the serial pipeline, and an unknown -density must fail before a long
+// run, not place bidders uniformly. Commands call it right after Parse.
+func (f *RoundFlags) Validate() error {
+	if f.Workers < 0 {
+		return fmt.Errorf("cli: -workers %d is negative (0 picks one per CPU, 1 forces serial)", f.Workers)
+	}
+	if f.Shards < 0 {
+		return fmt.Errorf("cli: -shards %d is negative (0 disables sharding)", f.Shards)
+	}
+	if f.Quorum < 0 {
+		return fmt.Errorf("cli: -quorum %d is negative (0 requires all bidders)", f.Quorum)
+	}
+	if f.Straggler < 0 {
+		return fmt.Errorf("cli: -straggler %v is negative (0 waits forever)", f.Straggler)
+	}
+	if f.Retries < 0 {
+		return fmt.Errorf("cli: -retries %d is negative", f.Retries)
+	}
+	if f.ChaosRate < 0 || f.ChaosRate > 1 {
+		return fmt.Errorf("cli: -chaos-rate %v outside [0,1]", f.ChaosRate)
+	}
+	if _, err := f.Mix(); err != nil {
+		return err
+	}
+	return nil
+}
+
+// Mix resolves -density to a placement mix; nil with no error when the
+// flag was left empty (the command's own default placement applies).
+func (f *RoundFlags) Mix() (*dataset.DensityMix, error) {
+	if f.Density == "" {
+		return nil, nil
+	}
+	m, err := dataset.ParseDensity(f.Density)
+	if err != nil {
+		return nil, err
+	}
+	return &m, nil
 }
 
 // RegisterClient binds the client-side hardening flags (-retries, -chaos,
@@ -137,6 +185,34 @@ func (f *EpochFlags) Register(fs *flag.FlagSet) {
 		"auto-seal the collecting epoch on this cadence; 0 seals explicitly per epoch")
 	fs.Float64Var(&f.RateLimit, "rate-limit", f.RateLimit,
 		"admission-control token rate (submissions/sec, burst = one second of rate); 0 admits everything")
+}
+
+// Validate rejects epoch flag values that used to fall through silently.
+// It needs the parsed FlagSet to tell an explicit `-rate-limit 0` — which
+// would quietly admit everything, the opposite of what a zero budget
+// reads as — from the flag simply being left at its default.
+func (f *EpochFlags) Validate(fs *flag.FlagSet) error {
+	if f.Epochs < 0 {
+		return fmt.Errorf("cli: -epochs %d is negative (0 runs a single classic round)", f.Epochs)
+	}
+	if f.Interval < 0 {
+		return fmt.Errorf("cli: -epoch-interval %v is negative (0 seals explicitly)", f.Interval)
+	}
+	if f.RateLimit < 0 {
+		return fmt.Errorf("cli: -rate-limit %v is negative (omit the flag to admit everything)", f.RateLimit)
+	}
+	if f.RateLimit == 0 && fs != nil {
+		explicit := false
+		fs.Visit(func(fl *flag.Flag) {
+			if fl.Name == "rate-limit" {
+				explicit = true
+			}
+		})
+		if explicit {
+			return fmt.Errorf("cli: -rate-limit 0 would admit everything, not nothing; omit the flag to disable admission control")
+		}
+	}
+	return nil
 }
 
 // AdmissionConfig maps -rate-limit onto the epoch gate: the rate is the

@@ -89,6 +89,120 @@ func TestRoundFlagsChaosConfig(t *testing.T) {
 	}
 }
 
+// TestRoundFlagsValidate pins that the values which used to slip through
+// to a silent default — negative -workers/-shards, an unknown -density —
+// now come back as errors from Validate.
+func TestRoundFlagsValidate(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+		ok   bool
+	}{
+		{"defaults", nil, true},
+		{"explicit-good", []string{"-workers", "4", "-shards", "8", "-density", "mixed"}, true},
+		{"workers-zero-is-auto", []string{"-workers", "0"}, true},
+		{"negative-workers", []string{"-workers", "-3"}, false},
+		{"negative-shards", []string{"-shards", "-1"}, false},
+		{"negative-quorum", []string{"-quorum", "-2"}, false},
+		{"negative-straggler", []string{"-straggler", "-5s"}, false},
+		{"bad-density", []string{"-density", "metropolis"}, false},
+		{"density-urban", []string{"-density", "urban"}, true},
+		{"density-rural", []string{"-density", "rural"}, true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var f RoundFlags
+			parse(t, f.Register, tc.args...)
+			err := f.Validate()
+			if tc.ok && err != nil {
+				t.Fatalf("args %v: unexpected error %v", tc.args, err)
+			}
+			if !tc.ok && err == nil {
+				t.Fatalf("args %v: accepted, want error", tc.args)
+			}
+		})
+	}
+	// Client-side knobs validate through the same call.
+	clientCases := []struct {
+		name string
+		args []string
+		ok   bool
+	}{
+		{"negative-retries", []string{"-retries", "-1"}, false},
+		{"chaos-rate-over-one", []string{"-chaos-rate", "1.5"}, false},
+		{"chaos-rate-negative", []string{"-chaos-rate", "-0.5"}, false},
+		{"chaos-rate-good", []string{"-chaos-rate", "0.25"}, true},
+	}
+	for _, tc := range clientCases {
+		t.Run(tc.name, func(t *testing.T) {
+			var f RoundFlags
+			parse(t, f.RegisterClient, tc.args...)
+			err := f.Validate()
+			if tc.ok && err != nil {
+				t.Fatalf("args %v: unexpected error %v", tc.args, err)
+			}
+			if !tc.ok && err == nil {
+				t.Fatalf("args %v: accepted, want error", tc.args)
+			}
+		})
+	}
+}
+
+func TestRoundFlagsMix(t *testing.T) {
+	var empty RoundFlags
+	if m, err := empty.Mix(); err != nil || m != nil {
+		t.Fatalf("empty density: mix=%v err=%v, want nil/nil", m, err)
+	}
+	f := RoundFlags{Density: "urban"}
+	m, err := f.Mix()
+	if err != nil || m == nil || m.Name != "urban" {
+		t.Fatalf("urban density: mix=%v err=%v", m, err)
+	}
+}
+
+// TestEpochFlagsValidate pins the -rate-limit contract: an explicit zero
+// errors (it would silently admit everything), an implicit zero — the
+// default — stays legal, negatives always error.
+func TestEpochFlagsValidate(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+		ok   bool
+	}{
+		{"defaults", nil, true},
+		{"good", []string{"-epochs", "3", "-rate-limit", "100"}, true},
+		{"explicit-zero-rate-limit", []string{"-rate-limit", "0"}, false},
+		{"negative-rate-limit", []string{"-rate-limit", "-5"}, false},
+		{"negative-epochs", []string{"-epochs", "-1"}, false},
+		{"negative-interval", []string{"-epoch-interval", "-10ms"}, false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var f EpochFlags
+			fs := flag.NewFlagSet("test", flag.ContinueOnError)
+			fs.SetOutput(io.Discard)
+			f.Register(fs)
+			if err := fs.Parse(tc.args); err != nil {
+				t.Fatal(err)
+			}
+			err := f.Validate(fs)
+			if tc.ok && err != nil {
+				t.Fatalf("args %v: unexpected error %v", tc.args, err)
+			}
+			if !tc.ok && err == nil {
+				t.Fatalf("args %v: accepted, want error", tc.args)
+			}
+		})
+	}
+	// A nil FlagSet still validates the always-illegal shapes.
+	if err := (&EpochFlags{RateLimit: -1}).Validate(nil); err == nil {
+		t.Error("negative rate-limit with nil FlagSet accepted")
+	}
+	if err := (&EpochFlags{}).Validate(nil); err != nil {
+		t.Errorf("zero-value flags with nil FlagSet rejected: %v", err)
+	}
+}
+
 func TestEpochFlags(t *testing.T) {
 	var f EpochFlags
 	fs := flag.NewFlagSet("test", flag.ContinueOnError)

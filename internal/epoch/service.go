@@ -65,6 +65,11 @@ type Config struct {
 	// Interval, when positive, seals the collecting epoch on a wall-clock
 	// cadence. Zero leaves sealing to explicit Seal calls (tests, CLI).
 	Interval time.Duration
+	// Clock, when non-nil, is the admission clock Submit reads (seconds,
+	// monotone). The load harness injects a logical clock here so plain
+	// Submit calls replay deterministically; nil keeps wall time.
+	// SubmitAt bypasses the clock either way.
+	Clock func() float64
 	// RoundOptions compose into every epoch's round.Run — WithWorkers,
 	// WithShards, WithIndexedCandidates, WithTrace, WithObserver, and the
 	// rest all apply per epoch exactly as in a one-shot round.
@@ -169,9 +174,30 @@ func (s *Service) Admission() *Admission { return s.adm }
 // the runner (the channel is buffered, not unbounded).
 func (s *Service) Results() <-chan *EpochResult { return s.results }
 
-// Submit offers one submission to the collecting epoch at wall time.
+// Submit offers one submission to the collecting epoch at the service
+// clock — Config.Clock when injected, wall time otherwise.
 func (s *Service) Submit(sub Submission) error {
+	if s.cfg.Clock != nil {
+		return s.SubmitAt(sub, s.cfg.Clock())
+	}
 	return s.SubmitAt(sub, s.adm.now())
+}
+
+// Withdraw removes the bidder's pending submission from the collecting
+// epoch — churn departing mid-epoch. It reports whether an entry was
+// pending: a depart after the seal finds nothing (the sealed epoch keeps
+// the bidder, exactly like a network peer that vanishes after its frame
+// was acked). Spent admission tokens and quota debits are not refunded;
+// asking was the cost.
+func (s *Service) Withdraw(bidder int) (bool, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return false, ErrClosed
+	}
+	_, ok := s.intake[bidder]
+	delete(s.intake, bidder)
+	return ok, nil
 }
 
 // SubmitAt is Submit on an explicit admission clock (seconds) — the
@@ -341,4 +367,24 @@ func (s *Service) Close() error {
 	})
 	<-s.done
 	return nil
+}
+
+// Finish runs the service to completion: it drains Results on a helper
+// goroutine (so the runner's buffered sends can never wedge the
+// shutdown), Closes — sealing any residual intake as the final epoch —
+// and returns every remaining result in seal order. The run-to-completion
+// hook for drivers that submit and seal from one goroutine; must not race
+// other Results readers or in-flight Seal calls.
+func (s *Service) Finish() ([]*EpochResult, error) {
+	var out []*EpochResult
+	drained := make(chan struct{})
+	go func() {
+		defer close(drained)
+		for r := range s.results {
+			out = append(out, r)
+		}
+	}()
+	err := s.Close()
+	<-drained
+	return out, err
 }

@@ -156,6 +156,135 @@ func TestEpochEquivalence(t *testing.T) {
 	}
 }
 
+// TestEpochEquivalenceChurn extends the equivalence contract to the churn
+// edges: a bidder that departs after intake but before the seal must be
+// absent from that epoch, and a bidder that resubmits across the seal
+// boundary must land its old bids in the sealed epoch and its new bids in
+// the next — each epoch still bit-identical to a one-shot round.Run over
+// exactly the set it admitted.
+func TestEpochEquivalenceChurn(t *testing.T) {
+	p, ring := epochFixture(t)
+	const seed = 91
+	pol := core.DisguisePolicy{P0: 0.6, Decay: 0.95}
+	s, err := New(Config{Params: p, Ring: ring, Seed: seed, Policy: pol,
+		RoundOptions: []round.Option{round.WithWorkers(2), round.WithShards(4)}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pop := population(p, 24, 81)
+	leaver, straddler := pop[3], pop[10]
+	submitAll(t, s, pop, 1)
+
+	// Churn edge 1: departs after intake, before the seal.
+	if ok, err := s.Withdraw(leaver.Bidder); err != nil || !ok {
+		t.Fatalf("withdraw pending bidder: ok=%v err=%v", ok, err)
+	}
+	// Withdrawing a bidder that never joined is a quiet no-op.
+	if ok, err := s.Withdraw(999_999); err != nil || ok {
+		t.Fatalf("withdraw unknown bidder: ok=%v err=%v", ok, err)
+	}
+	if err := s.Seal(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Churn edge 2: resubmission after the seal opens the next epoch with
+	// the revised bids; the sealed epoch keeps the originals. A departure
+	// arriving after the seal is too late to touch epoch 0.
+	revised := straddler
+	revised.Bids = append([]uint64(nil), revised.Bids...)
+	revised.Bids[0] = p.BMax
+	if err := s.Submit(revised); err != nil {
+		t.Fatal(err)
+	}
+	if ok, err := s.Withdraw(leaver.Bidder); err != nil || ok {
+		t.Fatalf("post-seal withdraw of sealed bidder: ok=%v err=%v (epoch 0 already owns it)", ok, err)
+	}
+	results, err := s.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 2 {
+		t.Fatalf("%d results, want 2 (sealed epoch + Finish's residual seal)", len(results))
+	}
+
+	// Epoch 0: everyone but the leaver, original bids.
+	want0 := make([]Submission, 0, len(pop)-1)
+	for _, sub := range pop {
+		if sub.Bidder != leaver.Bidder {
+			want0 = append(want0, sub)
+		}
+	}
+	checkEpochOneShot(t, p, ring, pol, seed, results[0], want0,
+		[]round.Option{round.WithWorkers(2), round.WithShards(4)})
+	// Epoch 1: just the straddler, revised bids.
+	checkEpochOneShot(t, p, ring, pol, seed, results[1], []Submission{revised},
+		[]round.Option{round.WithWorkers(2), round.WithShards(4)})
+}
+
+// checkEpochOneShot asserts one EpochResult is bit-identical to a
+// one-shot round.Run over want (already in ascending-bidder order).
+func checkEpochOneShot(t *testing.T, p core.Params, ring *mask.KeyRing, pol core.DisguisePolicy,
+	seed int64, res *EpochResult, want []Submission, opts []round.Option) {
+	t.Helper()
+	if res.Err != nil {
+		t.Fatalf("epoch %d failed: %v", res.Epoch, res.Err)
+	}
+	ids := make([]int, len(want))
+	pts := make([]geo.Point, len(want))
+	bids := make([][]uint64, len(want))
+	for i, sub := range want {
+		ids[i], pts[i], bids[i] = sub.Bidder, sub.Point, sub.Bids
+	}
+	if !reflect.DeepEqual(res.Bidders, ids) {
+		t.Fatalf("epoch %d admitted %v, want %v", res.Epoch, res.Bidders, ids)
+	}
+	oneShot, err := round.Run(p, ring, round.Input{
+		Points: pts, Bids: bids, Policy: pol,
+		Rng: rand.New(rand.NewSource(EpochSeed(seed, res.Epoch))),
+	}, opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameOutcome(t, "churn-epoch", res.Result, oneShot)
+}
+
+// TestServiceInjectedClock pins Config.Clock: with a logical clock wired
+// in, plain Submit calls replay the same admit/shed sequence as SubmitAt,
+// independent of wall time.
+func TestServiceInjectedClock(t *testing.T) {
+	p, ring := epochFixture(t)
+	now := 0.0
+	s, err := New(Config{
+		Params: p, Ring: ring, Seed: 13, Policy: core.DisguisePolicy{P0: 1},
+		Admission: AdmissionConfig{Rate: 1, Burst: 5},
+		Clock:     func() float64 { return now },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pop := population(p, 8, 91)
+	admitted := 0
+	for _, sub := range pop { // all at logical t=0: exactly the burst admits
+		if err := s.Submit(sub); err == nil {
+			admitted++
+		}
+	}
+	if admitted != 5 {
+		t.Fatalf("admitted %d at t=0, want burst of 5", admitted)
+	}
+	now = 100 // refill
+	if err := s.Submit(pop[7]); err != nil {
+		t.Fatalf("submit after logical refill: %v", err)
+	}
+	results, err := s.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 1 || len(results[0].Bidders) != 6 {
+		t.Fatalf("results %+v, want one epoch of 6 bidders", results)
+	}
+}
+
 // TestServicePipelinedIntake pins the intake/allocate overlap shape:
 // epoch N+1's submissions are accepted while epoch N sits sealed in the
 // queue, before any result has been consumed.

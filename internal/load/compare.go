@@ -1,0 +1,83 @@
+package load
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Compare gates a candidate report against the SLOs recorded in a
+// baseline. It returns one violation line per missed target, sorted for
+// stable output; an empty slice means the candidate holds every SLO.
+//
+// The gate fails closed: a baseline without an SLO block is an error, not
+// a pass — a deleted or corrupted baseline must break CI loudly, never
+// wave a regression through.
+func Compare(baseline, candidate *Report) ([]string, error) {
+	if baseline == nil || candidate == nil {
+		return nil, fmt.Errorf("load: compare needs both reports")
+	}
+	slo := baseline.SLO
+	if slo == nil || (len(slo.MinRoundsPerSec) == 0 && len(slo.MaxPhaseP99Ms) == 0) {
+		return nil, fmt.Errorf("load: baseline has no SLO block; refusing to pass by default")
+	}
+	var violations []string
+	for _, name := range sortedKeys(slo.MinRoundsPerSec) {
+		min := slo.MinRoundsPerSec[name]
+		run := candidate.Run(name)
+		if run == nil {
+			violations = append(violations, fmt.Sprintf(
+				"%s: run missing from candidate report (SLO requires >= %.2f rounds/sec)", name, min))
+			continue
+		}
+		if run.RoundsPerSec < min {
+			violations = append(violations, fmt.Sprintf(
+				"%s: %.2f rounds/sec below SLO floor %.2f", name, run.RoundsPerSec, min))
+		}
+	}
+	for _, name := range sortedKeys(slo.MaxPhaseP99Ms) {
+		phases := slo.MaxPhaseP99Ms[name]
+		run := candidate.Run(name)
+		if run == nil {
+			violations = append(violations, fmt.Sprintf(
+				"%s: run missing from candidate report (SLO bounds %d phase p99s)", name, len(phases)))
+			continue
+		}
+		for _, phase := range sortedKeys(phases) {
+			max := phases[phase]
+			ps, ok := run.Phases[phase]
+			if !ok {
+				violations = append(violations, fmt.Sprintf(
+					"%s: phase %q missing from candidate report (SLO requires p99 <= %.2fms)", name, phase, max))
+				continue
+			}
+			if ps.P99Ms > max {
+				violations = append(violations, fmt.Sprintf(
+					"%s: phase %q p99 %.2fms above SLO ceiling %.2fms", name, phase, ps.P99Ms, max))
+			}
+		}
+	}
+	return violations, nil
+}
+
+// CompareFiles is Compare over two report paths. Either file missing or
+// malformed is an error (the gate's fail-closed posture extends to I/O).
+func CompareFiles(baselinePath, candidatePath string) ([]string, error) {
+	baseline, err := ReadReport(baselinePath)
+	if err != nil {
+		return nil, fmt.Errorf("load: baseline: %w", err)
+	}
+	candidate, err := ReadReport(candidatePath)
+	if err != nil {
+		return nil, fmt.Errorf("load: candidate: %w", err)
+	}
+	return Compare(baseline, candidate)
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
