@@ -3,7 +3,7 @@
 GO ?= go
 CACHE ?= /tmp/lppa-ds.gob
 
-.PHONY: all build test race cover bench bench-json bench-compare alloc-guard trace-guard fuzz fuzz-short chaos epoch-soak experiments examples metrics-snapshot trace-snapshot audit-snapshot load-snapshot load-compare load-smoke clean
+.PHONY: all build test race cover bench bench-json bench-compare alloc-guard trace-guard fuzz fuzz-short chaos epoch-soak experiments examples metrics-snapshot trace-snapshot audit-snapshot load-snapshot load-compare load-smoke ops-smoke clean
 
 all: build test
 
@@ -103,6 +103,12 @@ load-smoke:
 		-rounds 3 -rate-limit 100 -chaos drop -chaos-rate 0.05 \
 		-seed 1 -o LOAD_SMOKE.json
 	$(GO) run ./cmd/lppa-load compare LOAD_SMOKE.json LOAD_SMOKE.json
+
+# CI smoke of the live ops plane: boots the epochal demo with an
+# impossibly tight SLO and asserts the probe endpoints, burn-rate alarm,
+# event log, sampled traces, and forced flight dump end to end.
+ops-smoke:
+	sh scripts/ops_smoke.sh
 
 # Short fuzz pass over every fuzz target (CI smoke; extend -fuzztime locally).
 fuzz:

@@ -64,6 +64,7 @@ func runMain(args []string, out io.Writer) error {
 	outPath := fs.String("o", "", "write the report to this file (default stdout)")
 	headroom := fs.Float64("slo-headroom", 4,
 		"embedded SLO slack: throughput floor = measured/headroom, phase p99 ceiling = measured*headroom")
+	pprofAddr := fs.String("pprof-addr", "", "serve net/http/pprof on this address while the sweep runs")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -71,6 +72,9 @@ func runMain(args []string, out io.Writer) error {
 		return fmt.Errorf("unexpected arguments %v", fs.Args())
 	}
 	if err := rf.Validate(); err != nil {
+		return err
+	}
+	if err := cli.ServePprof(*pprofAddr); err != nil {
 		return err
 	}
 	if *rounds < 1 {

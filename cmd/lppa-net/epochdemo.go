@@ -10,6 +10,7 @@ import (
 	"lppa/internal/cli"
 	"lppa/internal/epoch"
 	"lppa/internal/obs"
+	"lppa/internal/round"
 )
 
 // runEpochDemo drives the epochal auction service in-process: -epochs
@@ -34,6 +35,13 @@ func runEpochDemo(params lppa.Params, cfg demoConfig, ef cli.EpochFlags, reg *ob
 	if err != nil {
 		return err
 	}
+	// The sampler rides the round options so one epoch in K carries full
+	// spans; the ops plane drains those spans, watches the SLO windows,
+	// and serves /healthz + /statusz off the metrics mux.
+	roundOpts := cfg.flags.RoundOptions()
+	if cfg.sampler != nil {
+		roundOpts = append(roundOpts, round.WithTraceSampler(cfg.sampler))
+	}
 	svc, err := epoch.New(epoch.Config{
 		Params:       params,
 		Ring:         ring,
@@ -43,8 +51,9 @@ func runEpochDemo(params lppa.Params, cfg demoConfig, ef cli.EpochFlags, reg *ob
 		Billing:      billing,
 		Quota:        quota,
 		Interval:     ef.Interval,
-		RoundOptions: cfg.flags.RoundOptions(),
+		RoundOptions: roundOpts,
 		Registry:     reg,
+		Ops:          cfg.plane,
 	})
 	if err != nil {
 		return err

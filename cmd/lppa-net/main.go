@@ -21,7 +21,6 @@ import (
 	"math/rand"
 	"net"
 	"net/http"
-	_ "net/http/pprof" // registers /debug/pprof on the default mux for -pprof-addr
 	"os"
 	"strconv"
 	"strings"
@@ -32,6 +31,7 @@ import (
 	"lppa/internal/cli"
 	"lppa/internal/epoch"
 	"lppa/internal/obs"
+	"lppa/internal/obs/ops"
 	"lppa/internal/transport"
 )
 
@@ -73,13 +73,16 @@ func run(args []string) error {
 		flightSLO  = fs.Duration("flight-slo", 0, "round-duration SLO: healthy rounds slower than this still dump, 0 disables")
 		pprofAddr  = fs.String("pprof-addr", "", "serve net/http/pprof on this address for live profiling")
 	)
-	// Round-shaping and epoch flags come from the shared cli blocks, so
-	// lppa-net and lppa-sim agree on names, defaults, and help strings.
+	// Round-shaping, epoch, and ops flags come from the shared cli blocks,
+	// so lppa-net, lppa-sim, and lppa-load agree on names, defaults, and
+	// help strings.
 	var rf cli.RoundFlags
 	rf.Register(fs)
 	rf.RegisterClient(fs)
 	var ef cli.EpochFlags
 	ef.Register(fs)
+	var of cli.OpsFlags
+	of.Register(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -87,6 +90,9 @@ func run(args []string) error {
 		return err
 	}
 	if err := ef.Validate(fs); err != nil {
+		return err
+	}
+	if err := of.Validate(); err != nil {
 		return err
 	}
 
@@ -103,11 +109,11 @@ func run(args []string) error {
 		return fmt.Errorf("unknown pricing rule %q", *pricing)
 	}
 	log := slog.New(slog.NewTextHandler(os.Stderr, nil))
-	reg, err := serveMetrics(*metrics, log)
+	reg, mux, err := serveMetrics(*metrics, log)
 	if err != nil {
 		return err
 	}
-	if err := servePprof(*pprofAddr); err != nil {
+	if err := cli.ServePprof(*pprofAddr); err != nil {
 		return err
 	}
 
@@ -119,17 +125,30 @@ func run(args []string) error {
 	// One tracer per process; in demo mode all three parties share it
 	// (TTP spans under a "ttp" process name), so the exported trace shows
 	// the full cross-party round.
+	proc := *role
+	if proc == "demo" {
+		proc = "auctioneer"
+	}
 	var tracer *lppa.Tracer
 	if *traceOut != "" || *flightDir != "" {
-		proc := *role
-		if proc == "demo" {
-			proc = "auctioneer"
-		}
 		tracer = obs.NewTracer(proc)
 	}
 	var flight *lppa.FlightRecorder
 	if *flightDir != "" {
 		flight = obs.NewFlightRecorder(*flightDir, *flightKeep, *flightSLO)
+	}
+
+	// The ops plane rides the metrics mux: /healthz, /readyz, /statusz
+	// next to /metrics. Epoch mode always gets one (cheap, and the smoke
+	// test curls it); otherwise only when an ops flag asked for it.
+	sampler := of.Sampler(proc, *seed)
+	var plane *ops.Plane
+	if (ef.Epochs > 0 && *role == "demo") || of.Enabled() {
+		plane, err = of.Plane(reg, flight, sampler)
+		if err != nil {
+			return err
+		}
+		plane.Routes(mux)
 	}
 
 	switch *role {
@@ -139,6 +158,7 @@ func run(args []string) error {
 			secondPrice: secondPrice, flags: rf, clientTimeout: *cliTO,
 			chaos: chaosCfg, chaosBidders: *chaosBidders,
 			tracer: tracer, flight: flight, traceOut: *traceOut,
+			plane: plane, sampler: sampler,
 		}
 		if ef.Epochs > 0 {
 			return runEpochDemo(params, cfg, ef, reg)
@@ -168,7 +188,7 @@ func run(args []string) error {
 		if err != nil {
 			return err
 		}
-		cfg, err := auctioneerConfig(log, reg, secondPrice, rf, tracer, flight, ef.RateLimit)
+		cfg, err := auctioneerConfig(log, reg, secondPrice, rf, tracer, flight, ef.RateLimit, plane)
 		if err != nil {
 			return err
 		}
@@ -212,21 +232,6 @@ func run(args []string) error {
 	}
 }
 
-// servePprof exposes net/http/pprof's default-mux handlers when addr is
-// non-empty.
-func servePprof(addr string) error {
-	if addr == "" {
-		return nil
-	}
-	ln, err := net.Listen("tcp", addr)
-	if err != nil {
-		return fmt.Errorf("pprof listener: %w", err)
-	}
-	fmt.Printf("pprof on http://%s/debug/pprof/\n", ln.Addr())
-	go http.Serve(ln, nil)
-	return nil
-}
-
 // writeTrace dumps everything the tracer buffered as one Chrome
 // trace_event file, loadable in ui.perfetto.dev or chrome://tracing.
 func writeTrace(tracer *lppa.Tracer, path string) error {
@@ -249,23 +254,29 @@ func writeTrace(tracer *lppa.Tracer, path string) error {
 }
 
 // serveMetrics starts the optional HTTP metrics endpoint and returns the
-// registry every party in this process records into (nil when disabled).
-func serveMetrics(addr string, log *slog.Logger) (*obs.Registry, error) {
+// registry every party in this process records into plus the mux the ops
+// plane mounts its probe routes on (both nil when disabled). The registry
+// handler keeps the root so existing scrape configs and the JSON paths
+// work unchanged; /healthz, /readyz, and /statusz are layered on by
+// Plane.Routes.
+func serveMetrics(addr string, log *slog.Logger) (*obs.Registry, *http.ServeMux, error) {
 	if addr == "" {
-		return nil, nil
+		return nil, nil, nil
 	}
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
-		return nil, fmt.Errorf("metrics listener: %w", err)
+		return nil, nil, fmt.Errorf("metrics listener: %w", err)
 	}
 	reg := obs.NewRegistry()
+	mux := http.NewServeMux()
+	mux.Handle("/", reg.Handler())
 	fmt.Printf("metrics on http://%s/metrics\n", ln.Addr())
 	go func() {
-		if err := http.Serve(ln, reg.Handler()); err != nil {
+		if err := http.Serve(ln, mux); err != nil {
 			log.Error("metrics server", "err", err)
 		}
 	}()
-	return reg, nil
+	return reg, mux, nil
 }
 
 // lingerForScrape keeps a finished process alive when metrics are enabled so
@@ -293,14 +304,18 @@ type demoConfig struct {
 	tracer        *lppa.Tracer
 	flight        *lppa.FlightRecorder
 	traceOut      string
+	plane         *ops.Plane
+	sampler       *obs.TraceSampler
 }
 
 // auctioneerConfig assembles the auctioneer's transport config through the
 // options constructor, folding in the parsed flags. A positive rateLimit
 // wires an epoch admission gate into the accept path, so over-rate
-// connections are shed with a retry-after frame before any decode work.
+// connections are shed with a retry-after frame before any decode work;
+// a non-nil plane additionally gets each shed connection as an
+// admission_shed event.
 func auctioneerConfig(log *slog.Logger, reg *obs.Registry, secondPrice bool, rf cli.RoundFlags,
-	tracer *lppa.Tracer, flight *lppa.FlightRecorder, rateLimit float64) (transport.Config, error) {
+	tracer *lppa.Tracer, flight *lppa.FlightRecorder, rateLimit float64, plane *ops.Plane) (transport.Config, error) {
 	opts := []transport.Option{
 		transport.WithLogger(log),
 		transport.WithMetrics(reg),
@@ -322,6 +337,9 @@ func auctioneerConfig(log *slog.Logger, reg *obs.Registry, secondPrice bool, rf 
 			return transport.Config{}, err
 		}
 		opts = append(opts, transport.WithAdmission(adm.AdmitConn))
+		if plane != nil {
+			opts = append(opts, transport.WithShedNotify(plane.NoteShed))
+		}
 	}
 	return transport.New(opts...)
 }
@@ -351,7 +369,7 @@ func runDemo(params lppa.Params, cfg demoConfig, log *slog.Logger, reg *obs.Regi
 	if err != nil {
 		return err
 	}
-	aucCfg, err := auctioneerConfig(log, reg, cfg.secondPrice, cfg.flags, cfg.tracer, cfg.flight, 0)
+	aucCfg, err := auctioneerConfig(log, reg, cfg.secondPrice, cfg.flags, cfg.tracer, cfg.flight, 0, cfg.plane)
 	if err != nil {
 		return err
 	}

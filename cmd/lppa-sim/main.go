@@ -26,9 +26,6 @@ package main
 import (
 	"flag"
 	"fmt"
-	"net"
-	"net/http"
-	_ "net/http/pprof" // registers /debug/pprof on the default mux for -pprof-addr
 	"os"
 	"runtime"
 	"strconv"
@@ -119,7 +116,7 @@ func run(args []string) error {
 	if *metricsOut != "" || *auditOut != "" {
 		reg = obs.NewRegistry()
 	}
-	if err := servePprof(*pprofAddr); err != nil {
+	if err := cli.ServePprof(*pprofAddr); err != nil {
 		return err
 	}
 	var tracer *obs.Tracer
@@ -187,22 +184,6 @@ type obsSinks struct {
 	tracer   *obs.Tracer
 	flight   *obs.FlightRecorder
 	auditOut string
-}
-
-// servePprof exposes net/http/pprof's default-mux handlers when addr is
-// non-empty; profiling a long fig5 sweep is then `go tool pprof
-// http://addr/debug/pprof/profile`.
-func servePprof(addr string) error {
-	if addr == "" {
-		return nil
-	}
-	ln, err := net.Listen("tcp", addr)
-	if err != nil {
-		return fmt.Errorf("pprof listener: %w", err)
-	}
-	fmt.Fprintf(os.Stderr, "pprof on http://%s/debug/pprof/\n", ln.Addr())
-	go http.Serve(ln, nil)
-	return nil
 }
 
 // writeTrace dumps everything the tracer buffered as one Chrome

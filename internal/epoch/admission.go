@@ -3,6 +3,7 @@ package epoch
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"lppa/internal/obs"
@@ -80,6 +81,11 @@ type Admission struct {
 
 	admitted *obs.Counter
 	rejected *obs.Counter
+
+	// Always-on atomic tallies backing Stats, independent of whether a
+	// registry was wired — the ops plane's status probe reads them.
+	admittedN atomic.Uint64
+	rejectedN atomic.Uint64
 }
 
 // NewAdmission builds the gate. reg, when non-nil, receives
@@ -171,14 +177,21 @@ func (a *Admission) AdmitBidderAt(id int, now float64) (bool, time.Duration) {
 
 func (a *Admission) note(ok bool) {
 	if ok {
+		a.admittedN.Add(1)
 		if a.admitted != nil {
 			a.admitted.Inc()
 		}
 		return
 	}
+	a.rejectedN.Add(1)
 	if a.rejected != nil {
 		a.rejected.Inc()
 	}
+}
+
+// Stats reports the lifetime admitted/rejected tallies.
+func (a *Admission) Stats() (admitted, rejected uint64) {
+	return a.admittedN.Load(), a.rejectedN.Load()
 }
 
 // ErrRateLimited reports a submission the admission gate turned away,

@@ -1,6 +1,8 @@
 package epoch
 
 import (
+	"crypto/sha256"
+	"encoding/hex"
 	"errors"
 	"fmt"
 	"math/rand"
@@ -12,6 +14,7 @@ import (
 	"lppa/internal/geo"
 	"lppa/internal/mask"
 	"lppa/internal/obs"
+	"lppa/internal/obs/ops"
 	"lppa/internal/round"
 )
 
@@ -78,6 +81,13 @@ type Config struct {
 	// (lppa_epochs_total, lppa_epoch_bidders_total, admission and
 	// accounting series).
 	Registry *obs.Registry
+	// Ops, when non-nil, is the live telemetry plane: the service
+	// installs its status probe, streams seal/shed/drain events and
+	// per-epoch observations (wall time, award digest, anonymity sets)
+	// into it, and feeds the SLO burn-rate monitor through the round's
+	// phase observer. nil is free — the observed-twin pin tests hold the
+	// service to bit-identical results either way.
+	Ops *ops.Plane
 }
 
 // batch is one sealed epoch's population, in sorted-bidder order.
@@ -156,6 +166,7 @@ func New(cfg Config) (*Service, error) {
 		s.epochs = cfg.Registry.Counter("lppa_epochs_total")
 		s.bidders = cfg.Registry.Counter("lppa_epoch_bidders_total")
 	}
+	cfg.Ops.SetProbe(s.Status)
 	go s.run()
 	if cfg.Interval > 0 {
 		s.tickStop = make(chan struct{})
@@ -168,6 +179,22 @@ func New(cfg Config) (*Service, error) {
 // Admission exposes the ingest gate (for wiring transport.WithAdmission
 // and for reading the admitted/rejected counters).
 func (s *Service) Admission() *Admission { return s.adm }
+
+// Status is the live state probe behind the ops plane's /statusz: the
+// epoch currently collecting, its intake depth, whether the service has
+// closed, and the admission gate's lifetime tallies. Safe to call from
+// any goroutine.
+func (s *Service) Status() ops.ServiceStatus {
+	s.mu.Lock()
+	st := ops.ServiceStatus{
+		Epoch:       s.epoch,
+		IntakeDepth: len(s.intake),
+		Closed:      s.closed,
+	}
+	s.mu.Unlock()
+	st.Admitted, st.Rejected = s.adm.Stats()
+	return st
+}
 
 // Results delivers finished epochs in seal order. The channel closes
 // after Close has drained the runner; slow consumers eventually block
@@ -214,6 +241,7 @@ func (s *Service) SubmitAt(sub Submission, now float64) error {
 			sub.Bidder, len(sub.Bids), s.cfg.Params.Channels)
 	}
 	if ok, retry := s.adm.AdmitBidderAt(sub.Bidder, now); !ok {
+		s.cfg.Ops.NoteShed(retry)
 		return &ErrRateLimited{RetryAfter: retry}
 	}
 	s.mu.Lock()
@@ -247,6 +275,7 @@ func (s *Service) Seal() error {
 	if !ok {
 		return nil
 	}
+	s.cfg.Ops.NoteSeal(b.epoch, len(b.bidders))
 	s.queue <- b
 	return nil
 }
@@ -308,9 +337,17 @@ func (s *Service) run() {
 // accounting flush.
 func (s *Service) runEpoch(b batch) *EpochResult {
 	rng := rand.New(rand.NewSource(EpochSeed(s.cfg.Seed, b.epoch)))
-	opts := make([]round.Option, 0, len(s.cfg.RoundOptions)+1)
+	opts := make([]round.Option, 0, len(s.cfg.RoundOptions)+3)
 	opts = append(opts, s.cfg.RoundOptions...)
-	opts = append(opts, round.WithEpochState(s.state))
+	opts = append(opts, round.WithEpochState(s.state), round.WithEpochNumber(b.epoch))
+	var start time.Time
+	if s.cfg.Ops != nil {
+		epoch := b.epoch
+		opts = append(opts, round.WithPhaseObserver(func(phase string, d time.Duration) {
+			s.cfg.Ops.ObservePhase(epoch, phase, d)
+		}))
+		start = time.Now()
+	}
 	res, err := round.Run(s.cfg.Params, s.cfg.Ring, round.Input{
 		Points: b.pts,
 		Bids:   b.bids,
@@ -339,7 +376,62 @@ func (s *Service) runEpoch(b batch) *EpochResult {
 	if ferr := (&Accounting{Billing: s.cfg.Billing, Quota: s.cfg.Quota}).Flush(); ferr != nil && er.Err == nil {
 		er.Err = ferr
 	}
+	if s.cfg.Ops != nil {
+		s.observeEpoch(b, er, time.Since(start))
+	}
 	return er
+}
+
+// observeEpoch reports one finished epoch to the ops plane: wall time,
+// the award-transcript digest (the same bytes the load harness hashes,
+// so live service and offline replay compare digest to digest), and the
+// epoch's anonymity-set summary — per-tile sizes when the round ran
+// sharded, the whole admitted population otherwise.
+func (s *Service) observeEpoch(b batch, er *EpochResult, wall time.Duration) {
+	eo := ops.EpochObs{Epoch: b.epoch, Bidders: len(b.bidders), Wall: wall}
+	if er.Err != nil {
+		eo.Err = er.Err.Error()
+	}
+	if res := er.Result; res != nil {
+		eo.Trace = res.Trace
+		eo.Excluded = len(res.Excluded)
+		eo.AwardDigest = awardDigest(b.epoch, b.bidders, res)
+		admitted := len(b.bidders) - len(res.Excluded)
+		eo.AnonMin, eo.AnonMean = admitted, float64(admitted)
+		if res.Auctioneer != nil {
+			if sizes := res.Auctioneer.ShardSizes(); len(sizes) > 0 {
+				sum := 0
+				eo.AnonMin = sizes[0]
+				for _, sz := range sizes {
+					sum += sz
+					if sz < eo.AnonMin {
+						eo.AnonMin = sz
+					}
+				}
+				eo.AnonMean = float64(sum) / float64(len(sizes))
+			}
+		}
+	}
+	s.cfg.Ops.ObserveEpoch(eo)
+}
+
+// awardDigest hashes the epoch's award transcript in the load harness's
+// writeAward line format: the bidder set, every assignment with its
+// charge, and the outcome totals.
+func awardDigest(epoch int, bidders []int, res *round.Result) string {
+	h := sha256.New()
+	fmt.Fprintf(h, "epoch %d bidders %d [", epoch, len(bidders))
+	for _, id := range bidders {
+		fmt.Fprintf(h, " %d", id)
+	}
+	fmt.Fprint(h, " ]\n")
+	for i, as := range res.Outcome.Assignments {
+		fmt.Fprintf(h, "award bidder %d channel %d charge %d\n",
+			bidders[as.Bidder], as.Channel, res.Outcome.Charges[i])
+	}
+	fmt.Fprintf(h, "revenue %d satisfied %d voided %d excluded %v\n",
+		res.Outcome.Revenue, res.Outcome.SatisfiedBidders, res.Voided, res.Excluded)
+	return hex.EncodeToString(h.Sum(nil))
 }
 
 // Close seals any residual intake, stops the ticker and runner, and
@@ -348,6 +440,9 @@ func (s *Service) runEpoch(b batch) *EpochResult {
 // runner's buffered sends.
 func (s *Service) Close() error {
 	s.closeOnce.Do(func() {
+		// Readiness flips off the moment draining starts: probes stop
+		// routing new submissions here while the final epoch still runs.
+		s.cfg.Ops.NoteDraining()
 		if s.tickStop != nil {
 			close(s.tickStop)
 			<-s.tickDone
@@ -360,12 +455,14 @@ func (s *Service) Close() error {
 		b, ok := s.takeIntake()
 		s.mu.Unlock()
 		if ok {
+			s.cfg.Ops.NoteSeal(b.epoch, len(b.bidders))
 			s.queue <- b
 		}
 		close(s.queue)
 		s.sealMu.Unlock()
 	})
 	<-s.done
+	s.cfg.Ops.NoteClosed()
 	return nil
 }
 

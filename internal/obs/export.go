@@ -131,8 +131,14 @@ func promLabels(labels []Label, extra ...Label) string {
 	return "{" + strings.Join(parts, ",") + "}"
 }
 
+// helpEscaper escapes # HELP text per the exposition format: only
+// backslash and newline (label-value escaping additionally covers
+// double quotes, which help text carries raw).
+var helpEscaper = strings.NewReplacer(`\`, `\\`, "\n", `\n`)
+
 // WritePrometheus writes every metric in the Prometheus text exposition
-// format (version 0.0.4): a # TYPE line per family, then one line per
+// format (version 0.0.4): a # HELP line when the family has help text
+// (see Registry.Help), a # TYPE line per family, then one line per
 // series; histograms expand to cumulative _bucket series plus _sum and
 // _count. A nil registry writes nothing.
 func (r *Registry) WritePrometheus(w io.Writer) error {
@@ -145,6 +151,11 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 			typ = "gauge"
 		case kindHistogram:
 			typ = "histogram"
+		}
+		if help := r.helpFor(f.name); help != "" {
+			if _, err := fmt.Fprintf(w, "# HELP %s %s\n", f.name, helpEscaper.Replace(help)); err != nil {
+				return err
+			}
 		}
 		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", f.name, typ); err != nil {
 			return err

@@ -1,0 +1,39 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestPrometheusHelpLines extends the exporter golden: families with Help
+// text get a # HELP line right above their # TYPE line (escaped per the
+// 0.0.4 exposition format), and families without stay exactly as before —
+// TestPrometheusGolden pins that no # HELP appears unasked.
+func TestPrometheusHelpLines(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("lppa_ops_slo_breaches_total").Add(3)
+	r.Help("lppa_ops_slo_breaches_total", "SLO burn-rate breach transitions.")
+	r.Gauge("lppa_ops_tile_anonymity_min_cells").Set(9)
+	r.Help("lppa_ops_tile_anonymity_min_cells", `floor \ check`+"\nsecond line")
+	r.Counter("lppa_unhelped_total").Inc()
+	r.Help("lppa_dangling_total", "no such") // harmless: family never exported
+
+	var nilReg *Registry
+	nilReg.Help("x", "nil registry ignores help") // nil no-op contract
+
+	want := "# HELP lppa_ops_slo_breaches_total SLO burn-rate breach transitions.\n" +
+		"# TYPE lppa_ops_slo_breaches_total counter\n" +
+		"lppa_ops_slo_breaches_total 3\n" +
+		"# HELP lppa_ops_tile_anonymity_min_cells floor \\\\ check\\nsecond line\n" +
+		"# TYPE lppa_ops_tile_anonymity_min_cells gauge\n" +
+		"lppa_ops_tile_anonymity_min_cells 9\n" +
+		"# TYPE lppa_unhelped_total counter\n" +
+		"lppa_unhelped_total 1\n"
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if sb.String() != want {
+		t.Fatalf("prometheus help output mismatch\n--- got ---\n%s--- want ---\n%s", sb.String(), want)
+	}
+}

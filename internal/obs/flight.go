@@ -24,6 +24,8 @@ type RoundTrace struct {
 	Label    string // short tag used in the dump filename
 	Err      string // non-empty when the round failed
 	Degraded bool   // true when bidders were excluded
+	Epoch    int    // epoch number, meaningful only when HasEpoch
+	HasEpoch bool   // set when the round ran inside an epochal service
 	Duration time.Duration
 	Spans    []*Span
 }
@@ -69,6 +71,29 @@ func (f *FlightRecorder) Record(rt *RoundTrace) (string, error) {
 		f.mu.Unlock()
 		return "", nil
 	}
+	epoch := -1
+	if rt.HasEpoch {
+		epoch = rt.Epoch
+	}
+	return f.dumpLocked(rt.Label, epoch)
+}
+
+// Dump force-dumps the current ring regardless of triggers — the alarm
+// path for conditions the recorder can't see itself, like an SLO
+// burn-rate breach or an anonymity-floor violation detected by the ops
+// plane. epoch < 0 omits the epoch tag from the filename. It returns the
+// dump path; nil-safe ("" on the nil recorder).
+func (f *FlightRecorder) Dump(label string, epoch int) (string, error) {
+	if f == nil {
+		return "", nil
+	}
+	f.mu.Lock()
+	return f.dumpLocked(label, epoch)
+}
+
+// dumpLocked writes the ring to a fresh dump file. It must be entered
+// with f.mu held and releases it before touching the filesystem.
+func (f *FlightRecorder) dumpLocked(label string, epoch int) (string, error) {
 	f.seq++
 	seq := f.seq
 	var spans []*Span
@@ -78,7 +103,12 @@ func (f *FlightRecorder) Record(rt *RoundTrace) (string, error) {
 	f.mu.Unlock()
 
 	sortSpans(spans)
-	name := fmt.Sprintf("flight-%03d-%s.trace.json", seq, sanitizeLabel(rt.Label))
+	// Multi-epoch soak dumps interleave ambiguously without the epoch in
+	// the name; flight-e<epoch>-NNN-<label> keeps them attributable.
+	name := fmt.Sprintf("flight-%03d-%s.trace.json", seq, sanitizeLabel(label))
+	if epoch >= 0 {
+		name = fmt.Sprintf("flight-e%d-%03d-%s.trace.json", epoch, seq, sanitizeLabel(label))
+	}
 	path := filepath.Join(f.dir, name)
 	if err := os.MkdirAll(f.dir, 0o755); err != nil {
 		return "", err

@@ -175,11 +175,35 @@ type series struct {
 type Registry struct {
 	mu       sync.Mutex
 	families map[string]*family
+	help     map[string]string // family name → # HELP text
 }
 
 // NewRegistry returns an empty registry.
 func NewRegistry() *Registry {
-	return &Registry{families: make(map[string]*family)}
+	return &Registry{families: make(map[string]*family), help: make(map[string]string)}
+}
+
+// Help attaches a one-line description to a metric family, emitted as a
+// # HELP line by the Prometheus exporter. It may be called before or
+// after the family's first series exists; families without help text are
+// exported exactly as before. Nil-safe.
+func (r *Registry) Help(name, text string) {
+	if r == nil || text == "" {
+		return
+	}
+	r.mu.Lock()
+	r.help[name] = text
+	r.mu.Unlock()
+}
+
+// helpFor returns the family's help text ("" when unset).
+func (r *Registry) helpFor(name string) string {
+	if r == nil {
+		return ""
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.help[name]
 }
 
 // labelKey renders labels deterministically for series identity and

@@ -1,0 +1,90 @@
+package ops
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestEventLogJSONLines(t *testing.T) {
+	var buf bytes.Buffer
+	l := NewEventLog(&buf)
+	l.now = func() time.Time { return time.Date(2026, 8, 8, 12, 0, 0, 123456789, time.UTC) }
+
+	l.Emit(EventEpochSealed, 4, 0, map[string]any{"bidders": 16})
+	l.Emit(EventEpochClosed, 4, 0xdeadbeef, nil)
+	l.Emit(EventDraining, -1, 0, nil)
+
+	lines := strings.Split(strings.TrimSuffix(buf.String(), "\n"), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("wrote %d lines, want 3", len(lines))
+	}
+	var evs []Event
+	for i, line := range lines {
+		var ev Event
+		if err := json.Unmarshal([]byte(line), &ev); err != nil {
+			t.Fatalf("line %d is not JSON: %v\n%s", i, err, line)
+		}
+		if ev.Seq != uint64(i+1) {
+			t.Fatalf("line %d seq = %d", i, ev.Seq)
+		}
+		if _, err := time.Parse(time.RFC3339Nano, ev.TS); err != nil {
+			t.Fatalf("line %d timestamp %q: %v", i, ev.TS, err)
+		}
+		evs = append(evs, ev)
+	}
+	if evs[0].Type != EventEpochSealed || evs[0].Epoch != 4 || evs[0].Trace != "" {
+		t.Fatalf("sealed event: %+v", evs[0])
+	}
+	if got := evs[0].Attrs["bidders"]; got != float64(16) {
+		t.Fatalf("sealed attrs: %v", evs[0].Attrs)
+	}
+	if evs[1].Trace != "00000000deadbeef" {
+		t.Fatalf("trace hex = %q, want fixed-width 16", evs[1].Trace)
+	}
+	if evs[2].Epoch != -1 {
+		t.Fatalf("epoch-free event carries epoch %d", evs[2].Epoch)
+	}
+}
+
+func TestEventLogRingBounded(t *testing.T) {
+	l := NewEventLog(nil) // ring-only: no writer, /statusz still sees events
+	for i := 0; i < DefaultEventKeep+8; i++ {
+		l.Emit(EventEpochClosed, i, 0, nil)
+	}
+	recent := l.Recent()
+	if len(recent) != DefaultEventKeep {
+		t.Fatalf("ring holds %d, want %d", len(recent), DefaultEventKeep)
+	}
+	if recent[0].Epoch != 8 || recent[len(recent)-1].Epoch != DefaultEventKeep+7 {
+		t.Fatalf("ring window wrong: first epoch %d last %d", recent[0].Epoch, recent[len(recent)-1].Epoch)
+	}
+	if l.Count() != uint64(DefaultEventKeep+8) {
+		t.Fatalf("Count() = %d", l.Count())
+	}
+}
+
+func TestNilEventLogIsInert(t *testing.T) {
+	var l *EventLog
+	if ev := l.Emit(EventSLOBreach, 1, 2, nil); ev.Seq != 0 || ev.Type != "" {
+		t.Fatalf("nil log emitted %+v", ev)
+	}
+	if l.Recent() != nil || l.Count() != 0 {
+		t.Fatal("nil log leaked state")
+	}
+}
+
+// errWriter fails every write; Emit must swallow it.
+type errWriter struct{}
+
+func (errWriter) Write([]byte) (int, error) { return 0, bytes.ErrTooLarge }
+
+func TestEventLogSwallowsWriteErrors(t *testing.T) {
+	l := NewEventLog(errWriter{})
+	ev := l.Emit(EventEpochClosed, 1, 0, nil)
+	if ev.Seq != 1 || len(l.Recent()) != 1 {
+		t.Fatal("write error leaked into the log's own state")
+	}
+}

@@ -1,0 +1,144 @@
+package ops
+
+import (
+	"testing"
+	"time"
+)
+
+// hot returns a monitor whose thresholds trip on a single violating
+// sample: with FastWindow 4 / SlowWindow 8 and the default 1% objective,
+// one violation burns fast at 25x and slow at 12.5x — over both default
+// thresholds (10, 2).
+func hot() *Monitor {
+	return NewMonitor(SLOConfig{
+		Phases:     map[string]time.Duration{"round": 10 * time.Millisecond},
+		FastWindow: 4,
+		SlowWindow: 8,
+	})
+}
+
+func TestMonitorNilAndEmpty(t *testing.T) {
+	if m := NewMonitor(SLOConfig{}); m != nil {
+		t.Fatal("empty config must yield the nil monitor")
+	}
+	var m *Monitor
+	if b, rec := m.Observe("round", time.Hour); b != nil || rec {
+		t.Fatal("nil monitor reacted")
+	}
+	if m.Breached() != nil || m.Status() != nil {
+		t.Fatal("nil monitor leaked state")
+	}
+}
+
+func TestMonitorBreachLatchAndRecovery(t *testing.T) {
+	m := hot()
+
+	// Unbound phases are ignored.
+	if b, rec := m.Observe("unbound", time.Hour); b != nil || rec {
+		t.Fatal("unbound phase tripped the monitor")
+	}
+
+	// Good samples never breach.
+	for i := 0; i < 10; i++ {
+		if b, _ := m.Observe("round", time.Millisecond); b != nil {
+			t.Fatal("in-SLO sample breached")
+		}
+	}
+
+	b, rec := m.Observe("round", 50*time.Millisecond)
+	if b == nil || rec {
+		t.Fatalf("violation did not breach: %v %v", b, rec)
+	}
+	if b.Phase != "round" || b.Observed != 50*time.Millisecond || b.Ceiling != 10*time.Millisecond {
+		t.Fatalf("breach fields: %+v", b)
+	}
+	if b.FastBurn < 10 || b.SlowBurn < 2 {
+		t.Fatalf("breach burns under thresholds: %+v", b)
+	}
+	if got := m.Breached(); len(got) != 1 || got[0] != "round" {
+		t.Fatalf("Breached() = %v", got)
+	}
+
+	// While latched, further violations are NOT new transitions.
+	if b, rec := m.Observe("round", time.Second); b != nil || rec {
+		t.Fatalf("latched breach re-fired: %v %v", b, rec)
+	}
+
+	// Good samples roll the violations out of the slow window; the latch
+	// releases exactly once.
+	recoveries := 0
+	for i := 0; i < 16; i++ {
+		if b, rec := m.Observe("round", time.Millisecond); b != nil {
+			t.Fatal("recovery path breached")
+		} else if rec {
+			recoveries++
+		}
+	}
+	if recoveries != 1 {
+		t.Fatalf("recovered %d times, want exactly 1", recoveries)
+	}
+	if got := m.Breached(); len(got) != 0 {
+		t.Fatalf("still breached after recovery: %v", got)
+	}
+}
+
+// TestMonitorColdWindowCannotAlarmEarly pins the denominator choice: burn
+// divides by the configured window size, not the filled count, so the
+// very first sample — even a violating one — cannot trip wide windows
+// that need more evidence.
+func TestMonitorColdWindowCannotAlarmEarly(t *testing.T) {
+	m := NewMonitor(SLOConfig{
+		Phases: map[string]time.Duration{"round": 10 * time.Millisecond},
+		// Defaults: FastWindow 12, SlowWindow 96 → one violation burns
+		// fast at 8.3 (< 10); two burn at 16.7 fast and 2.08 slow.
+	})
+	if b, _ := m.Observe("round", time.Second); b != nil {
+		t.Fatalf("single cold violation breached: %+v", b)
+	}
+	b, _ := m.Observe("round", time.Second)
+	if b == nil {
+		t.Fatal("second violation should breach the default windows")
+	}
+}
+
+// TestMonitorRingRollover pins the circular window: old violations age
+// out exactly SlowWindow samples later, visible through Status.
+func TestMonitorRingRollover(t *testing.T) {
+	m := hot() // SlowWindow 8
+	m.Observe("round", 50*time.Millisecond)
+	for i := 0; i < 7; i++ {
+		m.Observe("round", time.Millisecond)
+	}
+	st := m.Status()["round"]
+	if st.Samples != 8 || st.SlowBurn == 0 {
+		t.Fatalf("violation should still be in the full window: %+v", st)
+	}
+	m.Observe("round", time.Millisecond) // 9th sample evicts the violation
+	st = m.Status()["round"]
+	if st.Samples != 8 || st.SlowBurn != 0 || st.FastBurn != 0 {
+		t.Fatalf("violation did not roll out: %+v", st)
+	}
+	if st.Violations != 1 {
+		t.Fatalf("lifetime violations = %d, want 1", st.Violations)
+	}
+}
+
+func TestMonitorStatusPercentiles(t *testing.T) {
+	m := hot()
+	for _, ms := range []int{1, 2, 3, 4} {
+		m.Observe("round", time.Duration(ms)*time.Millisecond)
+	}
+	st := m.Status()["round"]
+	if st.CeilingMs != 10 {
+		t.Fatalf("ceiling_ms = %v", st.CeilingMs)
+	}
+	if st.P50Ms > st.P95Ms || st.P95Ms > st.P99Ms {
+		t.Fatalf("percentiles not monotone: %+v", st)
+	}
+	if st.P99Ms != 4 {
+		t.Fatalf("p99_ms = %v, want 4", st.P99Ms)
+	}
+	if st.Breached {
+		t.Fatal("healthy phase marked breached")
+	}
+}

@@ -1,0 +1,127 @@
+package obs
+
+import "testing"
+
+// TestTraceSamplerDeterministic pins the replay contract: the sampled
+// index set is a pure function of (seed, K), so two samplers built alike
+// agree round for round.
+func TestTraceSamplerDeterministic(t *testing.T) {
+	const rounds = 200
+	pick := func(seed int64, k int) []uint64 {
+		s := NewTraceSampler("svc", seed, k)
+		var out []uint64
+		for i := 0; i < rounds; i++ {
+			tr, idx, sampled := s.Next()
+			if uint64(i) != idx {
+				t.Fatalf("index %d on round %d", idx, i)
+			}
+			if sampled != s.WouldSample(idx) {
+				t.Fatalf("Next and WouldSample disagree at %d", idx)
+			}
+			if sampled {
+				if tr == nil {
+					t.Fatalf("sampled round %d got no tracer", idx)
+				}
+				out = append(out, idx)
+			} else if tr != nil {
+				t.Fatalf("unsampled round %d got a tracer", idx)
+			}
+		}
+		return out
+	}
+	a, b := pick(42, 7), pick(42, 7)
+	if len(a) == 0 {
+		t.Fatal("sampler with k=7 over 200 rounds picked nothing")
+	}
+	if len(a) != len(b) {
+		t.Fatalf("two runs picked %d vs %d rounds", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("picked sets diverge at %d: %d vs %d", i, a[i], b[i])
+		}
+	}
+	// Exactly one residue class mod k is sampled.
+	for i := 1; i < len(a); i++ {
+		if a[i]-a[i-1] != 7 {
+			t.Fatalf("sampled indices not k apart: %v", a[:i+1])
+		}
+	}
+	s := NewTraceSampler("svc", 42, 7)
+	for i := 0; i < rounds; i++ {
+		s.Next()
+	}
+	if got := s.Sampled(); got != uint64(len(a)) {
+		t.Fatalf("Sampled() = %d, want %d", got, len(a))
+	}
+	if s.Every() != 7 {
+		t.Fatalf("Every() = %d", s.Every())
+	}
+}
+
+// TestTraceSamplerSeedRotatesOffset pins that the seed actually varies
+// which residue class is traced — a fleet of services with distinct seeds
+// must not all trace the same epochs.
+func TestTraceSamplerSeedRotatesOffset(t *testing.T) {
+	const k = 8
+	offsets := map[uint64]bool{}
+	for seed := int64(0); seed < 16; seed++ {
+		s := NewTraceSampler("svc", seed, k)
+		for idx := uint64(0); idx < k; idx++ {
+			if s.WouldSample(idx) {
+				offsets[idx] = true
+			}
+		}
+	}
+	if len(offsets) < 2 {
+		t.Fatalf("16 seeds landed on %d distinct offsets, want spread", len(offsets))
+	}
+}
+
+// TestTraceSamplerEveryRound: k <= 1 samples everything.
+func TestTraceSamplerEveryRound(t *testing.T) {
+	for _, k := range []int{1, 0, -3} {
+		s := NewTraceSampler("svc", 9, k)
+		if s.Every() != 1 {
+			t.Fatalf("k=%d: Every() = %d, want 1", k, s.Every())
+		}
+		for i := 0; i < 5; i++ {
+			if _, _, sampled := s.Next(); !sampled {
+				t.Fatalf("k=%d: round %d not sampled", k, i)
+			}
+		}
+		if s.Sampled() != 5 {
+			t.Fatalf("k=%d: Sampled() = %d, want 5", k, s.Sampled())
+		}
+	}
+}
+
+// TestNilTraceSamplerIsInert: the disabled handle never samples and never
+// panics, per the package's nil no-op contract.
+func TestNilTraceSamplerIsInert(t *testing.T) {
+	var s *TraceSampler
+	tr, idx, sampled := s.Next()
+	if tr != nil || idx != 0 || sampled {
+		t.Fatalf("nil sampler sampled: %v %d %v", tr, idx, sampled)
+	}
+	if s.WouldSample(0) || s.Tracer() != nil || s.Every() != 0 || s.Sampled() != 0 {
+		t.Fatal("nil sampler leaked state")
+	}
+}
+
+// TestTraceSamplerUnsampledAllocationFree pins the disabled-path cost:
+// an unsampled Next is one atomic add, no allocation.
+func TestTraceSamplerUnsampledAllocationFree(t *testing.T) {
+	s := NewTraceSampler("svc", 1, 1<<20) // offset is somewhere in a huge K
+	if s.WouldSample(0) {
+		s.Next() // burn the one sampled index if it is first
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		if _, _, sampled := s.Next(); sampled {
+			t.Fatal("sampled inside the unsampled-path measurement")
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("unsampled Next allocates %.0f, want 0", allocs)
+	}
+}

@@ -18,6 +18,7 @@ import (
 	"lppa/internal/core"
 	"lppa/internal/geo"
 	"lppa/internal/mask"
+	"lppa/internal/obs"
 )
 
 // Result is the outcome of one private round.
@@ -43,6 +44,10 @@ type Result struct {
 	// bidder indices in Outcome always refer to the original population,
 	// but Auctioneer's transcript indexes the compacted one.
 	Excluded []int
+	// Trace is the round's trace ID when the round was traced (WithTrace,
+	// or a WithTraceSampler round the sampler picked); zero otherwise.
+	// The ops plane uses it to correlate events with sampled spans.
+	Trace obs.TraceID
 }
 
 // RunPrivate executes the full LPPA protocol in-process with one disguise

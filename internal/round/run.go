@@ -56,6 +56,10 @@ type runConfig struct {
 	tracer      *obs.Tracer
 	flight      *obs.FlightRecorder
 	state       *EpochState
+	sampler     *obs.TraceSampler
+	epoch       int
+	hasEpoch    bool
+	onPhase     func(phase string, d time.Duration)
 }
 
 // WithWorkers bounds the goroutines used for submission encoding and
@@ -176,11 +180,50 @@ func WithTrace(tracer *obs.Tracer) Option {
 
 // WithFlightRecorder auto-dumps the round's trace through fr when the
 // round fails, degrades below full attendance, or exceeds fr's latency
-// SLO. Requires WithTrace: the recorder dumps the spans the tracer
-// collected. A nil recorder is the same as omitting the option.
+// SLO. Requires WithTrace or WithTraceSampler: the recorder dumps the
+// spans the tracer collected. A nil recorder is the same as omitting the
+// option.
 func WithFlightRecorder(fr *obs.FlightRecorder) Option {
 	return func(c *runConfig) error {
 		c.flight = fr
+		return nil
+	}
+}
+
+// WithTraceSampler traces this round only when the sampler's
+// deterministic 1-in-K schedule picks it (the sampler consumes one round
+// index per Run). A sampled round behaves exactly like WithTrace with
+// the sampler's tracer; an unsampled round runs the untraced path —
+// bit-identical awards either way, and the unsampled path costs one
+// atomic add over no option at all. Mutually exclusive with WithTrace; a
+// nil sampler is the same as omitting the option.
+func WithTraceSampler(s *obs.TraceSampler) Option {
+	return func(c *runConfig) error {
+		c.sampler = s
+		return nil
+	}
+}
+
+// WithEpochNumber tags the round with the epochal service's epoch
+// number: the root trace span gets an epoch attribute and flight dumps
+// triggered by the round carry the epoch in their filename. Pure
+// metadata — results are bit-identical with or without it.
+func WithEpochNumber(n int) Option {
+	return func(c *runConfig) error {
+		c.epoch = n
+		c.hasEpoch = true
+		return nil
+	}
+}
+
+// WithPhaseObserver streams each phase's wall time to fn as the round
+// executes — the always-on cheap signal behind the ops plane's SLO
+// burn-rate monitor, available whether or not the round is traced. fn is
+// called on the round goroutine; keep it fast. A nil fn is the same as
+// omitting the option; results are bit-identical either way.
+func WithPhaseObserver(fn func(phase string, d time.Duration)) Option {
+	return func(c *runConfig) error {
+		c.onPhase = fn
 		return nil
 	}
 }
@@ -217,16 +260,28 @@ func WithIndexedCandidates() Option {
 // stays nil and the span calls are no-ops, so an untraced round runs the
 // pre-tracing code path bit-identically.
 type phaser struct {
-	timer  *obs.PhaseTimer
-	tracer *obs.Tracer
-	root   *obs.Span
-	cur    *obs.Span
+	timer    *obs.PhaseTimer
+	tracer   *obs.Tracer
+	root     *obs.Span
+	cur      *obs.Span
+	onPhase  func(phase string, d time.Duration)
+	curName  string
+	curStart time.Time
+	epoch    int
+	hasEpoch bool
 }
 
 // phase closes the current phase (timer and span) and opens the named one
 // as a child of the round root.
 func (p *phaser) phase(name string) {
 	p.timer.Phase(name)
+	if p.onPhase != nil {
+		now := time.Now()
+		if p.curName != "" {
+			p.onPhase(p.curName, now.Sub(p.curStart))
+		}
+		p.curName, p.curStart = name, now
+	}
 	p.cur.End()
 	p.cur = nil
 	if p.tracer != nil {
@@ -238,6 +293,10 @@ func (p *phaser) phase(name string) {
 // aborting).
 func (p *phaser) stop() {
 	p.timer.Stop()
+	if p.onPhase != nil && p.curName != "" {
+		p.onPhase(p.curName, time.Since(p.curStart))
+		p.curName = ""
+	}
 	p.cur.End()
 	p.cur = nil
 }
@@ -266,6 +325,8 @@ func (p *phaser) finish(res *Result, err error, flight *obs.FlightRecorder) {
 	rt := &obs.RoundTrace{
 		Label:    "round",
 		Degraded: degraded,
+		Epoch:    p.epoch,
+		HasEpoch: p.hasEpoch,
 		Duration: p.root.Duration,
 		Spans:    p.tracer.TakeTrace(p.root.Ctx.Trace),
 	}
@@ -444,16 +505,39 @@ func Run(params core.Params, ring *mask.KeyRing, in Input, opts ...Option) (*Res
 		// for it; per-bidder seeding makes abandonment safe.
 		return nil, fmt.Errorf("round: WithStragglerTimeout requires the seeded pipeline (add WithWorkers)")
 	}
-	if cfg.flight != nil && cfg.tracer == nil {
-		return nil, fmt.Errorf("round: WithFlightRecorder requires WithTrace")
+	if cfg.sampler != nil && cfg.tracer != nil {
+		return nil, fmt.Errorf("round: WithTrace and WithTraceSampler are mutually exclusive")
 	}
-	ph := &phaser{timer: cfg.reg.PhaseTimer("lppa_round_phase_seconds", nil), tracer: cfg.tracer}
+	if cfg.flight != nil && cfg.tracer == nil && cfg.sampler == nil {
+		return nil, fmt.Errorf("round: WithFlightRecorder requires WithTrace or WithTraceSampler")
+	}
+	var sampleIdx uint64
+	if cfg.sampler != nil {
+		// The sampler consumes one round index whether or not it samples;
+		// an unsampled round proceeds on the untraced (nil-tracer) path.
+		if tr, idx, ok := cfg.sampler.Next(); ok {
+			cfg.tracer, sampleIdx = tr, idx
+		}
+	}
+	ph := &phaser{
+		timer: cfg.reg.PhaseTimer("lppa_round_phase_seconds", nil), tracer: cfg.tracer,
+		onPhase: cfg.onPhase, epoch: cfg.epoch, hasEpoch: cfg.hasEpoch,
+	}
 	if cfg.tracer != nil {
 		ph.root = cfg.tracer.StartTrace("round",
 			obs.L("bidders", strconv.Itoa(len(in.Points))),
 			obs.L("channels", strconv.Itoa(params.Channels)))
+		if cfg.hasEpoch {
+			ph.root.Annotate("epoch", strconv.Itoa(cfg.epoch))
+		}
+		if cfg.sampler != nil {
+			ph.root.Annotate("sample_index", strconv.FormatUint(sampleIdx, 10))
+		}
 	}
 	res, err := run(params, ring, in, &cfg, ph)
+	if res != nil && ph.root != nil {
+		res.Trace = ph.root.Ctx.Trace
+	}
 	ph.finish(res, err, cfg.flight)
 	return res, err
 }

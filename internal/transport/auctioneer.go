@@ -64,6 +64,7 @@ type AuctioneerServer struct {
 	frameTimeout time.Duration
 	straggler    time.Duration
 	admit        func() (bool, time.Duration)
+	onShed       func(time.Duration)
 	reg          *obs.Registry
 	ob           *netObs
 	tracer       *obs.Tracer
@@ -152,6 +153,7 @@ func NewAuctioneerServerWithConfig(params core.Params, bidders int, ttpAddr stri
 		frameTimeout: cfg.frameTimeout(),
 		straggler:    cfg.StragglerTimeout,
 		admit:        cfg.Admit,
+		onShed:       cfg.OnShed,
 		reg:          cfg.Metrics,
 		ob:           newNetObs(cfg.Metrics, "auctioneer"),
 		tracer:       cfg.Tracer,
@@ -232,6 +234,9 @@ func (s *AuctioneerServer) acceptLoop() {
 		if s.admit != nil {
 			if ok, retry := s.admit(); !ok {
 				s.ob.rateLimit()
+				if s.onShed != nil {
+					s.onShed(retry)
+				}
 				s.wg.Add(1)
 				go func() {
 					defer s.wg.Done()

@@ -75,6 +75,11 @@ type Config struct {
 	// write instead of a decode. epoch.Admission.AdmitConn is the intended
 	// supplier (wired via WithAdmission). Ignored by the TTP server.
 	Admit func() (ok bool, retryAfter time.Duration)
+	// OnShed, when non-nil, is invoked once per connection Admit turned
+	// away, with the retry-after hint sent to the peer — the ops plane's
+	// event hook. Called on the accept goroutine; keep it fast. Ignored
+	// by the TTP server and without Admit.
+	OnShed func(retryAfter time.Duration)
 }
 
 func (c Config) idleTimeout() time.Duration {

@@ -133,3 +133,17 @@ func WithAdmission(admit func() (ok bool, retryAfter time.Duration)) Option {
 		return nil
 	}
 }
+
+// WithShedNotify calls fn once per connection the admission gate turned
+// away, with the retry-after hint the peer was sent. The ops plane wires
+// its admission_shed event stream here; without WithAdmission the hook
+// never fires.
+func WithShedNotify(fn func(retryAfter time.Duration)) Option {
+	return func(c *Config) error {
+		if fn == nil {
+			return fmt.Errorf("transport: WithShedNotify requires a non-nil hook")
+		}
+		c.OnShed = fn
+		return nil
+	}
+}

@@ -384,6 +384,24 @@ func WithTrace(tracer *Tracer) RunOption { return round.WithTrace(tracer) }
 // ring on failure or quorum degradation. Requires WithTrace.
 func WithFlightRecorder(fr *FlightRecorder) RunOption { return round.WithFlightRecorder(fr) }
 
+// TraceSampler deterministically traces one round in every K (see
+// NewTraceSampler); hand one to WithTraceSampler for long-lived services
+// where tracing every epoch is unaffordable.
+type TraceSampler = obs.TraceSampler
+
+// NewTraceSampler creates a sampler tracing one round in every k into a
+// tracer named proc. The schedule is a pure function of (seed, k), so the
+// sampled trace set replays bit for bit.
+func NewTraceSampler(proc string, seed int64, k int) *TraceSampler {
+	return obs.NewTraceSampler(proc, seed, k)
+}
+
+// WithTraceSampler traces the round only when the sampler's deterministic
+// 1-in-K schedule picks it; unsampled rounds stay on the allocation-free
+// untraced path. Mutually exclusive with WithTrace; a nil sampler is a
+// no-op. See DESIGN.md §5i.
+func WithTraceSampler(s *TraceSampler) RunOption { return round.WithTraceSampler(s) }
+
 // AuditRound tallies what one round's transcript exposed to the
 // auctioneer — masked digest counts, conflict degrees, per-channel
 // comparison work — and, given a coverage area, the anonymity-set size

@@ -56,3 +56,71 @@ func TestTraceDisabledAllocationFree(t *testing.T) {
 	}
 	t.Errorf("WithTrace(nil) round allocates %.0f allocs, untraced %.0f — disabled tracing must be free", disabled, off)
 }
+
+// TestTraceDisabledAllocationFreeSampler extends the guard to the ops
+// plane's sampled tracing: rounds the sampler skips (the 1-in-K steady
+// state) must cost exactly one atomic increment over the untraced
+// baseline — zero extra allocations. The seed is chosen so the sampler's
+// deterministic offset lands far beyond every round this test executes.
+func TestTraceDisabledAllocationFreeSampler(t *testing.T) {
+	p := core.Params{Channels: 8, Lambda: 2, MaxX: 99, MaxY: 99, BMax: 100}
+	ring, err := mask.DeriveKeyRing([]byte("trace-guard"), p.Channels, 5, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(23))
+	const n = 60
+	pts := make([]geo.Point, n)
+	bids := make([][]uint64, n)
+	for i := range pts {
+		pts[i] = geo.Point{X: uint64(rng.Intn(100)), Y: uint64(rng.Intn(100))}
+		bids[i] = make([]uint64, p.Channels)
+		for r := range bids[i] {
+			bids[i][r] = uint64(rng.Intn(101))
+		}
+	}
+
+	// Find a seed whose 1-in-2^20 offset skips every round we will run.
+	const k, horizon = 1 << 20, 4096
+	var sampler *lppa.TraceSampler
+	for seed := int64(0); seed < 64; seed++ {
+		s := lppa.NewTraceSampler("guard", seed, k)
+		clear := true
+		for i := uint64(0); i < horizon; i++ {
+			if s.WouldSample(i) {
+				clear = false
+				break
+			}
+		}
+		if clear {
+			sampler = s
+			break
+		}
+	}
+	if sampler == nil {
+		t.Fatal("no seed in [0,64) keeps the first 4096 rounds unsampled at k=2^20")
+	}
+
+	run := func(opts ...lppa.RunOption) func() {
+		return func() {
+			in := lppa.RoundInput{Points: pts, Bids: bids,
+				Policy: core.DefaultDisguise(), Rng: rand.New(rand.NewSource(1))}
+			if _, err := lppa.Run(p, ring, in, opts...); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	offFn := run()
+	samFn := run(lppa.WithTraceSampler(sampler))
+	offFn() // warm both paths before measuring
+	samFn()
+	var off, sampled float64
+	for i := 0; i < 5; i++ {
+		off = testing.AllocsPerRun(10, offFn)
+		sampled = testing.AllocsPerRun(10, samFn)
+		if off == sampled {
+			return
+		}
+	}
+	t.Errorf("unsampled round allocates %.0f allocs, untraced %.0f — the skipped path must be free", sampled, off)
+}
